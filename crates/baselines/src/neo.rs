@@ -1,0 +1,74 @@
+//! NEO+ — CPU-assisted exclusive GPU serving (§IX-I3, Fig. 29).
+//!
+//! NEO [32] offloads KV-cache and the associated attention computation to
+//! host CPU cores, freeing GPU memory for larger batches. It keeps the GPU
+//! as the execution base: CPUs are auxiliary, never independent servers.
+//!
+//! We model the offload at the *capacity* level: harvested cores contribute
+//! pooled DRAM for KV (≈2 GB per core, bounded by what the cores' attention
+//! throughput can sustain), so each GPU node effectively has
+//! `80 GB + cores · 2 GB` of serving memory; the scheduling policy remains
+//! exclusive-allocation `sllm`. This reproduces NEO's qualitative position
+//! in Fig. 29: per-instance capacity grows with harvested cores, but with
+//! one model per GPU the cluster still cannot share — so its SLO-miss rate
+//! improves only mildly while SLINFER's collapses.
+
+use cluster::ClusterSpec;
+use cluster::NodeSpec;
+use hwmodel::HardwareSpec;
+
+use crate::sllm::{Sllm, SllmConfig};
+
+/// DRAM contributed per harvested core to the KV offload pool (bytes).
+pub const KV_BYTES_PER_CORE: u64 = 2_000_000_000;
+
+/// NEO+ policy: exclusive GPU allocation over offload-extended nodes.
+pub struct NeoPlus;
+
+impl NeoPlus {
+    /// The NEO+ policy (an `sllm` configured GPU-only, since CPUs only
+    /// assist).
+    pub fn policy() -> Sllm {
+        Sllm::new(SllmConfig {
+            name: "NEO+".into(),
+            use_cpu: false,
+        })
+    }
+
+    /// Builds the NEO+ cluster: `n_gpu` A100 nodes whose serving memory is
+    /// extended by `harvested_cores` worth of host-DRAM KV offload each.
+    pub fn cluster(n_gpu: usize, harvested_cores: u32) -> ClusterSpec {
+        let mut gpu = HardwareSpec::a100_80g();
+        gpu.mem_bytes += harvested_cores as u64 * KV_BYTES_PER_CORE;
+        if harvested_cores > 0 {
+            gpu.name = format!("A100-80GB+NEO{harvested_cores}c");
+        }
+        ClusterSpec {
+            nodes: (0..n_gpu).map(|_| NodeSpec::whole(gpu.clone())).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::Policy;
+    use hwmodel::HardwareKind;
+
+    #[test]
+    fn cluster_memory_scales_with_cores() {
+        let base = NeoPlus::cluster(4, 0);
+        let ext = NeoPlus::cluster(4, 32);
+        assert_eq!(base.nodes.len(), 4);
+        assert_eq!(base.nodes[0].hw.mem_bytes, 80_000_000_000);
+        assert_eq!(ext.nodes[0].hw.mem_bytes, 80_000_000_000 + 64_000_000_000);
+        assert_eq!(ext.count_kind(HardwareKind::Gpu), 4);
+    }
+
+    #[test]
+    fn policy_is_gpu_only() {
+        let p = NeoPlus::policy();
+        assert_eq!(p.name(), "NEO+");
+        assert!(!p.uses_cpu());
+    }
+}

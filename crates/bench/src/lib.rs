@@ -1,0 +1,19 @@
+//! Experiment harness for the SLINFER reproduction.
+//!
+//! Each table/figure of the paper has one binary under `src/bin/` (see
+//! `DESIGN.md` for the index). This library holds what they share:
+//!
+//! - [`runner`] — the [`System`] enum (sllm / sllm+c / sllm+c+s / SLINFER /
+//!   PD variants / NEO+) with per-system cluster construction and a single
+//!   `run` entry point, so every experiment exercises every system through
+//!   identical machinery.
+//! - [`report`] — fixed-width table printing, paper-vs-measured annotation,
+//!   and JSON result dumps under `results/`.
+//! - [`zoo`] — model-zoo builders (replica zoos, popularity mixes).
+
+pub mod report;
+pub mod runner;
+pub mod zoo;
+
+pub use report::Table;
+pub use runner::{System, SystemResult};

@@ -1,0 +1,125 @@
+//! Fixed-width tables and JSON result dumps.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple fixed-width table printer for experiment output.
+///
+/// ```
+/// use bench::Table;
+/// let mut t = Table::new(&["system", "SLO-met", "GPUs"]);
+/// t.row(&["SLINFER".into(), "8123".into(), "2.4".into()]);
+/// let s = t.render();
+/// assert!(s.contains("SLINFER"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded).
+    pub fn row(&mut self, cells: &[String]) {
+        let mut r: Vec<String> = cells.to_vec();
+        r.resize(self.headers.len(), String::new());
+        self.rows.push(r);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Prints an experiment section header.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints a paper-reference note.
+pub fn paper_note(note: &str) {
+    println!("[paper] {note}");
+}
+
+/// Formats a float with the given precision.
+pub fn f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Writes a JSON result blob under `results/<name>.json` (best-effort; the
+/// experiment still succeeds if the directory is unwritable).
+pub fn dump_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("results");
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(s) = serde_json::to_string_pretty(value) {
+        let _ = fs::write(path, s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(&["a", "long-header", "c"]);
+        t.row(&["x".into(), "1".into(), "yy".into()]);
+        t.row(&["longer-cell".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+        // Padded row has consistent columns.
+        assert!(lines[3].starts_with("longer-cell"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(0.5, 0), "0");
+    }
+}

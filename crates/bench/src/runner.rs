@@ -1,0 +1,188 @@
+//! System dispatch: build the right cluster and policy per serving system.
+
+use baselines::pd::PdSllm;
+use baselines::sllm::{Sllm, SllmConfig};
+use cluster::{ClusterSpec, RunMetrics, Simulation, WorldConfig};
+use hwmodel::{HardwareKind, ModelSpec};
+use slinfer::{Slinfer, SlinferConfig};
+use workload::request::Trace;
+
+/// A serving system under evaluation.
+#[derive(Debug, Clone)]
+pub enum System {
+    /// ServerlessLLM: exclusive GPUs.
+    Sllm,
+    /// ServerlessLLM + CPU serving.
+    SllmC,
+    /// ServerlessLLM + CPU + static half-node sharing.
+    SllmCs,
+    /// SLINFER with the given configuration.
+    Slinfer(SlinferConfig),
+    /// PD-disaggregated `sllm+c+s` (Table III).
+    PdSllmCs,
+    /// PD-disaggregated SLINFER (Table III).
+    PdSlinfer,
+}
+
+impl System {
+    /// The paper's §IX-B lineup.
+    pub fn paper_lineup() -> Vec<System> {
+        vec![
+            System::Sllm,
+            System::SllmC,
+            System::SllmCs,
+            System::Slinfer(SlinferConfig::default()),
+        ]
+    }
+
+    /// Display name matching the paper's labels.
+    pub fn name(&self) -> String {
+        match self {
+            System::Sllm => "sllm".into(),
+            System::SllmC => "sllm+c".into(),
+            System::SllmCs => "sllm+c+s".into(),
+            System::Slinfer(cfg) if *cfg == SlinferConfig::default() => "SLINFER".into(),
+            System::Slinfer(_) => "SLINFER*".into(),
+            System::PdSllmCs => "sllm+c+s(PD)".into(),
+            System::PdSlinfer => "SLINFER(PD)".into(),
+        }
+    }
+
+    /// Builds the cluster this system runs on. `sllm+c+s` statically splits
+    /// nodes in two — except CPU nodes when the zoo is 13B-class, which the
+    /// paper keeps whole (§IX-A).
+    pub fn cluster(&self, n_cpu: usize, n_gpu: usize, zoo: &[ModelSpec]) -> ClusterSpec {
+        match self {
+            System::SllmCs | System::PdSllmCs => {
+                let big_cpu_models = zoo
+                    .iter()
+                    .any(|m| m.params > 9_500_000_000 && m.params <= 14_000_000_000);
+                if big_cpu_models {
+                    // Whole CPU nodes, split GPU nodes.
+                    let mut spec = ClusterSpec::heterogeneous(n_cpu, 0);
+                    let gpus = ClusterSpec::statically_shared(0, n_gpu);
+                    spec.nodes.extend(gpus.nodes);
+                    spec
+                } else {
+                    ClusterSpec::statically_shared(n_cpu, n_gpu)
+                }
+            }
+            _ => ClusterSpec::heterogeneous(n_cpu, n_gpu),
+        }
+    }
+
+    /// Runs the system on `trace` over `cluster`.
+    pub fn run(
+        &self,
+        cluster: &ClusterSpec,
+        models: Vec<ModelSpec>,
+        cfg: WorldConfig,
+        trace: &Trace,
+    ) -> RunMetrics {
+        match self {
+            System::Sllm => {
+                Simulation::new(cluster, models, cfg, Sllm::new(SllmConfig::sllm())).run(trace)
+            }
+            System::SllmC => {
+                Simulation::new(cluster, models, cfg, Sllm::new(SllmConfig::sllm_c())).run(trace)
+            }
+            System::SllmCs => {
+                Simulation::new(cluster, models, cfg, Sllm::new(SllmConfig::sllm_cs())).run(trace)
+            }
+            System::Slinfer(scfg) => {
+                Simulation::new(cluster, models, cfg, Slinfer::new(scfg.clone())).run(trace)
+            }
+            System::PdSllmCs => {
+                Simulation::new(cluster, models, cfg, PdSllm::new()).run(trace)
+            }
+            System::PdSlinfer => {
+                let scfg = SlinferConfig {
+                    pd_disaggregate: true,
+                    ..SlinferConfig::default()
+                };
+                Simulation::new(cluster, models, cfg, Slinfer::new(scfg)).run(trace)
+            }
+        }
+    }
+}
+
+/// One system's headline numbers from a run, ready for tabulation.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SystemResult {
+    /// System label.
+    pub system: String,
+    /// Requests meeting the SLO.
+    pub slo_met: usize,
+    /// Total requests.
+    pub total: usize,
+    /// SLO attainment in `[0,1]`.
+    pub slo_rate: f64,
+    /// Median TTFT (s) over responding requests.
+    pub ttft_p50: f64,
+    /// P95 TTFT (s).
+    pub ttft_p95: f64,
+    /// Time-weighted average CPU nodes used.
+    pub cpu_nodes: f64,
+    /// Time-weighted average GPU nodes used.
+    pub gpu_nodes: f64,
+    /// Decode speed on CPU nodes, tokens/(node·s).
+    pub cpu_decode_speed: f64,
+    /// Decode speed on GPU nodes, tokens/(node·s).
+    pub gpu_decode_speed: f64,
+    /// Dropped requests.
+    pub dropped: u64,
+    /// Cold starts.
+    pub cold_starts: u64,
+}
+
+impl SystemResult {
+    /// Summarizes a run.
+    pub fn from_metrics(system: &System, m: &RunMetrics) -> SystemResult {
+        let mut ttft = m.ttft_summary();
+        SystemResult {
+            system: system.name(),
+            slo_met: m.slo_met(),
+            total: m.total(),
+            slo_rate: m.slo_rate(),
+            ttft_p50: ttft.percentile(50.0),
+            ttft_p95: ttft.percentile(95.0),
+            cpu_nodes: m.avg_nodes_used(HardwareKind::CpuAccel),
+            gpu_nodes: m.avg_nodes_used(HardwareKind::Gpu),
+            cpu_decode_speed: m.decode_speed_per_node(HardwareKind::CpuAccel),
+            gpu_decode_speed: m.decode_speed_per_node(HardwareKind::Gpu),
+            dropped: m.dropped,
+            cold_starts: m.cold_starts,
+        }
+    }
+}
+
+/// Reads the experiment seed from `--seed N` or the `SEED` env var
+/// (default 42).
+pub fn arg_seed() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--seed" {
+            if let Ok(s) = w[1].parse() {
+                return s;
+            }
+        }
+    }
+    std::env::var("SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// True when `BENCH_QUICK=1` — experiments shrink their sweeps for smoke
+/// runs (CI) while keeping the full sweep the default.
+pub fn quick_mode() -> bool {
+    std::env::var("BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Default world config for experiments, seeded.
+pub fn world_cfg(seed: u64) -> WorldConfig {
+    WorldConfig {
+        seed,
+        ..WorldConfig::default()
+    }
+}

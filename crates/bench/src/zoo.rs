@@ -1,0 +1,91 @@
+//! Model-zoo builders.
+//!
+//! The paper generates replica zoos from one base model ("32, 64, and 128
+//! replica models are generated from Llama-3.2-3B", §IX-B) and mixed zoos by
+//! popularity ratio (§IX-E's 3B:7B:13B:34B mixes).
+
+use hwmodel::ModelSpec;
+
+/// `n` replicas of one base model (the §IX-B zoos).
+pub fn replicas(base: &ModelSpec, n: usize) -> Vec<ModelSpec> {
+    (0..n).map(|i| base.replica(i)).collect()
+}
+
+/// A mixed zoo by ratio: `parts` pairs `(base, share)` are expanded to `n`
+/// models proportionally (§IX-E). Models are interleaved so popularity rank
+/// (assigned by the trace generator) does not correlate with size.
+pub fn mixed(parts: &[(ModelSpec, usize)], n: usize) -> Vec<ModelSpec> {
+    let total: usize = parts.iter().map(|(_, w)| w).sum();
+    assert!(total > 0, "mix needs non-zero weights");
+    let mut counts: Vec<usize> = parts
+        .iter()
+        .map(|(_, w)| (n * w) / total)
+        .collect();
+    let mut assigned: usize = counts.iter().sum();
+    // Distribute the rounding remainder to the heaviest parts first.
+    let mut order: Vec<usize> = (0..parts.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(parts[i].1));
+    let mut k = 0;
+    while assigned < n {
+        counts[order[k % parts.len()]] += 1;
+        assigned += 1;
+        k += 1;
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut cursors = vec![0usize; parts.len()];
+    let mut next = 0usize;
+    while out.len() < n {
+        let i = next % parts.len();
+        next += 1;
+        if cursors[i] < counts[i] {
+            out.push(parts[i].0.replica(out.len()));
+            cursors[i] += 1;
+        }
+    }
+    out
+}
+
+/// The paper's three size-class bases.
+pub fn size_bases() -> [(&'static str, ModelSpec); 3] {
+    [
+        ("3B", ModelSpec::llama3_2_3b()),
+        ("7B", ModelSpec::llama2_7b()),
+        ("13B", ModelSpec::llama2_13b()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_zoo_has_distinct_names() {
+        let zoo = replicas(&ModelSpec::llama2_7b(), 8);
+        assert_eq!(zoo.len(), 8);
+        let mut names: Vec<&str> = zoo.iter().map(|m| m.name.as_str()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn mixed_zoo_respects_ratio() {
+        let parts = [
+            (ModelSpec::llama3_2_3b(), 2),
+            (ModelSpec::llama2_7b(), 1),
+            (ModelSpec::llama2_13b(), 1),
+        ];
+        let zoo = mixed(&parts, 16);
+        assert_eq!(zoo.len(), 16);
+        let small = zoo.iter().filter(|m| m.params < 4_000_000_000).count();
+        assert_eq!(small, 8);
+        // Interleaved: the first four models span multiple sizes.
+        let first: Vec<u64> = zoo.iter().take(3).map(|m| m.params).collect();
+        assert!(first.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero weights")]
+    fn empty_mix_panics() {
+        let _ = mixed(&[(ModelSpec::llama2_7b(), 0)], 4);
+    }
+}

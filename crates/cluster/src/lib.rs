@@ -1,0 +1,35 @@
+//! Heterogeneous cluster abstraction and the event-driven serving simulator.
+//!
+//! SLINFER "abstracts heterogeneous hardware into CPU/GPU nodes" (§V); this
+//! crate provides that abstraction plus the simulation driver every serving
+//! policy runs under:
+//!
+//! - [`node`] — [`NodeSpec`]/[`ClusterSpec`]: nodes with execution *slots*
+//!   (full-node for SLINFER and the exclusive baselines; two half-node slots
+//!   for `sllm+c+s` static sharing) and a physical memory ledger.
+//! - [`world`] — [`World`]: the live cluster state (instances, committed
+//!   memory, clock, RNG, event queue) and the *only* API policies may use to
+//!   act: admit requests, start iterations, create/unload instances, issue
+//!   KV rescales, set timers. Physical memory is enforced here — an
+//!   uncoordinated scale-up that would overflow a node is rejected and
+//!   counted as an OOM incident (§VII-C's hazard).
+//! - [`policy`] — the [`Policy`] trait: the callback surface (arrivals,
+//!   slot-free, load/scale completions, keep-alive, timers) that SLINFER and
+//!   all baselines implement.
+//! - [`driver`] — [`Simulation`]: the deterministic event loop.
+//! - [`metrics`] — [`RunMetrics`]: per-request SLO records, time-weighted
+//!   node usage, memory/batch samples, and the summary queries the
+//!   experiment harness prints (SLO-met requests, TTFT CDF, decode speed
+//!   per node, average nodes used, …).
+
+pub mod driver;
+pub mod metrics;
+pub mod node;
+pub mod policy;
+pub mod world;
+
+pub use driver::Simulation;
+pub use metrics::{RequestRecord, RunMetrics};
+pub use node::{ClusterSpec, NodeId, NodeSpec};
+pub use policy::Policy;
+pub use world::{MemError, World, WorldConfig};

@@ -1,0 +1,178 @@
+//! Node and cluster specifications.
+
+use hwmodel::{HardwareKind, HardwareSpec};
+use serde::{Deserialize, Serialize};
+
+/// Identifies one node in the cluster.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+/// Specification of one node: its hardware and the execution slots the
+/// scheduler is allowed to use.
+///
+/// A *slot* is a compute partition that runs one iteration at a time.
+/// SLINFER and the exclusive baselines use a single full-node slot; the
+/// `sllm+c+s` baseline statically splits each node into two half-share slots
+/// (§IX-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Node hardware.
+    pub hw: HardwareSpec,
+    /// Compute share of each slot; must sum to ≤ 1.
+    pub slot_shares: Vec<f64>,
+}
+
+impl NodeSpec {
+    /// A node with a single full slot.
+    pub fn whole(hw: HardwareSpec) -> Self {
+        NodeSpec {
+            hw,
+            slot_shares: vec![1.0],
+        }
+    }
+
+    /// A node statically partitioned into `n` equal slots.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn split(hw: HardwareSpec, n: usize) -> Self {
+        assert!(n > 0, "a node needs at least one slot");
+        NodeSpec {
+            hw,
+            slot_shares: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// Validates the slot configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.slot_shares.is_empty() {
+            return Err("node has no slots".into());
+        }
+        let sum: f64 = self.slot_shares.iter().sum();
+        if sum > 1.0 + 1e-9 {
+            return Err(format!("slot shares sum to {sum} > 1"));
+        }
+        if self.slot_shares.iter().any(|&s| s <= 0.0) {
+            return Err("slot share must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// The whole cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ClusterSpec {
+    /// All nodes; [`NodeId`] indexes this list.
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl ClusterSpec {
+    /// The paper's testbed (§IX-A): 4 × 32-core AMX Xeon CPU nodes and
+    /// 4 × A100-80GB GPU nodes, whole-node slots.
+    pub fn paper_testbed() -> Self {
+        Self::heterogeneous(4, 4)
+    }
+
+    /// `n_cpu` AMX CPU nodes followed by `n_gpu` A100 nodes (whole slots).
+    pub fn heterogeneous(n_cpu: usize, n_gpu: usize) -> Self {
+        let mut nodes = Vec::new();
+        for _ in 0..n_cpu {
+            nodes.push(NodeSpec::whole(HardwareSpec::xeon4_amx_32c()));
+        }
+        for _ in 0..n_gpu {
+            nodes.push(NodeSpec::whole(HardwareSpec::a100_80g()));
+        }
+        ClusterSpec { nodes }
+    }
+
+    /// Same testbed but with every node split into two half-share slots, as
+    /// configured for `sllm+c+s`. 13B-class CPU instances still take a full
+    /// node in that baseline; the policy handles that by claiming both slots.
+    pub fn statically_shared(n_cpu: usize, n_gpu: usize) -> Self {
+        let mut spec = Self::heterogeneous(n_cpu, n_gpu);
+        for node in &mut spec.nodes {
+            *node = NodeSpec::split(node.hw.clone(), 2);
+        }
+        spec
+    }
+
+    /// Appends `count` fractional "harvested-cores" CPU nodes — `cores` of a
+    /// 32-core AMX CPU carved out of GPU hosts (§IX-I3).
+    pub fn with_harvested_cpus(mut self, count: usize, cores: u32) -> Self {
+        if cores == 0 {
+            return self;
+        }
+        let share = (cores as f64 / 32.0).min(1.0);
+        for _ in 0..count {
+            self.nodes.push(NodeSpec::whole(
+                HardwareSpec::xeon4_amx_32c().fraction(share),
+            ));
+        }
+        self
+    }
+
+    /// Number of nodes of the given kind.
+    pub fn count_kind(&self, kind: HardwareKind) -> usize {
+        self.nodes.iter().filter(|n| n.hw.kind == kind).count()
+    }
+
+    /// Validates every node.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("cluster has no nodes".into());
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            n.validate().map_err(|e| format!("node {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let c = ClusterSpec::paper_testbed();
+        assert_eq!(c.nodes.len(), 8);
+        assert_eq!(c.count_kind(HardwareKind::CpuAccel), 4);
+        assert_eq!(c.count_kind(HardwareKind::Gpu), 4);
+        assert!(c.validate().is_ok());
+        assert!(c.nodes.iter().all(|n| n.slot_shares == vec![1.0]));
+    }
+
+    #[test]
+    fn static_sharing_splits_slots() {
+        let c = ClusterSpec::statically_shared(4, 4);
+        assert!(c.validate().is_ok());
+        for n in &c.nodes {
+            assert_eq!(n.slot_shares, vec![0.5, 0.5]);
+        }
+    }
+
+    #[test]
+    fn harvested_cpus_are_fractional() {
+        let c = ClusterSpec::heterogeneous(0, 4).with_harvested_cpus(4, 16);
+        assert_eq!(c.nodes.len(), 8);
+        let frac = &c.nodes[7].hw;
+        assert_eq!(frac.kind, HardwareKind::CpuAccel);
+        assert_eq!(frac.cores, 16);
+        // Zero harvested cores adds nothing.
+        let c0 = ClusterSpec::heterogeneous(0, 4).with_harvested_cpus(4, 0);
+        assert_eq!(c0.nodes.len(), 4);
+    }
+
+    #[test]
+    fn validation_rejects_bad_slots() {
+        let mut n = NodeSpec::whole(HardwareSpec::a100_80g());
+        n.slot_shares = vec![0.7, 0.7];
+        assert!(n.validate().is_err());
+        n.slot_shares = vec![];
+        assert!(n.validate().is_err());
+        n.slot_shares = vec![-0.5];
+        assert!(n.validate().is_err());
+    }
+}

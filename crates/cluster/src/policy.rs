@@ -1,0 +1,62 @@
+//! The scheduling-policy callback surface.
+//!
+//! SLINFER and every baseline implement [`Policy`]. The driver invokes the
+//! callbacks as events fire; policies act exclusively through the
+//! [`World`](crate::world::World) API. Policies own their admission queues —
+//! the driver never queues requests itself (systems differ precisely in how
+//! they queue, §III-C).
+
+use engine::instance::InstanceId;
+use engine::request::RunningRequest;
+use workload::request::RequestId;
+
+use crate::node::NodeId;
+use crate::world::World;
+
+/// A serving system under test.
+pub trait Policy {
+    /// Display name for experiment tables (e.g. `"sllm+c+s"`).
+    fn name(&self) -> &str;
+
+    /// A request has arrived. The policy must eventually admit it to an
+    /// instance, queue it, or [`World::drop_request`] it.
+    fn on_arrival(&mut self, w: &mut World, rr: RunningRequest);
+
+    /// A slot became free (or received new work while free). The policy may
+    /// start at most one iteration on it via [`World::start_iteration`].
+    fn on_slot_free(&mut self, w: &mut World, node: NodeId, slot: usize);
+
+    /// An instance finished its cold start.
+    fn on_load_done(&mut self, _w: &mut World, _inst: InstanceId) {}
+
+    /// A KV rescale completed (scale-downs have now released their memory —
+    /// the reservation-station notification point of §VII-C).
+    fn on_scale_done(&mut self, _w: &mut World, _inst: InstanceId) {}
+
+    /// A request produced its first token (prefill finished). PD policies
+    /// hand the request off to a decode instance here (§IX-G).
+    fn on_prefill_done(&mut self, _w: &mut World, _inst: InstanceId, _req: RequestId) {}
+
+    /// A request completed all its output tokens.
+    fn on_request_done(&mut self, _w: &mut World, _inst: InstanceId, _rr: &RunningRequest) {}
+
+    /// A decoding request could not obtain a KV block (memory
+    /// underestimation, §VII-D). The policy must resolve it (scale up, evict,
+    /// or migrate) or the request will stall forever.
+    fn on_alloc_failure(&mut self, _w: &mut World, _inst: InstanceId, _req: RequestId) {}
+
+    /// An instance has been idle for the keep-alive threshold. The default
+    /// reclaims it.
+    fn on_keepalive(&mut self, w: &mut World, inst: InstanceId) {
+        let idle = w
+            .instance(inst)
+            .map(|i| !i.has_live_requests() && !i.busy && !i.scaling)
+            .unwrap_or(false);
+        if idle {
+            w.unload_instance(inst);
+        }
+    }
+
+    /// A timer set via [`World::set_timer`] fired.
+    fn on_timer(&mut self, _w: &mut World, _payload: u64) {}
+}

@@ -1,0 +1,743 @@
+//! The live cluster: the only surface through which policies act.
+//!
+//! [`World`] owns nodes (with their physical memory ledgers), all hosted
+//! instances, the clock, the event queue, the RNG, and the metrics recorder.
+//! Policies receive `&mut World` in their callbacks and use its methods to
+//! admit requests, start iterations, create/unload instances, rescale KV
+//! grants, and set timers. Ground-truth execution times come from the
+//! calibrated [`AnalyticPerf`] model perturbed by [`NoiseModel`] — policies
+//! can *estimate* (noiseless) but never observe a duration before it
+//! finishes, exactly like a real control plane.
+//!
+//! Physical memory is enforced at operation-issue time: a scale-up or
+//! instance creation that does not fit the node's remaining bytes fails with
+//! [`MemError::WouldOom`] and is counted in
+//! [`RunMetrics::oom_incidents`](crate::metrics::RunMetrics::oom_incidents).
+//! SLINFER's orchestrator (§VII-C) exists to keep that counter at zero.
+
+use std::collections::BTreeMap;
+
+use engine::instance::{Instance, InstanceId, InstanceState, IterationKind};
+use engine::request::RunningRequest;
+use hwmodel::{AnalyticPerf, HardwareKind, HardwareSpec, ModelSpec, NoiseModel, PerfOracle};
+use simcore::events::EventQueue;
+use simcore::rng::SimRng;
+use simcore::time::{SimDuration, SimTime};
+use workload::request::{ModelId, RequestId, Slo};
+
+use crate::metrics::RunMetrics;
+use crate::node::{ClusterSpec, NodeId};
+
+/// Tunable run parameters shared by every policy.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Request SLOs (§IX-A formula by default).
+    pub slo: Slo,
+    /// Keep-alive threshold before idle instances are reclaimed (1 s).
+    pub keep_alive: SimDuration,
+    /// Execution-time jitter.
+    pub noise: NoiseModel,
+    /// Root seed for all stochastic behaviour in the run.
+    pub seed: u64,
+    /// Occupancy sampling period.
+    pub sample_period: SimDuration,
+    /// Extra simulated time allowed after the last arrival before the run
+    /// is force-terminated and unresolved requests are dropped.
+    pub drain_grace: SimDuration,
+    /// Cross-node KV transfer bandwidth for PD disaggregation, GB/s
+    /// (§IX-G uses 100 Gbps ⇒ 12.5 GB/s).
+    pub kv_transfer_gbps: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            slo: Slo::paper(),
+            keep_alive: SimDuration::from_secs(1),
+            noise: NoiseModel::default(),
+            seed: 0,
+            sample_period: SimDuration::from_secs(1),
+            drain_grace: SimDuration::from_secs(900),
+            kv_transfer_gbps: 12.5,
+        }
+    }
+}
+
+/// Memory-operation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemError {
+    /// The node cannot physically hold the requested bytes.
+    WouldOom {
+        /// Node that would overflow.
+        node: NodeId,
+        /// Bytes the operation needed.
+        needed: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// A shrink below the live KV block set was requested.
+    BelowLiveSet,
+    /// The node's hardware cannot serve this model (§IV-A2 limits).
+    Unservable,
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::WouldOom {
+                node,
+                needed,
+                available,
+            } => write!(
+                f,
+                "node {} would OOM: need {} bytes, {} available",
+                node.0, needed, available
+            ),
+            MemError::BelowLiveSet => write!(f, "cannot shrink KV below live blocks"),
+            MemError::Unservable => write!(f, "hardware cannot serve this model"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Iteration-start failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StartError {
+    /// The KV grant cannot hold the prompt of the request to prefill.
+    KvExhausted(RequestId),
+}
+
+/// Events processed by the driver.
+#[derive(Debug)]
+pub(crate) enum Event {
+    /// Request `trace[idx]` arrives.
+    Arrival(usize),
+    /// An iteration completes.
+    IterationDone {
+        inst: InstanceId,
+        kind: IterationKind,
+        elapsed: SimDuration,
+    },
+    /// A cold-start load completes.
+    LoadDone {
+        inst: InstanceId,
+        elapsed: SimDuration,
+    },
+    /// A KV rescale completes.
+    ScaleDone {
+        inst: InstanceId,
+        from_bytes: u64,
+        to_bytes: u64,
+        elapsed: SimDuration,
+    },
+    /// Keep-alive check for an instance idle since `marker`.
+    KeepAlive {
+        inst: InstanceId,
+        marker: SimTime,
+    },
+    /// Policy-requested timer.
+    Timer(u64),
+    /// Periodic metrics sample.
+    Sample,
+}
+
+struct NodeState {
+    hw: HardwareSpec,
+    slot_shares: Vec<f64>,
+    slot_busy: Vec<bool>,
+    committed: u64,
+}
+
+/// An instance plus its placement.
+pub struct Hosted {
+    /// The engine-level instance.
+    pub inst: Instance,
+    /// Node it resides on.
+    pub node: NodeId,
+    /// Slot it is bound to.
+    pub slot: usize,
+}
+
+/// The live cluster state. See module docs.
+pub struct World {
+    /// Run configuration.
+    pub cfg: WorldConfig,
+    clock: SimTime,
+    pub(crate) events: EventQueue<Event>,
+    nodes: Vec<NodeState>,
+    instances: BTreeMap<InstanceId, Hosted>,
+    next_instance: u64,
+    models: Vec<ModelSpec>,
+    perf: AnalyticPerf,
+    rng: SimRng,
+    /// Metrics recorder (public: the driver and summaries read it).
+    pub metrics: RunMetrics,
+    pub(crate) outstanding: usize,
+    pub(crate) wake: Vec<(NodeId, usize)>,
+}
+
+impl World {
+    /// Builds a world over `cluster` hosting the given model registry
+    /// (`ModelId(i)` ↦ `models[i]`).
+    ///
+    /// # Panics
+    /// Panics if the cluster spec is invalid or `models` is empty.
+    pub fn new(cluster: &ClusterSpec, models: Vec<ModelSpec>, cfg: WorldConfig) -> Self {
+        cluster.validate().expect("invalid cluster");
+        assert!(!models.is_empty(), "model registry is empty");
+        let nodes = cluster
+            .nodes
+            .iter()
+            .map(|n| NodeState {
+                hw: n.hw.clone(),
+                slot_shares: n.slot_shares.clone(),
+                slot_busy: vec![false; n.slot_shares.len()],
+                committed: 0,
+            })
+            .collect();
+        let rng = SimRng::new(cfg.seed).split(0xC1A5);
+        World {
+            cfg,
+            clock: SimTime::ZERO,
+            events: EventQueue::new(),
+            nodes,
+            instances: BTreeMap::new(),
+            next_instance: 1,
+            models,
+            perf: AnalyticPerf::new(),
+            rng,
+            metrics: RunMetrics::default(),
+            outstanding: 0,
+            wake: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Read-only views
+    // ------------------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    pub(crate) fn set_now(&mut self, t: SimTime) {
+        debug_assert!(t >= self.clock);
+        self.clock = t;
+    }
+
+    /// The run's SLO.
+    pub fn slo(&self) -> Slo {
+        self.cfg.slo
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Node ids of the given hardware kind.
+    pub fn nodes_of_kind(&self, kind: HardwareKind) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&n| self.node_hw(n).kind == kind)
+            .collect()
+    }
+
+    /// Hardware of a node.
+    pub fn node_hw(&self, node: NodeId) -> &HardwareSpec {
+        &self.nodes[node.0 as usize].hw
+    }
+
+    /// Bytes not yet committed on a node.
+    pub fn node_available_bytes(&self, node: NodeId) -> u64 {
+        let n = &self.nodes[node.0 as usize];
+        n.hw.mem_bytes.saturating_sub(n.committed)
+    }
+
+    /// Bytes committed on a node (weights + KV grants + in-flight growth).
+    pub fn node_committed_bytes(&self, node: NodeId) -> u64 {
+        self.nodes[node.0 as usize].committed
+    }
+
+    /// Number of slots on a node.
+    pub fn slot_count(&self, node: NodeId) -> usize {
+        self.nodes[node.0 as usize].slot_shares.len()
+    }
+
+    /// Compute share of a slot.
+    pub fn slot_share(&self, node: NodeId, slot: usize) -> f64 {
+        self.nodes[node.0 as usize].slot_shares[slot]
+    }
+
+    /// True while an iteration runs on the slot.
+    pub fn slot_busy(&self, node: NodeId, slot: usize) -> bool {
+        self.nodes[node.0 as usize].slot_busy[slot]
+    }
+
+    /// The model registry entry for `model`.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn model_spec(&self, model: ModelId) -> &ModelSpec {
+        &self.models[model.0 as usize]
+    }
+
+    /// Number of registered models.
+    pub fn model_count(&self) -> usize {
+        self.models.len()
+    }
+
+    /// The instance, if it exists.
+    pub fn instance(&self, id: InstanceId) -> Option<&Instance> {
+        self.instances.get(&id).map(|h| &h.inst)
+    }
+
+    /// Mutable instance access (policies use it for migration draining).
+    pub fn instance_mut(&mut self, id: InstanceId) -> Option<&mut Instance> {
+        self.instances.get_mut(&id).map(|h| &mut h.inst)
+    }
+
+    /// Placement of an instance.
+    pub fn instance_placement(&self, id: InstanceId) -> Option<(NodeId, usize)> {
+        self.instances.get(&id).map(|h| (h.node, h.slot))
+    }
+
+    /// All instance ids (ascending).
+    pub fn instance_ids(&self) -> Vec<InstanceId> {
+        self.instances.keys().cloned().collect()
+    }
+
+    /// Instances hosted on `node`.
+    pub fn instances_on_node(&self, node: NodeId) -> Vec<InstanceId> {
+        self.instances
+            .iter()
+            .filter(|(_, h)| h.node == node)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Instances bound to a specific slot.
+    pub fn instances_on_slot(&self, node: NodeId, slot: usize) -> Vec<InstanceId> {
+        self.instances
+            .iter()
+            .filter(|(_, h)| h.node == node && h.slot == slot)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// All instances of a model, across the cluster.
+    pub fn instances_of_model(&self, model: ModelId) -> Vec<InstanceId> {
+        self.instances
+            .iter()
+            .filter(|(_, h)| h.inst.model == model)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Estimation (noiseless; what a control plane can know)
+    // ------------------------------------------------------------------
+
+    /// The ground-truth analytic model, for policies that profile offline
+    /// (SLINFER's quantifier samples this like it would a real node).
+    pub fn perf(&self) -> &AnalyticPerf {
+        &self.perf
+    }
+
+    /// Noiseless prefill estimate for an instance's placement.
+    pub fn estimate_prefill_s(&self, inst: InstanceId, len: u32) -> f64 {
+        let h = &self.instances[&inst];
+        let share = self.slot_share(h.node, h.slot);
+        self.perf
+            .prefill_time(&h.inst.spec, self.node_hw(h.node), len.max(1), share)
+    }
+
+    /// Noiseless decode estimate for an instance's placement.
+    pub fn estimate_decode_s(&self, inst: InstanceId, batch: u32, total_ctx: u64) -> f64 {
+        let h = &self.instances[&inst];
+        let share = self.slot_share(h.node, h.slot);
+        self.perf
+            .decode_time(&h.inst.spec, self.node_hw(h.node), batch, total_ctx, share)
+    }
+
+    /// Cold-start duration estimate for a model on a node.
+    pub fn estimate_load_s(&self, model: ModelId, node: NodeId) -> f64 {
+        self.perf
+            .load_time(self.model_spec(model), self.node_hw(node))
+    }
+
+    /// KV-transfer delay for PD disaggregation: `tokens · C / bandwidth`.
+    pub fn kv_transfer_delay(&self, model: ModelId, tokens: u32) -> SimDuration {
+        let bytes = tokens as u64 * self.model_spec(model).kv_bytes_per_token();
+        SimDuration::from_secs_f64(bytes as f64 / (self.cfg.kv_transfer_gbps * 1e9))
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation API (policies)
+    // ------------------------------------------------------------------
+
+    /// Creates an instance of `model` on `(node, slot)` with an initial KV
+    /// grant, committing `weights + grant` bytes and starting the cold-start
+    /// load.
+    pub fn create_instance(
+        &mut self,
+        model: ModelId,
+        node: NodeId,
+        slot: usize,
+        kv_grant_bytes: u64,
+    ) -> Result<InstanceId, MemError> {
+        let spec = self.model_spec(model).clone();
+        if !self.node_hw(node).can_serve(&spec) {
+            return Err(MemError::Unservable);
+        }
+        let needed = spec.weights_bytes() + kv_grant_bytes;
+        let available = self.node_available_bytes(node);
+        if needed > available {
+            self.metrics.oom_incidents += 1;
+            return Err(MemError::WouldOom {
+                node,
+                needed,
+                available,
+            });
+        }
+        self.nodes[node.0 as usize].committed += needed;
+        let id = InstanceId(self.next_instance);
+        self.next_instance += 1;
+        let inst = Instance::new(id, model, spec, kv_grant_bytes, self.clock);
+        self.instances.insert(id, Hosted { inst, node, slot });
+        let base = self.estimate_load_s(model, node);
+        let dur = SimDuration::from_secs_f64(self.cfg.noise.apply(base, &mut self.rng));
+        self.metrics.cold_starts += 1;
+        self.events
+            .push(self.clock + dur, Event::LoadDone { inst: id, elapsed: dur });
+        Ok(id)
+    }
+
+    /// Admits a request to an instance. If the instance is still loading,
+    /// the request is marked cold-start and will receive the §IX-A grace.
+    ///
+    /// # Panics
+    /// Panics if the instance does not exist.
+    pub fn admit(&mut self, inst: InstanceId, rr: RunningRequest) {
+        let h = self.instances.get_mut(&inst).expect("unknown instance");
+        let (node, slot) = (h.node, h.slot);
+        h.inst.admit(rr);
+        self.wake.push((node, slot));
+    }
+
+    /// Admits a request that finished prefill elsewhere (PD disaggregation,
+    /// §IX-G): it joins the decode batch directly if the KV grant holds its
+    /// shipped cache. Returns false (without waking) otherwise.
+    ///
+    /// # Panics
+    /// Panics if the instance does not exist.
+    #[must_use]
+    pub fn admit_decoding(&mut self, inst: InstanceId, rr: RunningRequest) -> bool {
+        let h = self.instances.get_mut(&inst).expect("unknown instance");
+        if h.inst.scaling {
+            // The block array is being rebuilt; admitting now could push
+            // live usage past an in-flight shrink target.
+            return false;
+        }
+        let (node, slot) = (h.node, h.slot);
+        if h.inst.admit_decoding(rr) {
+            self.wake.push((node, slot));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Starts an iteration on an instance. Returns its (noisy) duration.
+    ///
+    /// # Panics
+    /// Panics if the instance's slot is busy, the instance has no such work,
+    /// or it is loading/scaling.
+    pub fn start_iteration(
+        &mut self,
+        inst: InstanceId,
+        kind: IterationKind,
+    ) -> Result<SimDuration, StartError> {
+        let (node, slot) = self.instance_placement(inst).expect("unknown instance");
+        assert!(!self.slot_busy(node, slot), "slot already busy");
+        let share = self.slot_share(node, slot);
+        let hw = self.nodes[node.0 as usize].hw.clone();
+        let h = self.instances.get_mut(&inst).expect("unknown instance");
+        let base = match kind {
+            IterationKind::Prefill(req) => {
+                let len = match h.inst.begin_prefill(req) {
+                    Some(len) => len,
+                    None => return Err(StartError::KvExhausted(req)),
+                };
+                self.perf.prefill_time(&h.inst.spec, &hw, len, share)
+            }
+            IterationKind::Decode => {
+                let (bs, ctx) = h.inst.begin_decode();
+                self.perf.decode_time(&h.inst.spec, &hw, bs, ctx, share)
+            }
+        };
+        let dur = SimDuration::from_secs_f64(self.cfg.noise.apply(base, &mut self.rng));
+        self.nodes[node.0 as usize].slot_busy[slot] = true;
+        self.events.push(
+            self.clock + dur,
+            Event::IterationDone {
+                inst,
+                kind,
+                elapsed: dur,
+            },
+        );
+        Ok(dur)
+    }
+
+    /// Issues a KV rescale to `to_bytes`. Scale-ups commit the delta
+    /// immediately (the new blocks are allocated up front); scale-downs
+    /// release their delta only on completion — the asymmetry behind the
+    /// §VII-C hazard.
+    pub fn start_kv_scale(&mut self, inst: InstanceId, to_bytes: u64) -> Result<(), MemError> {
+        let (node, _) = self.instance_placement(inst).expect("unknown instance");
+        let h = &self.instances[&inst];
+        assert!(!h.inst.scaling, "rescale already in flight");
+        assert!(!h.inst.busy, "cannot rescale mid-iteration");
+        let from_bytes = h.inst.kv_capacity_bytes();
+        if to_bytes == from_bytes {
+            return Ok(());
+        }
+        if to_bytes < from_bytes && h.inst.kv_used_bytes() > to_bytes {
+            return Err(MemError::BelowLiveSet);
+        }
+        if to_bytes > from_bytes {
+            let delta = to_bytes - from_bytes;
+            let available = self.node_available_bytes(node);
+            if delta > available {
+                self.metrics.oom_incidents += 1;
+                return Err(MemError::WouldOom {
+                    node,
+                    needed: delta,
+                    available,
+                });
+            }
+            self.nodes[node.0 as usize].committed += delta;
+        }
+        let hw = self.nodes[node.0 as usize].hw.clone();
+        let used = h.inst.kv_used_bytes();
+        let base = self.perf.kv_scale_time(&hw, from_bytes, to_bytes, used);
+        let dur = SimDuration::from_secs_f64(self.cfg.noise.apply(base, &mut self.rng));
+        let h = self.instances.get_mut(&inst).expect("unknown instance");
+        h.inst.scaling = true;
+        self.events.push(
+            self.clock + dur,
+            Event::ScaleDone {
+                inst,
+                from_bytes,
+                to_bytes,
+                elapsed: dur,
+            },
+        );
+        Ok(())
+    }
+
+    /// Unloads an idle instance, releasing its committed memory.
+    ///
+    /// # Panics
+    /// Panics if the instance still has live requests, is mid-iteration, or
+    /// is mid-rescale.
+    pub fn unload_instance(&mut self, inst: InstanceId) {
+        let h = self.instances.remove(&inst).expect("unknown instance");
+        assert!(
+            !h.inst.has_live_requests() && !h.inst.busy && !h.inst.scaling,
+            "unloading a non-idle instance"
+        );
+        let freed = h.inst.spec.weights_bytes() + h.inst.kv_capacity_bytes();
+        let node = &mut self.nodes[h.node.0 as usize];
+        node.committed = node.committed.saturating_sub(freed);
+        self.metrics.instance_lifetime_s +=
+            self.clock.since(h.inst.created_at).as_secs_f64();
+        self.wake.push((h.node, h.slot));
+    }
+
+    /// Schedules a policy timer.
+    pub fn set_timer(&mut self, delay: SimDuration, payload: u64) {
+        self.events.push(self.clock + delay, Event::Timer(payload));
+    }
+
+    /// Schedules the keep-alive check for an instance that just went idle.
+    /// Driver and policies call this after observing `idle_since` change.
+    pub fn schedule_keepalive(&mut self, inst: InstanceId) {
+        if let Some(h) = self.instances.get(&inst) {
+            if let Some(marker) = h.inst.idle_since {
+                self.events.push(
+                    marker + self.cfg.keep_alive,
+                    Event::KeepAlive { inst, marker },
+                );
+            }
+        }
+    }
+
+    /// Drops a request the policy gave up on (queue timeout): records it and
+    /// resolves it.
+    pub fn drop_request(&mut self, rr: &RunningRequest) {
+        let rec = self.metrics.record_mut(rr.req.id);
+        if !rec.dropped && rec.completed.is_none() {
+            rec.dropped = true;
+            self.metrics.dropped += 1;
+            self.outstanding = self.outstanding.saturating_sub(1);
+        }
+    }
+
+    /// Records a preemption (for the consolidator's accounting).
+    pub fn note_preemption(&mut self) {
+        self.metrics.preemptions += 1;
+    }
+
+    /// Records `n` request migrations and stamps their records.
+    pub fn note_migration(&mut self, ids: &[RequestId]) {
+        self.metrics.migrations += ids.len() as u64;
+        for &id in ids {
+            self.metrics.record_mut(id).migrations += 1;
+        }
+    }
+
+    /// Records a shadow validation (accepted or rejected).
+    pub fn note_shadow_validation(&mut self) {
+        self.metrics.shadow_validations += 1;
+    }
+
+    /// Marks the record of a cold-start-triggering request.
+    pub fn note_cold_start_request(&mut self, id: RequestId) {
+        self.metrics.record_mut(id).cold_start = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Driver support
+    // ------------------------------------------------------------------
+
+    pub(crate) fn release_slot(&mut self, inst: InstanceId) {
+        if let Some((node, slot)) = self.instance_placement(inst) {
+            self.nodes[node.0 as usize].slot_busy[slot] = false;
+            self.wake.push((node, slot));
+        }
+    }
+
+    pub(crate) fn apply_scale_done(
+        &mut self,
+        inst: InstanceId,
+        from_bytes: u64,
+        to_bytes: u64,
+        elapsed: SimDuration,
+    ) {
+        let h = match self.instances.get_mut(&inst) {
+            Some(h) => h,
+            None => return,
+        };
+        h.inst.scaling = false;
+        // Live usage may legitimately have grown since the shrink was
+        // planned (e.g. a PD handoff raced the issue); clamp the target so
+        // the resize never cuts under the live block set.
+        let final_to = if to_bytes < from_bytes {
+            to_bytes.max(h.inst.kv_used_bytes()).min(from_bytes)
+        } else {
+            to_bytes
+        };
+        let ok = h.inst.apply_kv_resize(final_to, elapsed);
+        debug_assert!(ok, "resize below live set slipped through");
+        let node = h.node;
+        let slot = h.slot;
+        if final_to < from_bytes {
+            let delta = from_bytes - final_to;
+            let n = &mut self.nodes[node.0 as usize];
+            n.committed = n.committed.saturating_sub(delta);
+        }
+        self.metrics.scale_ops += 1;
+        self.metrics.scale_blocked_s += elapsed.as_secs_f64();
+        self.wake.push((node, slot));
+    }
+
+    pub(crate) fn apply_load_done(&mut self, inst: InstanceId, elapsed: SimDuration) {
+        let now = self.clock;
+        let mut graced: Vec<(RequestId, SimDuration)> = Vec::new();
+        if let Some(h) = self.instances.get_mut(&inst) {
+            h.inst.activate(now);
+            for r in h.inst.requests_mut() {
+                if r.grace.is_zero() {
+                    r.grace = elapsed;
+                    graced.push((r.req.id, elapsed));
+                }
+            }
+            let node = h.node;
+            let slot = h.slot;
+            self.wake.push((node, slot));
+        }
+        for (id, grace) in graced {
+            let rec = self.metrics.record_mut(id);
+            rec.grace = grace;
+            rec.cold_start = true;
+        }
+    }
+
+    /// Samples occupancy and per-instance gauges.
+    pub(crate) fn take_sample(&mut self) {
+        let t = self.clock.as_secs_f64();
+        let mut cpu_used = 0u32;
+        let mut gpu_used = 0u32;
+        for (i, n) in self.nodes.iter().enumerate() {
+            let resident = self
+                .instances
+                .values()
+                .any(|h| h.node == NodeId(i as u32));
+            if resident {
+                match n.hw.kind {
+                    HardwareKind::Gpu => gpu_used += 1,
+                    _ => cpu_used += 1,
+                }
+            }
+        }
+        self.metrics.sample_usage(t, cpu_used, gpu_used);
+        for h in self.instances.values() {
+            if h.inst.state != InstanceState::Active {
+                continue;
+            }
+            if h.inst.has_live_requests() {
+                let used = h.inst.spec.weights_bytes() + h.inst.kv_used_bytes();
+                let util = used as f64 / h.inst.footprint_bytes().max(1) as f64;
+                match self.nodes[h.node.0 as usize].hw.kind {
+                    HardwareKind::Gpu => self.metrics.mem_util_gpu.add(util),
+                    _ => self.metrics.mem_util_cpu.add(util),
+                }
+                let bs = h.inst.batch_size();
+                if bs > 0 {
+                    self.metrics.batch_sizes.add(bs as f64);
+                    if self.nodes[h.node.0 as usize].hw.kind == HardwareKind::Gpu {
+                        self.metrics.batch_sizes_gpu.add(bs as f64);
+                    }
+                }
+                self.metrics.kv_util.add(h.inst.kv_utilization());
+            }
+        }
+    }
+
+    pub(crate) fn count_decode_tokens(&mut self, inst: InstanceId, tokens: u64) {
+        if let Some(h) = self.instances.get(&inst) {
+            match self.nodes[h.node.0 as usize].hw.kind {
+                HardwareKind::Gpu => self.metrics.gpu_decode_tokens += tokens,
+                _ => self.metrics.cpu_decode_tokens += tokens,
+            }
+        }
+    }
+
+    /// Adds remaining instance lifetimes at end of run.
+    pub(crate) fn finalize_lifetimes(&mut self) {
+        let now = self.clock;
+        let total: f64 = self
+            .instances
+            .values()
+            .map(|h| now.since(h.inst.created_at).as_secs_f64())
+            .sum();
+        self.metrics.instance_lifetime_s += total;
+    }
+}

@@ -1,0 +1,330 @@
+//! Hazard-aware memory planning (§VII).
+//!
+//! Two cooperating pieces:
+//!
+//! - **Watermark policy** ([`recommend_bytes`], [`should_scale_down`]) —
+//!   early scale-up to `M_require · (1 + w)` and lazy scale-down only when
+//!   `M_recommend · (1 + w) < M_cur`, damping the ping-pong effect of load
+//!   fluctuation (§VII-B).
+//! - **[`MemoryPlanner`]** — the optimistic budget of §VII-C. Scale-downs
+//!   release budget at *approval* time (so waiting requests can be admitted
+//!   against memory that is about to free up), while the physical ledger in
+//!   [`cluster::World`] releases only at *completion*. Scale-ups that are
+//!   approved but do not yet fit physically are parked in a per-node
+//!   **reservation station** and re-attempted whenever a scale-down
+//!   completes — the paper's Fig. 19 flow.
+
+use engine::instance::InstanceId;
+use serde::{Deserialize, Serialize};
+
+use cluster::NodeId;
+
+/// `M_recommend = M_require · (1 + w)` (§VII-B).
+pub fn recommend_bytes(require_bytes: u64, watermark: f64) -> u64 {
+    (require_bytes as f64 * (1.0 + watermark)).ceil() as u64
+}
+
+/// Lazy scale-down trigger: only shrink when the recommended size, inflated
+/// once more by the watermark, still sits below the current grant.
+pub fn should_scale_down(current_bytes: u64, recommend_bytes: u64, watermark: f64) -> bool {
+    (recommend_bytes as f64 * (1.0 + watermark)) < current_bytes as f64
+}
+
+/// What the planner decided about a requested scale operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleDecision {
+    /// Budget approved and physically safe: issue to the engine now.
+    Execute,
+    /// Budget approved but physically unsafe until some scale-down
+    /// completes: parked in the reservation station.
+    Reserve,
+    /// Budget exhausted: the caller must compromise (§VII-D), consolidate
+    /// (§VIII), or reject.
+    Reject,
+}
+
+/// A parked scale-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingScale {
+    /// Instance to rescale.
+    pub inst: InstanceId,
+    /// Target grant.
+    pub to_bytes: u64,
+    /// Budget delta this op holds (released if cancelled).
+    pub delta: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct NodeBudget {
+    capacity: u64,
+    optimistic: u64,
+    reservations: Vec<PendingScale>,
+}
+
+/// Per-node optimistic budgets plus reservation stations.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryPlanner {
+    nodes: Vec<NodeBudget>,
+}
+
+impl MemoryPlanner {
+    /// Creates a planner for nodes with the given byte capacities.
+    pub fn new(capacities: impl IntoIterator<Item = u64>) -> Self {
+        MemoryPlanner {
+            nodes: capacities
+                .into_iter()
+                .map(|capacity| NodeBudget {
+                    capacity,
+                    ..Default::default()
+                })
+                .collect(),
+        }
+    }
+
+    fn node(&self, n: NodeId) -> &NodeBudget {
+        &self.nodes[n.0 as usize]
+    }
+
+    fn node_mut(&mut self, n: NodeId) -> &mut NodeBudget {
+        &mut self.nodes[n.0 as usize]
+    }
+
+    /// Bytes still available under optimistic accounting.
+    pub fn optimistic_available(&self, n: NodeId) -> u64 {
+        let b = self.node(n);
+        b.capacity.saturating_sub(b.optimistic)
+    }
+
+    /// True if `bytes` fit the optimistic budget.
+    pub fn fits(&self, n: NodeId, bytes: u64) -> bool {
+        bytes <= self.optimistic_available(n)
+    }
+
+    /// Commits bytes (instance creation, approved scale-up delta).
+    ///
+    /// # Panics
+    /// Panics in debug builds if the commit overflows the capacity — callers
+    /// must check [`Self::fits`] first.
+    pub fn commit(&mut self, n: NodeId, bytes: u64) {
+        let b = self.node_mut(n);
+        b.optimistic += bytes;
+        debug_assert!(
+            b.optimistic <= b.capacity,
+            "optimistic budget overflow on node {}",
+            n.0
+        );
+    }
+
+    /// Releases bytes (unload, approved scale-down delta).
+    pub fn release(&mut self, n: NodeId, bytes: u64) {
+        let b = self.node_mut(n);
+        b.optimistic = b.optimistic.saturating_sub(bytes);
+    }
+
+    /// Plans a scale of `inst` on node `n` from `from_bytes` to `to_bytes`,
+    /// given the *physical* bytes currently free on the node.
+    ///
+    /// Scale-downs always execute (and release budget immediately — the
+    /// optimistic half). Scale-ups are approved against the budget, then
+    /// executed or reserved depending on physical room (the pessimistic
+    /// half).
+    pub fn plan_scale(
+        &mut self,
+        n: NodeId,
+        inst: InstanceId,
+        from_bytes: u64,
+        to_bytes: u64,
+        physical_available: u64,
+    ) -> ScaleDecision {
+        if to_bytes <= from_bytes {
+            let delta = from_bytes - to_bytes;
+            self.release(n, delta);
+            return ScaleDecision::Execute;
+        }
+        let delta = to_bytes - from_bytes;
+        if !self.fits(n, delta) {
+            return ScaleDecision::Reject;
+        }
+        self.commit(n, delta);
+        // FIFO: a scale-up never jumps ahead of parked reservations — the
+        // physical bytes freed by completing scale-downs belong to the
+        // station's head first (Fig. 19).
+        if delta <= physical_available && self.node(n).reservations.is_empty() {
+            ScaleDecision::Execute
+        } else {
+            self.node_mut(n).reservations.push(PendingScale {
+                inst,
+                to_bytes,
+                delta,
+            });
+            ScaleDecision::Reserve
+        }
+    }
+
+    /// Pops every reservation that now fits `physical_available`, in FIFO
+    /// order, stopping at the first that does not fit (head-of-line order
+    /// preserves fairness). Call when a scale-down completes (§VII-C's
+    /// notification) with the node's refreshed physical availability.
+    pub fn release_reservations(
+        &mut self,
+        n: NodeId,
+        mut physical_available: u64,
+    ) -> Vec<PendingScale> {
+        let b = self.node_mut(n);
+        let mut out = Vec::new();
+        while let Some(head) = b.reservations.first().copied() {
+            if head.delta <= physical_available {
+                physical_available -= head.delta;
+                b.reservations.remove(0);
+                out.push(head);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Cancels any reservation held by `inst`, refunding its budget delta.
+    pub fn cancel_reservations(&mut self, n: NodeId, inst: InstanceId) {
+        let b = self.node_mut(n);
+        let mut refunded = 0u64;
+        b.reservations.retain(|p| {
+            if p.inst == inst {
+                refunded += p.delta;
+                false
+            } else {
+                true
+            }
+        });
+        b.optimistic = b.optimistic.saturating_sub(refunded);
+    }
+
+    /// Reservations currently parked on a node.
+    pub fn reservation_count(&self, n: NodeId) -> usize {
+        self.node(n).reservations.len()
+    }
+
+    /// Whether `inst` has a parked reservation on node `n`.
+    pub fn has_reservation(&self, n: NodeId, inst: InstanceId) -> bool {
+        self.node(n).reservations.iter().any(|p| p.inst == inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1_000_000_000;
+
+    #[test]
+    fn watermark_formulas() {
+        assert_eq!(recommend_bytes(100, 0.25), 125);
+        // Lazy scale-down: shrink only when recommend·(1+w) < current.
+        assert!(!should_scale_down(125, 100, 0.25)); // 125 < 125 is false
+        assert!(!should_scale_down(125, 110, 0.25));
+        assert!(should_scale_down(200, 100, 0.25)); // 125 < 200
+        // Zero watermark collapses to exact tracking.
+        assert_eq!(recommend_bytes(100, 0.0), 100);
+        assert!(should_scale_down(101, 100, 0.0));
+    }
+
+    #[test]
+    fn scale_down_frees_budget_immediately() {
+        let mut p = MemoryPlanner::new([10 * GB]);
+        let n = NodeId(0);
+        p.commit(n, 9 * GB);
+        // Scale an instance down 4 GB: optimistic frees instantly…
+        let d = p.plan_scale(n, InstanceId(1), 6 * GB, 2 * GB, 1 * GB);
+        assert_eq!(d, ScaleDecision::Execute);
+        assert_eq!(p.optimistic_available(n), 5 * GB);
+    }
+
+    /// The Fig. 18 scenario: three instances at 30% each; A scales down 20%,
+    /// B up 20%, C up 10%. Uncoordinated execution would spike to 120%;
+    /// the planner approves B and C against the optimistic budget but parks
+    /// them until A's release is physically visible.
+    #[test]
+    fn fig18_hazard_is_serialized() {
+        let cap = 100u64;
+        let mut p = MemoryPlanner::new([cap]);
+        let n = NodeId(0);
+        for _ in 0..3 {
+            p.commit(n, 30);
+        }
+        let physical_free = 10; // 100 - 3×30
+        // A: down 30 → 10 (release 20 optimistically).
+        assert_eq!(
+            p.plan_scale(n, InstanceId(1), 30, 10, physical_free),
+            ScaleDecision::Execute
+        );
+        assert_eq!(p.optimistic_available(n), 30);
+        // B: up 30 → 50. Budget fits (delta 20 ≤ 30) but physically only 10
+        // free until A completes → reserved.
+        assert_eq!(
+            p.plan_scale(n, InstanceId(2), 30, 50, physical_free),
+            ScaleDecision::Reserve
+        );
+        // C: up 30 → 40. Budget fits (delta 10 ≤ 10) and 10 bytes are
+        // physically free — but B holds the station's head (FIFO), so C
+        // queues behind it.
+        assert_eq!(
+            p.plan_scale(n, InstanceId(3), 30, 40, physical_free),
+            ScaleDecision::Reserve
+        );
+        assert_eq!(p.optimistic_available(n), 0);
+        assert_eq!(p.reservation_count(n), 2);
+        // A's scale-down completes: physical free becomes 10 + 20 = 30.
+        let runnable = p.release_reservations(n, 30);
+        assert_eq!(runnable.len(), 2, "both parked ops now run");
+        assert_eq!(runnable[0].inst, InstanceId(2));
+        assert_eq!(runnable[1].inst, InstanceId(3));
+        assert_eq!(p.reservation_count(n), 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_rejects() {
+        let mut p = MemoryPlanner::new([10 * GB]);
+        let n = NodeId(0);
+        p.commit(n, 8 * GB);
+        let d = p.plan_scale(n, InstanceId(1), 1 * GB, 5 * GB, 2 * GB);
+        assert_eq!(d, ScaleDecision::Reject);
+        // Rejection must not leak budget.
+        assert_eq!(p.optimistic_available(n), 2 * GB);
+    }
+
+    #[test]
+    fn reservation_fifo_blocks_behind_head() {
+        let mut p = MemoryPlanner::new([100]);
+        let n = NodeId(0);
+        p.commit(n, 40);
+        assert_eq!(
+            p.plan_scale(n, InstanceId(1), 10, 40, 0),
+            ScaleDecision::Reserve
+        );
+        assert_eq!(
+            p.plan_scale(n, InstanceId(2), 10, 15, 0),
+            ScaleDecision::Reserve
+        );
+        // 10 bytes free: head needs 30 → nothing pops, even though the
+        // second op (delta 5) would fit.
+        assert!(p.release_reservations(n, 10).is_empty());
+        // 35 free: both pop.
+        assert_eq!(p.release_reservations(n, 35).len(), 2);
+    }
+
+    #[test]
+    fn cancellation_refunds_budget() {
+        let mut p = MemoryPlanner::new([100]);
+        let n = NodeId(0);
+        p.commit(n, 50);
+        assert_eq!(
+            p.plan_scale(n, InstanceId(7), 10, 40, 0),
+            ScaleDecision::Reserve
+        );
+        assert_eq!(p.optimistic_available(n), 20);
+        assert!(p.has_reservation(n, InstanceId(7)));
+        p.cancel_reservations(n, InstanceId(7));
+        assert!(!p.has_reservation(n, InstanceId(7)));
+        assert_eq!(p.optimistic_available(n), 50);
+    }
+}

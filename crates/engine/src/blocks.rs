@@ -1,0 +1,200 @@
+//! Paged-attention KV block pool.
+//!
+//! vLLM allocates KV cache in fixed-size token blocks (16 tokens by
+//! default); a sequence of `n` context tokens occupies `ceil(n/16)` blocks.
+//! The pool's *capacity* is set by the bytes the scheduler has granted the
+//! instance, and rescaling the grant (§VII-B) changes the capacity without
+//! touching live blocks — shrinking below the live block count is rejected,
+//! which is exactly the hazard SLINFER's orchestrator must avoid.
+
+use serde::{Deserialize, Serialize};
+
+/// Tokens per KV block (vLLM's default).
+pub const BLOCK_TOKENS: u32 = 16;
+
+/// A fixed-block KV-cache allocator for one instance.
+///
+/// ```
+/// use engine::blocks::BlockPool;
+/// // 7B-sized KV: 0.5 MiB/token, granted 1 GB.
+/// let mut pool = BlockPool::new(524_288, 1_000_000_000);
+/// let blocks = pool.blocks_for_tokens(100); // ceil(100/16) = 7
+/// assert_eq!(blocks, 7);
+/// assert!(pool.try_alloc(blocks));
+/// assert_eq!(pool.used_blocks(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockPool {
+    kv_bytes_per_token: u64,
+    capacity_bytes: u64,
+    used_blocks: u64,
+}
+
+impl BlockPool {
+    /// Creates a pool for a model whose KV costs `kv_bytes_per_token`,
+    /// granted `capacity_bytes` of memory.
+    ///
+    /// # Panics
+    /// Panics if `kv_bytes_per_token` is zero.
+    pub fn new(kv_bytes_per_token: u64, capacity_bytes: u64) -> Self {
+        assert!(kv_bytes_per_token > 0, "kv_bytes_per_token must be > 0");
+        BlockPool {
+            kv_bytes_per_token,
+            capacity_bytes,
+            used_blocks: 0,
+        }
+    }
+
+    /// Bytes of one block (`16 · kv_bytes_per_token`).
+    pub fn block_bytes(&self) -> u64 {
+        self.kv_bytes_per_token * BLOCK_TOKENS as u64
+    }
+
+    /// Blocks needed to hold `tokens` context tokens.
+    pub fn blocks_for_tokens(&self, tokens: u32) -> u64 {
+        tokens.div_ceil(BLOCK_TOKENS) as u64
+    }
+
+    /// Total blocks representable under the current grant.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.capacity_bytes / self.block_bytes()
+    }
+
+    /// Blocks currently allocated to live sequences.
+    pub fn used_blocks(&self) -> u64 {
+        self.used_blocks
+    }
+
+    /// Bytes currently held by live sequences.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_blocks * self.block_bytes()
+    }
+
+    /// Bytes granted to this pool.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Free blocks remaining.
+    pub fn free_blocks(&self) -> u64 {
+        self.capacity_blocks().saturating_sub(self.used_blocks)
+    }
+
+    /// Attempts to allocate `blocks`; returns false (allocating nothing) if
+    /// the grant is insufficient.
+    #[must_use]
+    pub fn try_alloc(&mut self, blocks: u64) -> bool {
+        if self.free_blocks() >= blocks {
+            self.used_blocks += blocks;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases `blocks` back to the pool.
+    ///
+    /// # Panics
+    /// Panics if more blocks are freed than are in use (an accounting bug).
+    pub fn free(&mut self, blocks: u64) {
+        assert!(
+            blocks <= self.used_blocks,
+            "freeing {blocks} blocks but only {} in use",
+            self.used_blocks
+        );
+        self.used_blocks -= blocks;
+    }
+
+    /// Applies a completed rescale to `new_capacity_bytes`.
+    ///
+    /// Returns false (leaving the grant unchanged) if the new capacity could
+    /// not hold the blocks currently in use — the OOM hazard of §VII-C.
+    #[must_use]
+    pub fn try_resize(&mut self, new_capacity_bytes: u64) -> bool {
+        let new_blocks = new_capacity_bytes / self.block_bytes();
+        if new_blocks < self.used_blocks {
+            return false;
+        }
+        self.capacity_bytes = new_capacity_bytes;
+        true
+    }
+
+    /// Utilization of the grant by live blocks, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_blocks() == 0 {
+            return 0.0;
+        }
+        self.used_blocks as f64 / self.capacity_blocks() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_1gb() -> BlockPool {
+        BlockPool::new(524_288, 1_000_000_000)
+    }
+
+    #[test]
+    fn block_math() {
+        let p = pool_1gb();
+        assert_eq!(p.block_bytes(), 8_388_608); // 16 × 0.5 MiB
+        assert_eq!(p.blocks_for_tokens(0), 0);
+        assert_eq!(p.blocks_for_tokens(1), 1);
+        assert_eq!(p.blocks_for_tokens(16), 1);
+        assert_eq!(p.blocks_for_tokens(17), 2);
+        assert_eq!(p.capacity_blocks(), 119);
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut p = pool_1gb();
+        assert!(p.try_alloc(100));
+        assert_eq!(p.free_blocks(), 19);
+        assert!(!p.try_alloc(20), "over-allocation must fail");
+        assert_eq!(p.used_blocks(), 100, "failed alloc must not leak");
+        p.free(50);
+        assert!(p.try_alloc(20));
+        assert_eq!(p.used_blocks(), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn double_free_panics() {
+        let mut p = pool_1gb();
+        assert!(p.try_alloc(5));
+        p.free(6);
+    }
+
+    #[test]
+    fn resize_guards_live_blocks() {
+        let mut p = pool_1gb();
+        assert!(p.try_alloc(100));
+        // Shrinking below 100 live blocks must be refused.
+        assert!(!p.try_resize(100 * p.block_bytes() - 1));
+        assert_eq!(p.capacity_bytes(), 1_000_000_000);
+        // Shrinking to exactly the live set is fine.
+        assert!(p.try_resize(100 * p.block_bytes()));
+        assert_eq!(p.free_blocks(), 0);
+        // Growing always works.
+        assert!(p.try_resize(4_000_000_000));
+        assert!(p.free_blocks() > 0);
+    }
+
+    #[test]
+    fn utilization_range() {
+        let mut p = pool_1gb();
+        assert_eq!(p.utilization(), 0.0);
+        assert!(p.try_alloc(p.capacity_blocks()));
+        assert!((p.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_pool_is_inert() {
+        let mut p = BlockPool::new(1024, 0);
+        assert_eq!(p.capacity_blocks(), 0);
+        assert!(!p.try_alloc(1));
+        assert_eq!(p.utilization(), 0.0);
+    }
+}

@@ -1,0 +1,650 @@
+//! A serving instance: one model resident on one node slot.
+//!
+//! Holds the continuous batch and the paged KV pool, exposes iteration
+//! begin/finish transitions, and keeps the accounting (busy seconds, token
+//! counters, peak batch) the metrics layer reads. The instance never picks
+//! *when* to run — the policy does (token-level scheduling is SLINFER's
+//! §VI-A contribution; baselines run instances back-to-back).
+
+use serde::{Deserialize, Serialize};
+use simcore::time::{SimDuration, SimTime};
+use workload::request::{ModelId, RequestId, Slo};
+
+use crate::blocks::BlockPool;
+use crate::request::{ReqPhase, RunningRequest};
+
+use hwmodel::ModelSpec;
+
+/// Identifies one instance across the cluster.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct InstanceId(pub u64);
+
+/// Lifecycle of an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstanceState {
+    /// Weights are being loaded (cold start).
+    Loading,
+    /// Serving.
+    Active,
+}
+
+/// What one iteration computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IterationKind {
+    /// Prefill of one waiting request.
+    Prefill(RequestId),
+    /// One decode step over the whole continuous batch.
+    Decode,
+}
+
+/// Result of finishing a decode iteration.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeOutcome {
+    /// `(request, tokens_out, finished)` per sequence that produced a token.
+    pub produced: Vec<(RequestId, u32, bool)>,
+    /// Requests whose next token could not get a KV block (underestimation
+    /// hazard, §VII-D); they did not advance.
+    pub alloc_failures: Vec<RequestId>,
+    /// Requests that completed and were removed.
+    pub finished: Vec<RunningRequest>,
+}
+
+/// One model instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Instance {
+    /// Unique id.
+    pub id: InstanceId,
+    /// The hosted model.
+    pub model: ModelId,
+    /// Model shape/precision (sizing, performance).
+    pub spec: ModelSpec,
+    /// Lifecycle state.
+    pub state: InstanceState,
+    /// Live requests in all phases (finished ones are removed).
+    requests: Vec<RunningRequest>,
+    pool: BlockPool,
+    /// True while an iteration executes.
+    pub busy: bool,
+    /// True while a KV rescale executes (iterations are blocked, §VII-B).
+    pub scaling: bool,
+    /// Creation time (cold-start begin).
+    pub created_at: SimTime,
+    /// When the instance last became empty, for keep-alive reclaim.
+    pub idle_since: Option<SimTime>,
+    /// Total decode tokens produced (throughput accounting).
+    pub decode_tokens: u64,
+    /// Total prefill tokens processed.
+    pub prefill_tokens: u64,
+    /// Seconds spent computing iterations.
+    pub busy_secs: f64,
+    /// Seconds spent blocked on KV rescales.
+    pub scale_secs: f64,
+    /// Number of KV rescale operations performed.
+    pub scale_ops: u64,
+    /// Largest decode batch observed.
+    pub peak_batch: u32,
+}
+
+impl Instance {
+    /// Creates an instance in the [`InstanceState::Loading`] state with an
+    /// initial KV grant of `kv_grant_bytes`.
+    pub fn new(
+        id: InstanceId,
+        model: ModelId,
+        spec: ModelSpec,
+        kv_grant_bytes: u64,
+        now: SimTime,
+    ) -> Self {
+        let pool = BlockPool::new(spec.kv_bytes_per_token(), kv_grant_bytes);
+        Instance {
+            id,
+            model,
+            spec,
+            state: InstanceState::Loading,
+            requests: Vec::new(),
+            pool,
+            busy: false,
+            scaling: false,
+            created_at: now,
+            idle_since: None,
+            decode_tokens: 0,
+            prefill_tokens: 0,
+            busy_secs: 0.0,
+            scale_secs: 0.0,
+            scale_ops: 0,
+            peak_batch: 0,
+        }
+    }
+
+    /// Marks the cold start complete.
+    pub fn activate(&mut self, now: SimTime) {
+        self.state = InstanceState::Active;
+        if self.requests.is_empty() {
+            self.idle_since = Some(now);
+        }
+    }
+
+    /// Admits a request (phase becomes `Waiting`).
+    pub fn admit(&mut self, rr: RunningRequest) {
+        debug_assert!(matches!(rr.phase, ReqPhase::Waiting));
+        self.requests.push(rr);
+        self.idle_since = None;
+    }
+
+    /// All live requests.
+    pub fn requests(&self) -> &[RunningRequest] {
+        &self.requests
+    }
+
+    /// Mutable access for policies that adjust grace windows.
+    pub fn requests_mut(&mut self) -> &mut [RunningRequest] {
+        &mut self.requests
+    }
+
+    /// Number of decoding sequences (the paper's "bs").
+    pub fn batch_size(&self) -> u32 {
+        self.requests
+            .iter()
+            .filter(|r| matches!(r.phase, ReqPhase::Decoding))
+            .count() as u32
+    }
+
+    /// Number of admitted-but-not-prefilled requests.
+    pub fn waiting_count(&self) -> u32 {
+        self.requests
+            .iter()
+            .filter(|r| matches!(r.phase, ReqPhase::Waiting))
+            .count() as u32
+    }
+
+    /// Total live requests (waiting + prefilling + decoding).
+    pub fn live_count(&self) -> u32 {
+        self.requests.len() as u32
+    }
+
+    /// Total context tokens across the decode batch.
+    pub fn batch_context_tokens(&self) -> u64 {
+        self.requests
+            .iter()
+            .filter(|r| matches!(r.phase, ReqPhase::Decoding))
+            .map(|r| r.context_tokens() as u64)
+            .sum()
+    }
+
+    /// True if an iteration could be scheduled right now.
+    pub fn has_work(&self) -> bool {
+        self.state == InstanceState::Active
+            && !self.busy
+            && !self.scaling
+            && self.requests.iter().any(|r| {
+                matches!(r.phase, ReqPhase::Waiting) || matches!(r.phase, ReqPhase::Decoding)
+            })
+    }
+
+    /// True if any live request exists (even mid-iteration).
+    pub fn has_live_requests(&self) -> bool {
+        !self.requests.is_empty()
+    }
+
+    /// The most urgent schedulable work: minimum headroom over waiting
+    /// requests (→ prefill) and the decode batch (→ decode), per Fig. 14.
+    pub fn most_urgent(&self, now: SimTime, slo: &Slo) -> Option<(f64, IterationKind)> {
+        let mut best: Option<(f64, IterationKind)> = None;
+        for r in &self.requests {
+            let candidate = match r.phase {
+                ReqPhase::Waiting => (r.headroom(now, slo), IterationKind::Prefill(r.req.id)),
+                ReqPhase::Decoding => (r.headroom(now, slo), IterationKind::Decode),
+                _ => continue,
+            };
+            if best.map_or(true, |(h, _)| candidate.0 < h) {
+                best = Some(candidate);
+            }
+        }
+        best
+    }
+
+    fn find(&self, id: RequestId) -> Option<usize> {
+        self.requests.iter().position(|r| r.req.id == id)
+    }
+
+    /// Begins a prefill iteration for `id`, allocating its context blocks.
+    ///
+    /// Returns the prefill length (tokens) on success, or `None` if the KV
+    /// grant cannot hold the prompt (caller must scale up or reroute).
+    ///
+    /// # Panics
+    /// Panics if the instance is busy/scaling/loading or `id` is unknown or
+    /// not waiting.
+    pub fn begin_prefill(&mut self, id: RequestId) -> Option<u32> {
+        assert!(self.state == InstanceState::Active, "instance not active");
+        assert!(!self.busy && !self.scaling, "instance already occupied");
+        let ix = self.find(id).expect("unknown request");
+        assert!(
+            matches!(self.requests[ix].phase, ReqPhase::Waiting),
+            "request not waiting"
+        );
+        let len = self.requests[ix].prefill_len();
+        // Blocks for the full context plus the first output token.
+        let blocks = self.pool.blocks_for_tokens(len + 1);
+        if !self.pool.try_alloc(blocks) {
+            return None;
+        }
+        let r = &mut self.requests[ix];
+        r.kv_blocks = blocks;
+        r.phase = ReqPhase::Prefilling;
+        self.busy = true;
+        Some(len)
+    }
+
+    /// Completes the in-flight prefill: the request joins the decode batch
+    /// and its first output token is produced. Returns
+    /// `(tokens_out, finished)` — `finished` is `Some` when the first token
+    /// was also the last (`output_len == 1` or a migrated tail).
+    ///
+    /// # Panics
+    /// Panics if `id` is not the in-flight prefill.
+    pub fn finish_prefill(
+        &mut self,
+        id: RequestId,
+        now: SimTime,
+        elapsed: SimDuration,
+    ) -> (u32, Option<RunningRequest>) {
+        let ix = self.find(id).expect("unknown request");
+        assert!(
+            matches!(self.requests[ix].phase, ReqPhase::Prefilling),
+            "request not prefilling"
+        );
+        let prefill_len;
+        let tokens_out;
+        let done;
+        {
+            let r = &mut self.requests[ix];
+            prefill_len = r.prefill_len() as u64;
+            r.tokens_out += 1;
+            tokens_out = r.tokens_out;
+            if r.first_token_at.is_none() {
+                r.first_token_at = Some(now);
+            }
+            done = r.is_finished();
+            r.phase = if done {
+                ReqPhase::Finished
+            } else {
+                ReqPhase::Decoding
+            };
+        }
+        self.prefill_tokens += prefill_len;
+        self.decode_tokens += 1;
+        self.busy = false;
+        self.busy_secs += elapsed.as_secs_f64();
+        self.peak_batch = self.peak_batch.max(self.batch_size());
+        let finished = self.collect_finished().pop();
+        self.retire_finished(now);
+        (tokens_out, finished)
+    }
+
+    /// Begins a decode iteration over the current batch; returns
+    /// `(batch_size, total_context_tokens)`.
+    ///
+    /// # Panics
+    /// Panics if the instance is occupied or the batch is empty.
+    pub fn begin_decode(&mut self) -> (u32, u64) {
+        assert!(self.state == InstanceState::Active, "instance not active");
+        assert!(!self.busy && !self.scaling, "instance already occupied");
+        let bs = self.batch_size();
+        assert!(bs > 0, "decode with empty batch");
+        self.busy = true;
+        (bs, self.batch_context_tokens())
+    }
+
+    /// Completes the in-flight decode iteration: every decoding sequence
+    /// gains one token (if a KV block is available), finished sequences
+    /// retire.
+    pub fn finish_decode(&mut self, now: SimTime, elapsed: SimDuration) -> DecodeOutcome {
+        assert!(self.busy, "no decode in flight");
+        self.busy = false;
+        self.busy_secs += elapsed.as_secs_f64();
+        let mut outcome = DecodeOutcome::default();
+        for r in &mut self.requests {
+            if !matches!(r.phase, ReqPhase::Decoding) {
+                continue;
+            }
+            let needed = self.pool.blocks_for_tokens(r.context_tokens() + 1);
+            if needed > r.kv_blocks {
+                let extra = needed - r.kv_blocks;
+                if !self.pool.try_alloc(extra) {
+                    outcome.alloc_failures.push(r.req.id);
+                    continue;
+                }
+                r.kv_blocks = needed;
+            }
+            r.tokens_out += 1;
+            self.decode_tokens += 1;
+            if r.first_token_at.is_none() {
+                r.first_token_at = Some(now);
+            }
+            let done = r.is_finished();
+            if done {
+                r.phase = ReqPhase::Finished;
+            }
+            outcome.produced.push((r.req.id, r.tokens_out, done));
+        }
+        outcome.finished = self.collect_finished();
+        self.retire_finished(now);
+        outcome
+    }
+
+    fn collect_finished(&mut self) -> Vec<RunningRequest> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.requests.len() {
+            if matches!(self.requests[i].phase, ReqPhase::Finished) {
+                let r = self.requests.swap_remove(i);
+                self.pool.free(r.kv_blocks);
+                out.push(r);
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn retire_finished(&mut self, now: SimTime) {
+        if self.requests.is_empty() {
+            self.idle_since = Some(now);
+        }
+    }
+
+    /// Removes a live request for migration/eviction, freeing its KV and
+    /// resetting it to `Waiting` with migration bookkeeping.
+    ///
+    /// # Panics
+    /// Panics if `id` is unknown or is currently mid-iteration.
+    pub fn remove_for_migration(&mut self, id: RequestId, now: SimTime) -> RunningRequest {
+        let ix = self.find(id).expect("unknown request");
+        assert!(
+            !matches!(self.requests[ix].phase, ReqPhase::Prefilling),
+            "cannot migrate a request mid-prefill"
+        );
+        let mut r = self.requests.swap_remove(ix);
+        self.pool.free(r.kv_blocks);
+        r.begin_migration();
+        self.retire_finished(now);
+        r
+    }
+
+    /// Removes a *decoding* request for prefill–decode disaggregated
+    /// handoff (§IX-G): its KV blocks are freed here but the request keeps
+    /// its decoding phase — the cache content is shipped over the network to
+    /// the decode instance rather than recomputed.
+    ///
+    /// # Panics
+    /// Panics if `id` is unknown or not decoding.
+    pub fn remove_for_handoff(&mut self, id: RequestId, now: SimTime) -> RunningRequest {
+        let ix = self.find(id).expect("unknown request");
+        assert!(
+            matches!(self.requests[ix].phase, ReqPhase::Decoding),
+            "handoff requires a decoding request"
+        );
+        let mut r = self.requests.swap_remove(ix);
+        self.pool.free(r.kv_blocks);
+        r.kv_blocks = 0;
+        self.retire_finished(now);
+        r
+    }
+
+    /// Admits a request that already completed prefill elsewhere (PD
+    /// disaggregation): allocates blocks for its shipped KV and joins the
+    /// decode batch directly. Returns false if the grant cannot hold it.
+    #[must_use]
+    pub fn admit_decoding(&mut self, mut rr: RunningRequest) -> bool {
+        debug_assert!(matches!(rr.phase, ReqPhase::Decoding));
+        let blocks = self.pool.blocks_for_tokens(rr.context_tokens() + 1);
+        if !self.pool.try_alloc(blocks) {
+            return false;
+        }
+        rr.kv_blocks = blocks;
+        self.requests.push(rr);
+        self.idle_since = None;
+        true
+    }
+
+    /// Drains *all* live requests for preemption (§VIII-A), freeing KV.
+    pub fn drain_for_preemption(&mut self, now: SimTime) -> Vec<RunningRequest> {
+        let mut out: Vec<RunningRequest> = Vec::with_capacity(self.requests.len());
+        for mut r in std::mem::take(&mut self.requests) {
+            self.pool.free(r.kv_blocks);
+            r.begin_migration();
+            out.push(r);
+        }
+        self.idle_since = Some(now);
+        out
+    }
+
+    /// Records a completed KV rescale; returns false if the new grant cannot
+    /// hold live blocks (the caller must treat this as a hazard).
+    #[must_use]
+    pub fn apply_kv_resize(&mut self, new_bytes: u64, elapsed: SimDuration) -> bool {
+        self.scale_secs += elapsed.as_secs_f64();
+        self.scale_ops += 1;
+        self.pool.try_resize(new_bytes)
+    }
+
+    /// Bytes currently granted to the KV pool.
+    pub fn kv_capacity_bytes(&self) -> u64 {
+        self.pool.capacity_bytes()
+    }
+
+    /// Bytes held by live KV blocks.
+    pub fn kv_used_bytes(&self) -> u64 {
+        self.pool.used_bytes()
+    }
+
+    /// KV pool utilization in `[0, 1]`.
+    pub fn kv_utilization(&self) -> f64 {
+        self.pool.utilization()
+    }
+
+    /// Total memory footprint committed on the node: weights + KV grant.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.spec.weights_bytes() + self.pool.capacity_bytes()
+    }
+
+    /// Eq. 2 — the memory the instance *requires*:
+    /// `C · max(Σ_r (I_r + max(O_r, Ō)), L_min)`, where `Ō` is the
+    /// historical mean output length and `L_min` a floor in tokens
+    /// (the paper uses the model's maximum context length).
+    pub fn kv_required_bytes(&self, avg_output_len: f64, l_min_tokens: u32) -> u64 {
+        let sum: f64 = self
+            .requests
+            .iter()
+            .filter(|r| !matches!(r.phase, ReqPhase::Finished))
+            .map(|r| r.req.input_len as f64 + (r.tokens_out as f64).max(avg_output_len))
+            .sum();
+        let tokens = sum.max(l_min_tokens as f64);
+        (tokens * self.spec.kv_bytes_per_token() as f64).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::request::Request;
+
+    fn spec() -> ModelSpec {
+        ModelSpec::llama2_7b()
+    }
+
+    fn inst(kv_gb: u64) -> Instance {
+        let mut i = Instance::new(
+            InstanceId(1),
+            ModelId(0),
+            spec(),
+            kv_gb * 1_000_000_000,
+            SimTime::ZERO,
+        );
+        i.activate(SimTime::ZERO);
+        i
+    }
+
+    fn rr(id: u64, input: u32, output: u32) -> RunningRequest {
+        RunningRequest::new(Request {
+            id: RequestId(id),
+            model: ModelId(0),
+            arrival: SimTime::ZERO,
+            input_len: input,
+            output_len: output,
+        })
+    }
+
+    #[test]
+    fn full_request_lifecycle() {
+        let mut i = inst(8);
+        i.admit(rr(1, 100, 3));
+        assert_eq!(i.waiting_count(), 1);
+        assert!(i.has_work());
+
+        let len = i.begin_prefill(RequestId(1)).expect("kv fits");
+        assert_eq!(len, 100);
+        assert!(i.busy);
+        i.finish_prefill(RequestId(1), SimTime::from_millis(500), SimDuration::from_millis(500));
+        assert_eq!(i.batch_size(), 1);
+        assert_eq!(i.decode_tokens, 1, "prefill produces the first token");
+
+        // Two more decode iterations finish the request (output_len = 3).
+        for step in 0..2 {
+            let (bs, ctx) = i.begin_decode();
+            assert_eq!(bs, 1);
+            assert!(ctx >= 100);
+            let out = i.finish_decode(
+                SimTime::from_millis(600 + step * 100),
+                SimDuration::from_millis(100),
+            );
+            assert_eq!(out.produced.len(), 1);
+        }
+        assert_eq!(i.live_count(), 0);
+        assert!(i.idle_since.is_some());
+        assert_eq!(i.kv_used_bytes(), 0, "finished request frees its KV");
+    }
+
+    #[test]
+    fn prefill_rejected_when_grant_too_small() {
+        // 0.1 GB grant cannot hold a 1024-token 7B prompt (0.5 GB).
+        let mut i = Instance::new(
+            InstanceId(2),
+            ModelId(0),
+            spec(),
+            100_000_000,
+            SimTime::ZERO,
+        );
+        i.activate(SimTime::ZERO);
+        i.admit(rr(1, 1024, 4));
+        assert!(i.begin_prefill(RequestId(1)).is_none());
+        assert!(!i.busy, "failed prefill must not occupy the instance");
+        assert_eq!(i.kv_used_bytes(), 0);
+    }
+
+    #[test]
+    fn decode_alloc_failure_blocks_token() {
+        // Grant exactly the prompt's blocks so the next boundary crossing
+        // fails: prompt 15 tokens + 1 = 16 → 1 block; token 17 needs block 2.
+        let spec7 = spec();
+        let one_block = spec7.kv_bytes_per_token() * 16;
+        let mut i = Instance::new(InstanceId(3), ModelId(0), spec7, one_block, SimTime::ZERO);
+        i.activate(SimTime::ZERO);
+        i.admit(rr(1, 15, 10));
+        assert!(i.begin_prefill(RequestId(1)).is_some());
+        i.finish_prefill(RequestId(1), SimTime::ZERO, SimDuration::ZERO);
+        // context now 16; next token needs a second block that doesn't exist.
+        i.begin_decode();
+        let out = i.finish_decode(SimTime::ZERO, SimDuration::ZERO);
+        assert_eq!(out.alloc_failures, vec![RequestId(1)]);
+        assert!(out.produced.is_empty());
+        // The request did not advance.
+        assert_eq!(i.requests()[0].tokens_out, 1);
+    }
+
+    #[test]
+    fn most_urgent_prefers_lowest_headroom() {
+        let slo = Slo::paper();
+        let mut i = inst(8);
+        // Waiting request with a long-input (large TTFT budget)…
+        i.admit(rr(1, 4096, 4));
+        // …and a decoding request about to hit its deadline.
+        i.admit(rr(2, 100, 4));
+        assert!(i.begin_prefill(RequestId(2)).is_some());
+        i.finish_prefill(RequestId(2), SimTime::from_millis(100), SimDuration::from_millis(100));
+        // At t close to req-2's next deadline, decode must win.
+        let now = SimTime::from_millis(700);
+        let (_, kind) = i.most_urgent(now, &slo).unwrap();
+        assert_eq!(kind, IterationKind::Decode);
+    }
+
+    #[test]
+    fn migration_frees_kv_and_resets() {
+        let mut i = inst(8);
+        i.admit(rr(1, 100, 50));
+        assert!(i.begin_prefill(RequestId(1)).is_some());
+        i.finish_prefill(RequestId(1), SimTime::ZERO, SimDuration::ZERO);
+        let used = i.kv_used_bytes();
+        assert!(used > 0);
+        let r = i.remove_for_migration(RequestId(1), SimTime::from_secs(1));
+        assert_eq!(i.kv_used_bytes(), 0);
+        assert_eq!(r.migrations, 1);
+        assert_eq!(i.live_count(), 0);
+    }
+
+    #[test]
+    fn drain_for_preemption_empties_instance() {
+        let mut i = inst(8);
+        i.admit(rr(1, 100, 50));
+        i.admit(rr(2, 100, 50));
+        assert!(i.begin_prefill(RequestId(1)).is_some());
+        i.finish_prefill(RequestId(1), SimTime::ZERO, SimDuration::ZERO);
+        let drained = i.drain_for_preemption(SimTime::from_secs(1));
+        assert_eq!(drained.len(), 2);
+        assert!(drained.iter().all(|r| matches!(r.phase, ReqPhase::Waiting)));
+        assert_eq!(i.kv_used_bytes(), 0);
+        assert!(i.idle_since.is_some());
+    }
+
+    #[test]
+    fn kv_required_follows_equation_two() {
+        let mut i = inst(8);
+        let c = i.spec.kv_bytes_per_token() as f64;
+        // No requests: floor applies (L_min = 4096 tokens).
+        assert_eq!(i.kv_required_bytes(200.0, 4096), (4096.0 * c) as u64);
+        // Two requests: Σ (I_r + max(O_r, Ō)) = (1000+200) + (3000+200).
+        i.admit(rr(1, 1000, 64));
+        i.admit(rr(2, 3000, 64));
+        let expect = ((1000.0 + 200.0 + 3000.0 + 200.0) * c).ceil() as u64;
+        assert_eq!(i.kv_required_bytes(200.0, 4096), expect);
+    }
+
+    #[test]
+    fn resize_tracks_overhead() {
+        let mut i = inst(8);
+        assert!(i.apply_kv_resize(16_000_000_000, SimDuration::from_millis(300)));
+        assert_eq!(i.kv_capacity_bytes(), 16_000_000_000);
+        assert_eq!(i.scale_ops, 1);
+        assert!((i.scale_secs - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn cannot_overlap_iterations() {
+        let mut i = inst(8);
+        i.admit(rr(1, 100, 4));
+        i.admit(rr(2, 100, 4));
+        assert!(i.begin_prefill(RequestId(1)).is_some());
+        let _ = i.begin_prefill(RequestId(2));
+    }
+
+    #[test]
+    fn footprint_includes_weights_and_grant() {
+        let i = inst(8);
+        let expect = i.spec.weights_bytes() + 8 * 1_000_000_000;
+        assert_eq!(i.footprint_bytes(), expect);
+    }
+}

@@ -1,0 +1,28 @@
+//! Simulated LLM inference-engine substrate.
+//!
+//! The paper runs vLLM (GPU) and OpenVINO (CPU) under every scheduler; this
+//! crate is their stand-in. It models exactly the engine behaviours the
+//! schedulers interact with:
+//!
+//! - [`blocks`] — a paged-attention block pool ([`BlockPool`]): KV memory is
+//!   allocated in fixed 16-token blocks, so capacity and fragmentation are
+//!   block-granular like vLLM's (§III-A, [37]).
+//! - [`request`] — the per-request state machine
+//!   (waiting → prefill → decode → finished) with token-deadline tracking.
+//! - [`instance`] — a model [`Instance`]: continuous batch, waiting queue,
+//!   KV pool, loading/active lifecycle, and the bookkeeping (busy time,
+//!   token counters) the metrics layer reads.
+//!
+//! An instance is *passive*: it never decides when to run. The cluster
+//! driver asks it to begin/finish iterations, and scheduling policies
+//! (SLINFER, the baselines) decide which instance runs next. That split
+//! mirrors the paper's separation between the inference engine and the
+//! SLINFER control plane.
+
+pub mod blocks;
+pub mod instance;
+pub mod request;
+
+pub use blocks::BlockPool;
+pub use instance::{Instance, InstanceId, InstanceState, IterationKind};
+pub use request::{ReqPhase, RunningRequest};

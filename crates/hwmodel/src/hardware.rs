@@ -1,0 +1,220 @@
+//! Hardware node specifications.
+//!
+//! A [`HardwareSpec`] holds the *effective* (not peak) performance
+//! coefficients of one node type, fitted to the paper's measurements. The
+//! fitting rationale per preset:
+//!
+//! - [`HardwareSpec::xeon4_amx_32c`]: Table I gives 7B TTFT 149/567/2748 ms
+//!   at 256/1K/4K inputs ⇒ ≈24 effective TFLOPs (vs. 105 peak BF16 — §X).
+//!   TPOT 71/196/80/459 ms at {1,32}bs × {1K,4K} decomposes into a 67 ms
+//!   weights pass (⇒ ≈200 GB/s effective bandwidth), 1.17 ms/sequence
+//!   compute (⇒ ≈11.5 effective TFLOPs at decode batch sizes), and
+//!   2.8 µs per cached token.
+//! - [`HardwareSpec::xeon3_32c`]: Table I row one (1003/4113/18612 ms TTFT;
+//!   100/338/110/697 ms TPOT) ⇒ 3.3 TFLOPs prefill, ~150 GB/s, 3.1 TFLOPs
+//!   decode.
+//! - [`HardwareSpec::a100_80g`]: 312 TFLOPs peak at ~50% efficiency for
+//!   prefill; ~1300 GB/s effective HBM for decode. Figure 10's ≈1.5 K tok/s
+//!   at batch 64 and the sub-100 ms TPOT curves of Figures 7–8 follow.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::ModelSpec;
+
+/// The class of a node, which drives scheduling policy decisions
+/// (e.g. SLINFER excludes CPUs without matrix acceleration, §V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HardwareKind {
+    /// A discrete GPU (e.g. A100-80GB).
+    Gpu,
+    /// A CPU with a built-in matrix accelerator (e.g. Intel AMX).
+    CpuAccel,
+    /// A CPU without matrix acceleration — unusable for serving (§IV-A2).
+    CpuLegacy,
+}
+
+impl HardwareKind {
+    /// True for either CPU variant.
+    pub fn is_cpu(self) -> bool {
+        matches!(self, HardwareKind::CpuAccel | HardwareKind::CpuLegacy)
+    }
+}
+
+/// Effective performance envelope of one node type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardwareSpec {
+    /// Display name.
+    pub name: String,
+    /// Node class.
+    pub kind: HardwareKind,
+    /// Memory available for serving (weights + KV) in bytes.
+    pub mem_bytes: u64,
+    /// Effective TFLOPs achieved by prefill dense GEMMs.
+    pub prefill_tflops: f64,
+    /// Effective TFLOPs achieved by the quadratic attention part of prefill
+    /// (lower than GEMM efficiency on AMX CPUs — softmax and score matmuls
+    /// do not map onto the tile unit as well).
+    pub attn_tflops: f64,
+    /// Effective TFLOPs achieved by decode-time per-sequence compute.
+    pub decode_tflops: f64,
+    /// Effective memory bandwidth for weight/KV streaming, GB/s.
+    pub mem_bw_gbps: f64,
+    /// Weight-loading bandwidth into this node's serving memory, GB/s.
+    pub load_bw_gbps: f64,
+    /// KV rescale: seconds per GB of the enlarged cache (scale-up is
+    /// allocation-dominated — Fig. 17's 2× curve).
+    pub kv_up_s_per_gb: f64,
+    /// KV rescale: seconds per GB of the shrunken cache (Fig. 17's 0.5×
+    /// curve; cheaper because the new array is small).
+    pub kv_down_s_per_gb: f64,
+    /// KV rescale: seconds per GB of live cache pages copied over.
+    pub kv_copy_s_per_gb: f64,
+    /// Physical cores (CPU) or SM-share granularity; used for harvested-core
+    /// scaling in §IX-I3.
+    pub cores: u32,
+}
+
+impl HardwareSpec {
+    /// NVIDIA A100-80GB (the paper's GPU node).
+    pub fn a100_80g() -> Self {
+        HardwareSpec {
+            name: "A100-80GB".into(),
+            kind: HardwareKind::Gpu,
+            mem_bytes: 80 * GB,
+            prefill_tflops: 156.0,
+            attn_tflops: 120.0,
+            decode_tflops: 100.0,
+            mem_bw_gbps: 1300.0,
+            load_bw_gbps: 14.0,
+            kv_up_s_per_gb: 0.027,
+            kv_down_s_per_gb: 0.01625,
+            kv_copy_s_per_gb: 0.0025,
+            cores: 108,
+        }
+    }
+
+    /// 32-core 4th-gen Xeon 6462C @3.3 GHz with AMX (the paper's CPU node).
+    pub fn xeon4_amx_32c() -> Self {
+        HardwareSpec {
+            name: "Xeon4-AMX-32c".into(),
+            kind: HardwareKind::CpuAccel,
+            mem_bytes: 192 * GB,
+            prefill_tflops: 25.9,
+            attn_tflops: 10.5,
+            decode_tflops: 11.5,
+            mem_bw_gbps: 200.0,
+            load_bw_gbps: 20.0,
+            kv_up_s_per_gb: 0.012,
+            kv_down_s_per_gb: 0.008,
+            kv_copy_s_per_gb: 0.002,
+            cores: 32,
+        }
+    }
+
+    /// 32-core 3rd-gen Xeon 8369B @2.7 GHz, no AMX (Table I comparison;
+    /// excluded from serving by SLINFER).
+    pub fn xeon3_32c() -> Self {
+        HardwareSpec {
+            name: "Xeon3-32c".into(),
+            kind: HardwareKind::CpuLegacy,
+            mem_bytes: 192 * GB,
+            prefill_tflops: 3.44,
+            attn_tflops: 3.44,
+            decode_tflops: 3.1,
+            mem_bw_gbps: 150.0,
+            load_bw_gbps: 20.0,
+            kv_up_s_per_gb: 0.012,
+            kv_down_s_per_gb: 0.008,
+            kv_copy_s_per_gb: 0.002,
+            cores: 32,
+        }
+    }
+
+    /// A fractional view of this node: `share` of its compute, bandwidth and
+    /// cores (used for harvested CPU cores, §IX-I3, and static partitioning).
+    ///
+    /// Memory is *not* scaled here — partitioned memory is tracked by the
+    /// cluster ledger, while harvested-core CPUs still access full DRAM.
+    ///
+    /// # Panics
+    /// Panics if `share` is not in `(0, 1]`.
+    pub fn fraction(&self, share: f64) -> HardwareSpec {
+        assert!(share > 0.0 && share <= 1.0, "share must be in (0,1]");
+        HardwareSpec {
+            name: format!("{}×{:.2}", self.name, share),
+            prefill_tflops: self.prefill_tflops * share,
+            attn_tflops: self.attn_tflops * share,
+            decode_tflops: self.decode_tflops * share,
+            mem_bw_gbps: self.mem_bw_gbps * share,
+            cores: ((self.cores as f64 * share).round() as u32).max(1),
+            ..self.clone()
+        }
+    }
+
+    /// Whether this node class can serve the given model at all.
+    ///
+    /// §IV-A2: CPUs are limited to small models (≤13B class) and require a
+    /// matrix accelerator; legacy CPUs are excluded outright.
+    pub fn can_serve(&self, model: &ModelSpec) -> bool {
+        match self.kind {
+            HardwareKind::Gpu => true,
+            HardwareKind::CpuAccel => model.params <= 14_000_000_000,
+            HardwareKind::CpuLegacy => false,
+        }
+    }
+
+    /// Memory in GB (for display).
+    pub fn mem_gb(&self) -> f64 {
+        self.mem_bytes as f64 / 1e9
+    }
+}
+
+/// One gigabyte (10^9 bytes) — the unit the paper uses throughout.
+pub const GB: u64 = 1_000_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sane_envelopes() {
+        let gpu = HardwareSpec::a100_80g();
+        let amx = HardwareSpec::xeon4_amx_32c();
+        let old = HardwareSpec::xeon3_32c();
+        assert!(gpu.prefill_tflops > amx.prefill_tflops);
+        // §X: 4th-gen ≈ 105 peak vs 13 peak on 3rd-gen — effective ratio ~7×.
+        let ratio = amx.prefill_tflops / old.prefill_tflops;
+        assert!((6.0..9.0).contains(&ratio), "gen speedup {ratio}");
+        assert_eq!(gpu.mem_bytes, 80 * GB);
+    }
+
+    #[test]
+    fn fraction_scales_compute_not_memory() {
+        let full = HardwareSpec::xeon4_amx_32c();
+        let half = full.fraction(0.5);
+        assert!((half.prefill_tflops - full.prefill_tflops / 2.0).abs() < 1e-9);
+        assert!((half.mem_bw_gbps - full.mem_bw_gbps / 2.0).abs() < 1e-9);
+        assert_eq!(half.mem_bytes, full.mem_bytes);
+        assert_eq!(half.cores, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "share must be in (0,1]")]
+    fn fraction_rejects_zero() {
+        HardwareSpec::a100_80g().fraction(0.0);
+    }
+
+    #[test]
+    fn serving_eligibility() {
+        let m7 = ModelSpec::llama2_7b();
+        let m34 = ModelSpec::codellama_34b();
+        assert!(HardwareSpec::a100_80g().can_serve(&m34));
+        assert!(HardwareSpec::xeon4_amx_32c().can_serve(&m7));
+        // CPUs can only handle small LLMs (≤13B): §IV-A2.
+        assert!(!HardwareSpec::xeon4_amx_32c().can_serve(&m34));
+        // Legacy CPUs are excluded entirely (§V).
+        assert!(!HardwareSpec::xeon3_32c().can_serve(&m7));
+    }
+
+    use crate::model::ModelSpec;
+}

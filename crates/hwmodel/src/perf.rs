@@ -1,0 +1,450 @@
+//! The analytic latency model and the oracle trait behind which it hides.
+//!
+//! `slinfer`'s quantifier (§VI-B) treats hardware as a black box that can be
+//! sampled; in this reproduction the black box is [`AnalyticPerf`], accessed
+//! through [`PerfOracle`]. The model:
+//!
+//! - **Prefill** (`TTFT` minus queueing): FLOPs = `2·P·L + 4·L²·hidden·layers`
+//!   (dense GEMMs plus quadratic attention), divided by the node's effective
+//!   prefill TFLOPs.
+//! - **Decode** (one iteration = one token for every running sequence):
+//!   `t = weights/BW + B·2P/C_dec + Σctx·kv_per_token/BW` — a weights pass
+//!   shared by the whole batch (why batching is sub-linear, Fig. 7), a
+//!   per-sequence compute term, and the KV-read term that grows with context.
+//! - **Load**: weights / load bandwidth (ServerlessLLM loader).
+//! - **KV rescale**: `alloc·new + copy·moved` (Fig. 16/17 procedure).
+//!
+//! INT4 quantization (§X) shrinks the weights pass and load time via
+//! [`ModelSpec::weights_bytes`]; compute terms are unchanged (AWQ kernels
+//! dequantize on the fly).
+//!
+//! Every coefficient is validated against the paper in this module's tests.
+
+use crate::hardware::HardwareSpec;
+use crate::model::ModelSpec;
+
+/// A source of iteration-time estimates.
+///
+/// Implemented by [`AnalyticPerf`] (ground truth) and by `slinfer`'s
+/// interpolating quantifier; both sides of the estimation-error experiment
+/// (§VI-B: 5.9% TTFT / 3.9% TPOT deviation) speak this trait.
+pub trait PerfOracle {
+    /// Seconds to run a prefill iteration over `input_len` tokens on
+    /// hardware `hw` holding a `share` fraction of the node.
+    fn prefill_time(&self, model: &ModelSpec, hw: &HardwareSpec, input_len: u32, share: f64)
+        -> f64;
+
+    /// Seconds to run one decode iteration for a batch of `batch` sequences
+    /// whose contexts total `total_ctx_tokens` tokens.
+    fn decode_time(
+        &self,
+        model: &ModelSpec,
+        hw: &HardwareSpec,
+        batch: u32,
+        total_ctx_tokens: u64,
+        share: f64,
+    ) -> f64;
+}
+
+/// The calibrated closed-form model (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct AnalyticPerf {
+    _private: (),
+}
+
+impl AnalyticPerf {
+    /// Creates the model. All coefficients come from the [`HardwareSpec`]
+    /// and [`ModelSpec`] passed per call, so one instance serves any mix of
+    /// hardware.
+    pub fn new() -> Self {
+        AnalyticPerf { _private: () }
+    }
+
+    /// Seconds to load the model's weights into serving memory (cold start).
+    pub fn load_time(&self, model: &ModelSpec, hw: &HardwareSpec) -> f64 {
+        model.weights_bytes() as f64 / (hw.load_bw_gbps * 1e9)
+    }
+
+    /// Seconds to rescale a KV cache from `old_bytes` to `new_bytes` when
+    /// `used_bytes` of it hold live pages that must be copied.
+    ///
+    /// Matches Figure 17: scale-*up* is dominated by allocating the enlarged
+    /// block array (≈0.03 s/GB on an A100 — 32→64 GB ≈ 1.9 s), scale-*down*
+    /// allocates only the small new array (32→16 GB ≈ 0.3 s). The copy moves
+    /// `min(used, new)` bytes either way.
+    pub fn kv_scale_time(
+        &self,
+        hw: &HardwareSpec,
+        old_bytes: u64,
+        new_bytes: u64,
+        used_bytes: u64,
+    ) -> f64 {
+        let moved = used_bytes.min(new_bytes) as f64 / 1e9;
+        let alloc = new_bytes as f64 / 1e9;
+        let rate = if new_bytes >= old_bytes {
+            hw.kv_up_s_per_gb
+        } else {
+            hw.kv_down_s_per_gb
+        };
+        rate * alloc + hw.kv_copy_s_per_gb * moved
+    }
+
+    /// Largest batch size whose steady-state decode iteration stays within
+    /// `tpot_slo` seconds, with every sequence at context length `ctx`.
+    ///
+    /// Returns 0 when even a single sequence misses the SLO. This solves the
+    /// compute side of Table II; callers intersect it with the KV-capacity
+    /// bound for the memory side.
+    pub fn max_batch_under_tpot(
+        &self,
+        model: &ModelSpec,
+        hw: &HardwareSpec,
+        ctx: u32,
+        share: f64,
+        tpot_slo: f64,
+    ) -> u32 {
+        let mut lo = 0u32;
+        let mut hi = 4096u32;
+        while lo < hi {
+            let mid = (lo + hi + 1) / 2;
+            let t = self.decode_time(model, hw, mid, mid as u64 * ctx as u64, share);
+            if t <= tpot_slo {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        lo
+    }
+}
+
+impl PerfOracle for AnalyticPerf {
+    fn prefill_time(
+        &self,
+        model: &ModelSpec,
+        hw: &HardwareSpec,
+        input_len: u32,
+        share: f64,
+    ) -> f64 {
+        assert!(share > 0.0 && share <= 1.0, "share must be in (0,1]");
+        let l = input_len as f64;
+        let dense = 2.0 * model.params as f64 * l;
+        let attn = 4.0 * l * l * model.hidden as f64 * model.layers as f64;
+        dense / (hw.prefill_tflops * share * 1e12) + attn / (hw.attn_tflops * share * 1e12)
+    }
+
+    fn decode_time(
+        &self,
+        model: &ModelSpec,
+        hw: &HardwareSpec,
+        batch: u32,
+        total_ctx_tokens: u64,
+        share: f64,
+    ) -> f64 {
+        assert!(share > 0.0 && share <= 1.0, "share must be in (0,1]");
+        if batch == 0 {
+            return 0.0;
+        }
+        let bw = hw.mem_bw_gbps * share * 1e9;
+        let weights_pass = model.weights_bytes() as f64 / bw;
+        let per_seq = 2.0 * model.params as f64 / (hw.decode_tflops * share * 1e12);
+        let kv_read = total_ctx_tokens as f64 * model.kv_bytes_per_token() as f64 / bw;
+        weights_pass + batch as f64 * per_seq + kv_read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn within(actual: f64, expected: f64, tol: f64) -> bool {
+        (actual - expected).abs() / expected <= tol
+    }
+
+    /// Table I, 4th-gen row: TTFT 149 / 567 / 2748 ms at 256 / 1K / 4K.
+    #[test]
+    fn table1_xeon4_ttft() {
+        let p = AnalyticPerf::new();
+        let m = ModelSpec::llama2_7b();
+        let hw = HardwareSpec::xeon4_amx_32c();
+        for (len, expect_ms) in [(256u32, 149.0), (1024, 567.0), (4096, 2748.0)] {
+            let t = p.prefill_time(&m, &hw, len, 1.0) * 1e3;
+            assert!(within(t, expect_ms, 0.10), "len {len}: {t} vs {expect_ms}");
+        }
+    }
+
+    /// Table I, 3rd-gen row: TTFT 1003 / 4113 / 18612 ms.
+    #[test]
+    fn table1_xeon3_ttft() {
+        let p = AnalyticPerf::new();
+        let m = ModelSpec::llama2_7b();
+        let hw = HardwareSpec::xeon3_32c();
+        for (len, expect_ms) in [(256u32, 1003.0), (1024, 4113.0), (4096, 18612.0)] {
+            let t = p.prefill_time(&m, &hw, len, 1.0) * 1e3;
+            assert!(within(t, expect_ms, 0.10), "len {len}: {t} vs {expect_ms}");
+        }
+    }
+
+    /// Table I TPOT columns, 4th-gen: 71 / 196 / 80 / 459 ms at
+    /// {1,32}bs × {1K,4K}.
+    #[test]
+    fn table1_xeon4_tpot() {
+        let p = AnalyticPerf::new();
+        let m = ModelSpec::llama2_7b();
+        let hw = HardwareSpec::xeon4_amx_32c();
+        let cases = [
+            (1u32, 1024u64, 71.0),
+            (32, 32 * 1024, 196.0),
+            (1, 4096, 80.0),
+            (32, 32 * 4096, 459.0),
+        ];
+        for (bs, total, expect_ms) in cases {
+            let t = p.decode_time(&m, &hw, bs, total, 1.0) * 1e3;
+            assert!(
+                within(t, expect_ms, 0.10),
+                "bs {bs} total {total}: {t} vs {expect_ms}"
+            );
+        }
+    }
+
+    /// Table I TPOT columns, 3rd-gen: 100 / 338 / 110 / 697 ms.
+    #[test]
+    fn table1_xeon3_tpot() {
+        let p = AnalyticPerf::new();
+        let m = ModelSpec::llama2_7b();
+        let hw = HardwareSpec::xeon3_32c();
+        let cases = [
+            (1u32, 1024u64, 100.0),
+            (32, 32 * 1024, 338.0),
+            (1, 4096, 110.0),
+            (32, 32 * 4096, 697.0),
+        ];
+        for (bs, total, expect_ms) in cases {
+            let t = p.decode_time(&m, &hw, bs, total, 1.0) * 1e3;
+            assert!(
+                within(t, expect_ms, 0.10),
+                "bs {bs} total {total}: {t} vs {expect_ms}"
+            );
+        }
+    }
+
+    /// §IX-A: DeepSeek-R1-Distill-Qwen-7B-sized models behave like Llama-2-7B;
+    /// and §X: decoding of Llama-3.1-8B takes at least 74 ms on the CPU.
+    #[test]
+    fn decode_floor_8b_cpu() {
+        let p = AnalyticPerf::new();
+        let m = ModelSpec::llama3_1_8b();
+        let hw = HardwareSpec::xeon4_amx_32c();
+        let t = p.decode_time(&m, &hw, 1, 1024, 1.0) * 1e3;
+        assert!(within(t, 74.0, 0.15), "8B decode floor {t} ms");
+    }
+
+    /// §X: processing 32 K inputs takes ~84 s on the CPU (Llama-3.1-8B).
+    #[test]
+    fn cpu_32k_prefill_is_about_84s() {
+        let p = AnalyticPerf::new();
+        let m = ModelSpec::llama3_1_8b();
+        let hw = HardwareSpec::xeon4_amx_32c();
+        let t = p.prefill_time(&m, &hw, 32_768, 1.0);
+        assert!(within(t, 84.0, 0.20), "32K prefill {t} s");
+    }
+
+    /// Figure 6 shape: CPU meets the 8 s TTFT SLO for 7B/13B at short inputs,
+    /// 34B never on CPU at long inputs; GPU always comfortable.
+    #[test]
+    fn fig6_slo_feasibility_shape() {
+        let p = AnalyticPerf::new();
+        let cpu = HardwareSpec::xeon4_amx_32c();
+        let gpu = HardwareSpec::a100_80g();
+        let slo_8s = 8.0;
+        assert!(p.prefill_time(&ModelSpec::llama2_7b(), &cpu, 4096, 1.0) < slo_8s);
+        assert!(p.prefill_time(&ModelSpec::llama2_13b(), &cpu, 4096, 1.0) < slo_8s);
+        assert!(p.prefill_time(&ModelSpec::codellama_34b(), &cpu, 8192, 1.0) > slo_8s);
+        assert!(p.prefill_time(&ModelSpec::codellama_34b(), &gpu, 8192, 1.0) < slo_8s);
+    }
+
+    /// §IX-I1: CPUs handle inputs up to ~8.4 K tokens within the 8 s TTFT SLO
+    /// (Llama-3.1-8B).
+    #[test]
+    fn cpu_ttft_crossover_near_8_4k() {
+        let p = AnalyticPerf::new();
+        let m = ModelSpec::llama3_1_8b();
+        let hw = HardwareSpec::xeon4_amx_32c();
+        let t_8k = p.prefill_time(&m, &hw, 8400, 1.0);
+        assert!(
+            within(t_8k, 8.0, 0.25),
+            "8.4K prefill should sit near the 8 s SLO, got {t_8k}"
+        );
+    }
+
+    /// Table II compute side: full-node CPU concurrency limits 27 (7B@2K)
+    /// and 15 (7B@4K); halves/thirds/quarters match the paper's pattern.
+    #[test]
+    fn table2_cpu_limits() {
+        let p = AnalyticPerf::new();
+        let m = ModelSpec::llama2_7b();
+        let hw = HardwareSpec::xeon4_amx_32c();
+        let limit = |ctx, share| p.max_batch_under_tpot(&m, &hw, ctx, share, 0.25);
+        let full_2k = limit(2048, 1.0);
+        let half_2k = limit(2048, 0.5);
+        let third_2k = limit(2048, 1.0 / 3.0);
+        let quarter_2k = limit(2048, 0.25);
+        assert!((25..=29).contains(&full_2k), "C-7B-2K full {full_2k} (paper 27)");
+        assert!((7..=10).contains(&half_2k), "C-7B-2K half {half_2k} (paper 9)");
+        assert!((1..=3).contains(&third_2k), "C-7B-2K third {third_2k} (paper 2)");
+        assert_eq!(quarter_2k, 0, "C-7B-2K quarter infeasible (paper '-')");
+        let full_4k = limit(4096, 1.0);
+        assert!((13..=17).contains(&full_4k), "C-7B-4K full {full_4k} (paper 15)");
+        // Fragmentation cost (§IV-C): two halves yield far less than one full.
+        assert!(2 * half_2k < full_2k);
+    }
+
+    /// Figure 10 shape: A100 decode throughput ~1K+ tokens/s at batch 64.
+    #[test]
+    fn fig10_gpu_decode_throughput() {
+        let p = AnalyticPerf::new();
+        let m = ModelSpec::llama2_7b();
+        let gpu = HardwareSpec::a100_80g();
+        let t = p.decode_time(&m, &gpu, 64, 64 * 1024, 1.0);
+        let tput = 64.0 / t;
+        assert!(tput > 1000.0, "batch-64 decode throughput {tput} tok/s");
+        // And batching is strongly sub-linear: 64× batch < 8× time.
+        let t1 = p.decode_time(&m, &gpu, 1, 1024, 1.0);
+        assert!(t < 8.0 * t1);
+    }
+
+    /// Figure 17: scaling a 32 GB cache down to 16 GB ≈ 0.3 s, up to
+    /// 64 GB ≈ 1.9 s (GPU, cache full).
+    #[test]
+    fn fig17_kv_scale_costs() {
+        let p = AnalyticPerf::new();
+        let gpu = HardwareSpec::a100_80g();
+        let gb = 1_000_000_000u64;
+        let down = p.kv_scale_time(&gpu, 32 * gb, 16 * gb, 16 * gb);
+        let up = p.kv_scale_time(&gpu, 32 * gb, 64 * gb, 32 * gb);
+        assert!(within(down, 0.3, 0.25), "scale-down {down} s (paper 0.3)");
+        assert!(within(up, 1.9, 0.25), "scale-up {up} s (paper 1.9)");
+    }
+
+    /// §IX-A: cold-start loads a 7B model in about 1 second.
+    #[test]
+    fn sllm_loader_speed() {
+        let p = AnalyticPerf::new();
+        let t = p.load_time(&ModelSpec::llama2_7b(), &HardwareSpec::a100_80g());
+        assert!(within(t, 1.0, 0.10), "7B load {t} s");
+    }
+
+    /// §IV-A2 tight-SLO limits: at 100 ms TPOT only ≤7B works, batch ≤9 at
+    /// 1K and ≤3 at 4K; at 50 ms even 7B is infeasible on CPU.
+    #[test]
+    fn tight_slo_limits() {
+        let p = AnalyticPerf::new();
+        let m7 = ModelSpec::llama2_7b();
+        let m13 = ModelSpec::llama2_13b();
+        let hw = HardwareSpec::xeon4_amx_32c();
+        // The paper cites 9 (1K) and 3 (4K); a Table-I-consistent weights
+        // pass of ~67 ms leaves a somewhat smaller budget, so we assert the
+        // qualitative ordering (small limits, 4K < 1K) — see EXPERIMENTS.md.
+        let b_100_1k = p.max_batch_under_tpot(&m7, &hw, 1024, 1.0, 0.10);
+        let b_100_4k = p.max_batch_under_tpot(&m7, &hw, 4096, 1.0, 0.10);
+        assert!((3..=11).contains(&b_100_1k), "100ms/1K batch {b_100_1k} (paper 9)");
+        assert!((1..=4).contains(&b_100_4k), "100ms/4K batch {b_100_4k} (paper 3)");
+        assert!(b_100_4k < b_100_1k);
+        assert_eq!(p.max_batch_under_tpot(&m7, &hw, 1024, 1.0, 0.05), 0);
+        assert_eq!(p.max_batch_under_tpot(&m13, &hw, 1024, 1.0, 0.10), 0);
+    }
+
+    /// Figure 8 shape: 13B on CPU at batch 32 violates the 250 ms TPOT SLO at
+    /// 2K context but not at 512.
+    #[test]
+    fn fig8_13b_cpu_violation_crossover() {
+        let p = AnalyticPerf::new();
+        let m = ModelSpec::llama2_13b();
+        let hw = HardwareSpec::xeon4_amx_32c();
+        let t_512 = p.decode_time(&m, &hw, 32, 32 * 512, 1.0);
+        let t_2k = p.decode_time(&m, &hw, 32, 32 * 2048, 1.0);
+        // The paper's firm claims: the 2K point violates the SLO after a ≈2×
+        // growth from the 512 point (which sits right at the SLO boundary).
+        assert!(t_512 < 0.28, "13B bs32 @512 should sit near the SLO: {t_512}");
+        assert!(t_2k > 0.25, "13B bs32 @2K should violate SLO: {t_2k}");
+        let growth = t_2k / t_512;
+        assert!((1.6..2.4).contains(&growth), "≈2× growth: {growth}");
+    }
+
+    /// Figure 7 shape: 7B CPU TPOT at batch 4 is only ~14% above batch 1
+    /// (1K token length).
+    #[test]
+    fn fig7_small_batch_penalty() {
+        let p = AnalyticPerf::new();
+        let m = ModelSpec::llama2_7b();
+        let hw = HardwareSpec::xeon4_amx_32c();
+        let t1 = p.decode_time(&m, &hw, 1, 1024, 1.0);
+        let t4 = p.decode_time(&m, &hw, 4, 4 * 1024, 1.0);
+        let growth = t4 / t1 - 1.0;
+        assert!((0.08..0.22).contains(&growth), "batch-4 penalty {growth}");
+    }
+
+    /// INT4 shrinks the weights pass proportionally (§X).
+    #[test]
+    fn int4_speeds_decode_floor() {
+        use crate::model::Precision;
+        let p = AnalyticPerf::new();
+        let gpu = HardwareSpec::a100_80g();
+        let fp16 = ModelSpec::codestral_22b();
+        let int4 = fp16.clone().with_precision(Precision::Int4);
+        let t_fp16 = p.decode_time(&fp16, &gpu, 1, 1024, 1.0);
+        let t_int4 = p.decode_time(&int4, &gpu, 1, 1024, 1.0);
+        assert!(t_int4 < t_fp16);
+        let t_load_fp16 = p.load_time(&fp16, &gpu);
+        let t_load_int4 = p.load_time(&int4, &gpu);
+        assert!(within(t_load_int4 * 4.0, t_load_fp16, 0.01));
+    }
+
+    #[test]
+    fn zero_batch_decodes_instantly() {
+        let p = AnalyticPerf::new();
+        let t = p.decode_time(
+            &ModelSpec::llama2_7b(),
+            &HardwareSpec::a100_80g(),
+            0,
+            0,
+            1.0,
+        );
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share must be in (0,1]")]
+    fn prefill_rejects_bad_share() {
+        AnalyticPerf::new().prefill_time(
+            &ModelSpec::llama2_7b(),
+            &HardwareSpec::a100_80g(),
+            128,
+            0.0,
+        );
+    }
+
+    /// Monotonicity invariants the schedulers rely on.
+    #[test]
+    fn monotone_in_inputs() {
+        let p = AnalyticPerf::new();
+        let m = ModelSpec::llama2_7b();
+        let hw = HardwareSpec::xeon4_amx_32c();
+        let mut last = 0.0;
+        for len in [128u32, 256, 512, 1024, 2048, 4096, 8192] {
+            let t = p.prefill_time(&m, &hw, len, 1.0);
+            assert!(t > last);
+            last = t;
+        }
+        let mut last = 0.0;
+        for bs in [1u32, 2, 4, 8, 16, 32] {
+            let t = p.decode_time(&m, &hw, bs, bs as u64 * 1024, 1.0);
+            assert!(t > last);
+            last = t;
+        }
+        // Less share => strictly slower.
+        let full = p.decode_time(&m, &hw, 8, 8 * 1024, 1.0);
+        let half = p.decode_time(&m, &hw, 8, 8 * 1024, 0.5);
+        assert!(half > full);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the performance model: the monotonicity and
+//! scaling laws every scheduler decision relies on.
+
+use proptest::prelude::*;
+
+use hwmodel::{AnalyticPerf, HardwareSpec, ModelSpec, NoiseModel, PerfOracle};
+use simcore::rng::SimRng;
+
+fn hardware() -> Vec<HardwareSpec> {
+    vec![
+        HardwareSpec::a100_80g(),
+        HardwareSpec::xeon4_amx_32c(),
+        HardwareSpec::xeon3_32c(),
+    ]
+}
+
+fn models() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::llama3_2_3b(),
+        ModelSpec::llama2_7b(),
+        ModelSpec::llama2_13b(),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn prefill_monotone_in_length(
+        hw_ix in 0usize..3,
+        m_ix in 0usize..3,
+        len in 16u32..16_000,
+        extra in 1u32..4096,
+    ) {
+        let perf = AnalyticPerf::new();
+        let hw = &hardware()[hw_ix];
+        let m = &models()[m_ix];
+        let a = perf.prefill_time(m, hw, len, 1.0);
+        let b = perf.prefill_time(m, hw, len + extra, 1.0);
+        prop_assert!(b > a);
+        prop_assert!(a > 0.0);
+    }
+
+    #[test]
+    fn decode_monotone_in_batch_and_context(
+        hw_ix in 0usize..3,
+        m_ix in 0usize..3,
+        bs in 1u32..128,
+        ctx in 128u64..100_000,
+    ) {
+        let perf = AnalyticPerf::new();
+        let hw = &hardware()[hw_ix];
+        let m = &models()[m_ix];
+        let base = perf.decode_time(m, hw, bs, ctx, 1.0);
+        prop_assert!(perf.decode_time(m, hw, bs + 1, ctx, 1.0) > base);
+        prop_assert!(perf.decode_time(m, hw, bs, ctx + 512, 1.0) > base);
+    }
+
+    #[test]
+    fn half_share_is_exactly_twice_as_slow(
+        m_ix in 0usize..3,
+        len in 64u32..8192,
+        bs in 1u32..64,
+    ) {
+        // Both compute and bandwidth scale with the share, so iteration
+        // times are inversely proportional — the Table II fragmentation law.
+        let perf = AnalyticPerf::new();
+        let hw = HardwareSpec::xeon4_amx_32c();
+        let m = &models()[m_ix];
+        let full = perf.prefill_time(m, &hw, len, 1.0);
+        let half = perf.prefill_time(m, &hw, len, 0.5);
+        prop_assert!((half / full - 2.0).abs() < 1e-9);
+        let dfull = perf.decode_time(m, &hw, bs, bs as u64 * 512, 1.0);
+        let dhalf = perf.decode_time(m, &hw, bs, bs as u64 * 512, 0.5);
+        prop_assert!((dhalf / dfull - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batching_is_sublinear(
+        hw_ix in 0usize..2,
+        m_ix in 0usize..3,
+        bs in 2u32..64,
+    ) {
+        // The economics behind consolidation (§VIII): serving a batch of B
+        // costs far less than B separate 1-batches.
+        let perf = AnalyticPerf::new();
+        let hw = &hardware()[hw_ix];
+        let m = &models()[m_ix];
+        let one = perf.decode_time(m, hw, 1, 1024, 1.0);
+        let batched = perf.decode_time(m, hw, bs, bs as u64 * 1024, 1.0);
+        prop_assert!(batched < bs as f64 * one);
+    }
+
+    #[test]
+    fn bigger_models_are_slower(
+        hw_ix in 0usize..2,
+        len in 128u32..4096,
+    ) {
+        let perf = AnalyticPerf::new();
+        let hw = &hardware()[hw_ix];
+        let ms = models();
+        for pair in ms.windows(2) {
+            let a = perf.prefill_time(&pair[0], hw, len, 1.0);
+            let b = perf.prefill_time(&pair[1], hw, len, 1.0);
+            prop_assert!(b > a, "{} should be slower than {}", pair[1].name, pair[0].name);
+        }
+    }
+
+    #[test]
+    fn max_batch_is_the_slo_frontier(
+        m_ix in 0usize..2,
+        ctx in 256u32..4096,
+        slo_ms in 80u32..500,
+    ) {
+        let perf = AnalyticPerf::new();
+        let hw = HardwareSpec::xeon4_amx_32c();
+        let m = &models()[m_ix];
+        let slo = slo_ms as f64 / 1e3;
+        let b = perf.max_batch_under_tpot(m, &hw, ctx, 1.0, slo);
+        if b > 0 {
+            prop_assert!(perf.decode_time(m, &hw, b, b as u64 * ctx as u64, 1.0) <= slo);
+        }
+        let over = b + 1;
+        prop_assert!(perf.decode_time(m, &hw, over, over as u64 * ctx as u64, 1.0) > slo);
+    }
+
+    #[test]
+    fn kv_scale_cost_grows_with_size(
+        gb in 1u64..64,
+    ) {
+        let perf = AnalyticPerf::new();
+        let hw = HardwareSpec::a100_80g();
+        let b = 1_000_000_000u64;
+        let up_small = perf.kv_scale_time(&hw, gb * b, 2 * gb * b, gb * b);
+        let up_big = perf.kv_scale_time(&hw, 2 * gb * b, 4 * gb * b, 2 * gb * b);
+        prop_assert!(up_big > up_small);
+        // Scale-down of the same span is cheaper than scale-up (Fig 17).
+        let down = perf.kv_scale_time(&hw, 2 * gb * b, gb * b, gb * b);
+        prop_assert!(down < up_small);
+    }
+
+    #[test]
+    fn noise_preserves_positivity_and_scale(
+        seed in any::<u64>(),
+        base_ms in 1f64..10_000.0,
+        cv in 0.0f64..0.3,
+    ) {
+        let noise = NoiseModel::new(cv);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..16 {
+            let t = noise.apply(base_ms / 1e3, &mut rng);
+            prop_assert!(t > 0.0);
+            // Log-normal with cv ≤ 0.3: excursions beyond 4× are absurd.
+            prop_assert!(t < base_ms / 1e3 * 4.0);
+        }
+    }
+
+    #[test]
+    fn weights_and_kv_scale_with_model(
+        m_ix in 0usize..3,
+    ) {
+        let m = &models()[m_ix];
+        prop_assert!(m.weights_bytes() > m.params); // ≥1 byte/param at any precision
+        prop_assert!(m.kv_bytes_per_token() > 0);
+        let int4 = m.clone().with_precision(hwmodel::Precision::Int4);
+        prop_assert_eq!(int4.weights_bytes(), m.weights_bytes() / 4);
+    }
+}

@@ -1,0 +1,201 @@
+//! Sampling distributions for workload synthesis.
+//!
+//! The trace generators need exponential inter-arrivals, log-normal token
+//! lengths, Pareto popularity, and gamma burst gaps. They are implemented
+//! here directly (Box–Muller, inverse-CDF, Marsaglia–Tsang) so sampled
+//! values depend only on [`SimRng`] state, never on an external crate's
+//! algorithm choice.
+
+use crate::rng::SimRng;
+
+/// Standard-normal draw via Box–Muller (one value per call; the pair's
+/// second member is discarded for simplicity and statelessness).
+pub fn standard_normal(rng: &mut SimRng) -> f64 {
+    let u1 = rng.next_f64_open();
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Exponential draw with the given `rate` (λ). Mean is `1/rate`.
+///
+/// # Panics
+/// Panics if `rate` is not strictly positive.
+pub fn exponential(rng: &mut SimRng, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be > 0, got {rate}");
+    -rng.next_f64_open().ln() / rate
+}
+
+/// Log-normal parameterized by the *median* and the shape `sigma`
+/// (the standard deviation of the underlying normal).
+///
+/// `median` is `exp(mu)`, which is far more intuitive for token lengths
+/// ("the median conversation prompt is ~1 K tokens") than `mu` itself.
+///
+/// # Panics
+/// Panics if `median <= 0` or `sigma < 0`.
+pub fn lognormal(rng: &mut SimRng, median: f64, sigma: f64) -> f64 {
+    assert!(median > 0.0, "lognormal median must be > 0");
+    assert!(sigma >= 0.0, "lognormal sigma must be >= 0");
+    median * (sigma * standard_normal(rng)).exp()
+}
+
+/// Pareto (type I) draw with scale `x_min` and shape `alpha`.
+///
+/// Small `alpha` (≈1) produces the heavy-tailed popularity skew of
+/// serverless function invocations — a few hot functions, a long cold tail.
+///
+/// # Panics
+/// Panics if `x_min <= 0` or `alpha <= 0`.
+pub fn pareto(rng: &mut SimRng, x_min: f64, alpha: f64) -> f64 {
+    assert!(x_min > 0.0, "pareto x_min must be > 0");
+    assert!(alpha > 0.0, "pareto alpha must be > 0");
+    x_min / rng.next_f64_open().powf(1.0 / alpha)
+}
+
+/// Gamma draw with shape `k` and scale `theta` (mean `k*theta`),
+/// using Marsaglia–Tsang for `k >= 1` and the boost transform for `k < 1`.
+///
+/// # Panics
+/// Panics if `k <= 0` or `theta <= 0`.
+pub fn gamma(rng: &mut SimRng, k: f64, theta: f64) -> f64 {
+    assert!(k > 0.0, "gamma shape must be > 0");
+    assert!(theta > 0.0, "gamma scale must be > 0");
+    if k < 1.0 {
+        // Gamma(k) = Gamma(k+1) * U^{1/k}
+        let g = gamma(rng, k + 1.0, 1.0);
+        return g * rng.next_f64_open().powf(1.0 / k) * theta;
+    }
+    let d = k - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u = rng.next_f64_open();
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v * theta;
+        }
+    }
+}
+
+/// Zipf-like popularity weights for `n` items with exponent `s`,
+/// normalized to sum to 1. Item 0 is the most popular.
+///
+/// # Panics
+/// Panics if `n` is zero.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "zipf_weights needs n > 0");
+    let mut w: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect();
+    let total: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= total;
+    }
+    w
+}
+
+/// Samples an index from a discrete distribution given by `weights`
+/// (need not be normalized).
+///
+/// # Panics
+/// Panics if `weights` is empty or sums to zero.
+pub fn discrete(rng: &mut SimRng, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "discrete: empty weights");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "discrete: weights sum to zero");
+    let mut target = rng.next_f64() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target < 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(f: impl FnMut() -> f64, n: usize) -> f64 {
+        let mut f = f;
+        (0..n).map(|_| f()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn normal_mean_and_var() {
+        let mut rng = SimRng::new(1);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SimRng::new(2);
+        let m = mean_of(|| exponential(&mut rng, 4.0), 100_000);
+        assert!((m - 0.25).abs() < 0.01, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut rng = SimRng::new(3);
+        let mut xs: Vec<f64> = (0..50_001).map(|_| lognormal(&mut rng, 1024.0, 0.8)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[25_000];
+        assert!((med / 1024.0 - 1.0).abs() < 0.05, "median {med}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn pareto_is_bounded_below_and_heavy_tailed() {
+        let mut rng = SimRng::new(4);
+        let xs: Vec<f64> = (0..100_000).map(|_| pareto(&mut rng, 1.0, 1.1)).collect();
+        assert!(xs.iter().all(|&x| x >= 1.0));
+        let big = xs.iter().filter(|&&x| x > 100.0).count();
+        assert!(big > 100, "tail too light: {big}");
+    }
+
+    #[test]
+    fn gamma_mean_small_and_large_shape() {
+        let mut rng = SimRng::new(5);
+        let m1 = mean_of(|| gamma(&mut rng, 0.5, 2.0), 100_000);
+        assert!((m1 - 1.0).abs() < 0.05, "k<1 mean {m1}");
+        let m2 = mean_of(|| gamma(&mut rng, 4.0, 0.5), 100_000);
+        assert!((m2 - 2.0).abs() < 0.05, "k>=1 mean {m2}");
+    }
+
+    #[test]
+    fn zipf_weights_are_normalized_and_decreasing() {
+        let w = zipf_weights(100, 1.05);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for pair in w.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        // Top item should dominate the tail item heavily.
+        assert!(w[0] / w[99] > 50.0);
+    }
+
+    #[test]
+    fn discrete_respects_weights() {
+        let mut rng = SimRng::new(6);
+        let w = [0.1, 0.0, 0.9];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[discrete(&mut rng, &w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential rate")]
+    fn exponential_rejects_zero_rate() {
+        exponential(&mut SimRng::new(0), 0.0);
+    }
+}

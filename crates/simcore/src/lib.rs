@@ -1,0 +1,43 @@
+//! Discrete-event simulation spine for the SLINFER reproduction.
+//!
+//! This crate provides the foundation every other crate in the workspace
+//! builds on:
+//!
+//! - [`time`] — microsecond-resolution simulated time ([`SimTime`],
+//!   [`SimDuration`]) with saturating arithmetic, so a simulation can never
+//!   silently wrap around.
+//! - [`events`] — a deterministic [`EventQueue`]: ties at the same timestamp
+//!   are broken by insertion order, which makes every run reproducible from a
+//!   single seed.
+//! - [`rng`] — a small, fast, seedable random-number generator
+//!   ([`SimRng`], SplitMix64-based) with stream splitting so independent
+//!   subsystems draw from decorrelated streams.
+//! - [`dist`] — the distributions the workload generators need (exponential,
+//!   log-normal, Pareto, gamma), implemented directly so their sampling is
+//!   stable across `rand` versions.
+//! - [`stats`] — percentile/CDF/histogram helpers used by the metrics
+//!   recorder and the experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use simcore::events::EventQueue;
+//! use simcore::time::{SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.push(SimTime::ZERO + SimDuration::from_millis(5), "b");
+//! q.push(SimTime::ZERO + SimDuration::from_millis(1), "a");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "a");
+//! assert_eq!(t.as_millis(), 1);
+//! ```
+
+pub mod dist;
+pub mod events;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use events::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

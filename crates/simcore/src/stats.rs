@@ -1,0 +1,315 @@
+//! Summary statistics for metrics and experiment output.
+//!
+//! The experiment harness reports CDFs (TTFT, memory utilization, batch
+//! size), percentiles (P50–P99 footprints) and means. [`Summary`] collects
+//! samples incrementally; [`Cdf`] produces the plotted curves.
+
+use serde::{Deserialize, Serialize};
+
+/// Incremental collector of `f64` samples with percentile queries.
+///
+/// ```
+/// use simcore::stats::Summary;
+/// let mut s = Summary::new();
+/// for x in 1..=100 {
+///     s.add(x as f64);
+/// }
+/// assert_eq!(s.count(), 100);
+/// assert!((s.mean() - 50.5).abs() < 1e-9);
+/// assert_eq!(s.percentile(50.0), 50.0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Adds one sample. Non-finite values are ignored.
+    pub fn add(&mut self, x: f64) {
+        if x.is_finite() {
+            self.samples.push(x);
+            self.sorted = false;
+        }
+    }
+
+    /// Number of samples collected.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().cloned().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile (0–100) by nearest-rank, or 0 if empty.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.saturating_sub(1).min(self.samples.len() - 1)]
+    }
+
+    /// Fraction of samples `<= threshold`.
+    pub fn fraction_at_most(&self, threshold: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|&&x| x <= threshold).count() as f64
+            / self.samples.len() as f64
+    }
+
+    /// Builds an empirical CDF over `points` evaluation thresholds spanning
+    /// the sample range.
+    pub fn cdf(&mut self, points: usize) -> Cdf {
+        self.ensure_sorted();
+        Cdf::from_sorted(&self.samples, points)
+    }
+
+    /// Read-only view of the raw samples (sorted if a percentile query ran).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+/// An empirical CDF: `(x, F(x))` pairs with `F` non-decreasing to 1.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    /// Evaluation points and cumulative fractions.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    fn from_sorted(sorted: &[f64], n_points: usize) -> Cdf {
+        if sorted.is_empty() || n_points == 0 {
+            return Cdf { points: Vec::new() };
+        }
+        let lo = sorted[0];
+        let hi = sorted[sorted.len() - 1];
+        let n = sorted.len() as f64;
+        let mut points = Vec::with_capacity(n_points);
+        for i in 0..n_points {
+            // Pin the final point to exactly `hi`: `lo + (hi-lo)·1.0` can
+            // round just below it and leave the CDF short of 1.
+            let x = if n_points == 1 || i + 1 == n_points {
+                hi
+            } else {
+                lo + (hi - lo) * i as f64 / (n_points - 1) as f64
+            };
+            let count = sorted.partition_point(|&v| v <= x);
+            points.push((x, count as f64 / n));
+        }
+        Cdf { points }
+    }
+
+    /// `F(x)` by step interpolation; 0 below the range, 1 above it.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        if x < self.points[0].0 {
+            return 0.0;
+        }
+        let mut last = 0.0;
+        for &(px, f) in &self.points {
+            if px > x {
+                break;
+            }
+            last = f;
+        }
+        last
+    }
+}
+
+/// Time-weighted mean of a piecewise-constant signal, e.g. "average nodes
+/// used". Feed `(time_seconds, value)` change-points in order; the value
+/// holds until the next change-point.
+#[derive(Debug, Clone, Default)]
+pub struct TimeWeighted {
+    last_t: Option<f64>,
+    last_v: f64,
+    integral: f64,
+    span: f64,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that the signal changed to `value` at time `t` (seconds).
+    ///
+    /// Out-of-order timestamps are clamped to the last seen time.
+    pub fn record(&mut self, t: f64, value: f64) {
+        if let Some(last) = self.last_t {
+            let t = t.max(last);
+            self.integral += self.last_v * (t - last);
+            self.span += t - last;
+            self.last_t = Some(t);
+        } else {
+            self.last_t = Some(t);
+        }
+        self.last_v = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// Closes the signal at time `t` and returns the time-weighted mean.
+    pub fn finish(&mut self, t: f64) -> f64 {
+        if let Some(last) = self.last_t {
+            let t = t.max(last);
+            self.integral += self.last_v * (t - last);
+            self.span += t - last;
+            self.last_t = Some(t);
+        }
+        self.mean()
+    }
+
+    /// Time-weighted mean over the observed span (0 if no span).
+    pub fn mean(&self) -> f64 {
+        if self.span <= 0.0 {
+            0.0
+        } else {
+            self.integral / self.span
+        }
+    }
+
+    /// Largest value observed.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s: Summary = (1..=10).map(|x| x as f64).collect();
+        assert_eq!(s.percentile(10.0), 1.0);
+        assert_eq!(s.percentile(50.0), 5.0);
+        assert_eq!(s.percentile(100.0), 10.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(99.0), 0.0);
+        assert_eq!(s.fraction_at_most(10.0), 0.0);
+        assert!(s.cdf(10).points.is_empty());
+    }
+
+    #[test]
+    fn nan_samples_ignored() {
+        let mut s = Summary::new();
+        s.add(f64::NAN);
+        s.add(1.0);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn cdf_monotone_and_ends_at_one() {
+        let mut s: Summary = (0..1000).map(|x| (x % 97) as f64).collect();
+        let cdf = s.cdf(50);
+        assert_eq!(cdf.points.len(), 50);
+        for w in cdf.points.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((cdf.points.last().unwrap().1 - 1.0).abs() < 1e-9);
+        assert_eq!(cdf.at(-1.0), 0.0);
+        assert_eq!(cdf.at(1e9), 1.0);
+    }
+
+    #[test]
+    fn fraction_at_most_counts() {
+        let s: Summary = vec![1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(s.fraction_at_most(2.0), 0.5);
+        assert_eq!(s.fraction_at_most(0.5), 0.0);
+        assert_eq!(s.fraction_at_most(4.0), 1.0);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut tw = TimeWeighted::new();
+        tw.record(0.0, 2.0); // 2 for 10s
+        tw.record(10.0, 4.0); // 4 for 10s
+        let mean = tw.finish(20.0);
+        assert!((mean - 3.0).abs() < 1e-9);
+        assert_eq!(tw.peak(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_out_of_order_clamps() {
+        let mut tw = TimeWeighted::new();
+        tw.record(5.0, 1.0);
+        tw.record(3.0, 2.0); // clamped to t=5
+        let mean = tw.finish(10.0);
+        assert!((mean - 2.0).abs() < 1e-9);
+    }
+}

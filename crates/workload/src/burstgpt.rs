@@ -1,0 +1,147 @@
+//! BurstGPT-style load generator (§IX-I2).
+//!
+//! BurstGPT is a single-endpoint LLM trace with strongly bursty arrivals.
+//! The paper redistributes its invocations across 64 models following a
+//! Pareto distribution and samples segments at different aggregate RPS
+//! (0.5–4). This generator reproduces that construction: Gamma-distributed
+//! inter-arrival times (shape < 1 ⇒ over-dispersed, bursty) at a target
+//! aggregate rate, with the model of each request drawn from a Pareto-tailed
+//! popularity law.
+
+use serde::{Deserialize, Serialize};
+use simcore::dist::{discrete, gamma, zipf_weights};
+use simcore::rng::SimRng;
+use simcore::time::{SimDuration, SimTime};
+
+use crate::datasets::Dataset;
+use crate::request::{ModelId, Request, RequestId, Trace};
+
+/// Parameters of one BurstGPT-like segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BurstGptSpec {
+    /// Number of models the load is spread over (the paper uses 64).
+    pub n_models: u32,
+    /// Segment length.
+    pub duration: SimDuration,
+    /// Target aggregate requests per second.
+    pub rps: f64,
+    /// Coefficient of variation of inter-arrival times (>1 ⇒ bursty).
+    pub burstiness_cv: f64,
+    /// Pareto/Zipf exponent of the per-request model choice.
+    pub zipf_s: f64,
+    /// Dataset supplying token lengths.
+    pub dataset: Dataset,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl BurstGptSpec {
+    /// The §IX-I2 configuration at the given aggregate RPS.
+    pub fn paper(rps: f64, seed: u64) -> Self {
+        BurstGptSpec {
+            n_models: 64,
+            duration: SimDuration::from_secs(30 * 60),
+            rps,
+            burstiness_cv: 2.0,
+            zipf_s: 1.05,
+            dataset: Dataset::AzureConv,
+            seed,
+        }
+    }
+
+    /// Generates the segment.
+    ///
+    /// # Panics
+    /// Panics if `rps`, `burstiness_cv` or `n_models` is not positive.
+    pub fn generate(&self) -> Trace {
+        assert!(self.n_models > 0, "n_models must be positive");
+        assert!(self.rps > 0.0, "rps must be positive");
+        assert!(self.burstiness_cv > 0.0, "burstiness_cv must be positive");
+        let root = SimRng::new(self.seed);
+        let mut arr_rng = root.split(1);
+        let mut model_rng = root.split(2);
+        let mut len_rng = root.split(3);
+
+        // Gamma inter-arrivals: shape k = 1/cv², scale θ = 1/(rps·k)
+        // ⇒ mean 1/rps, CV as configured.
+        let k = 1.0 / (self.burstiness_cv * self.burstiness_cv);
+        let theta = 1.0 / (self.rps * k);
+        let weights = zipf_weights(self.n_models as usize, self.zipf_s);
+
+        let horizon = self.duration.as_secs_f64();
+        let mut requests = Vec::new();
+        let mut t = 0.0;
+        loop {
+            t += gamma(&mut arr_rng, k, theta);
+            if t >= horizon {
+                break;
+            }
+            let model = discrete(&mut model_rng, &weights) as u32;
+            let (input_len, output_len) = self.dataset.sample_lengths(&mut len_rng);
+            requests.push(Request {
+                id: RequestId(requests.len() as u64),
+                model: ModelId(model),
+                arrival: SimTime::from_secs_f64(t),
+                input_len,
+                output_len,
+            });
+        }
+        Trace::new(requests, self.n_models, self.duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_matches_target() {
+        for rps in [0.5, 1.0, 2.0, 4.0] {
+            let trace = BurstGptSpec::paper(rps, 1).generate();
+            let got = trace.len() as f64 / trace.duration.as_secs_f64();
+            assert!(
+                (got / rps - 1.0).abs() < 0.10,
+                "target {rps} rps, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn interarrivals_are_bursty() {
+        let trace = BurstGptSpec::paper(2.0, 2).generate();
+        let gaps: Vec<f64> = trace
+            .requests
+            .windows(2)
+            .map(|w| w[1].arrival.as_secs_f64() - w[0].arrival.as_secs_f64())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!(cv > 1.5, "inter-arrival CV {cv} should be bursty (>1.5)");
+    }
+
+    #[test]
+    fn spread_over_many_models_with_skew() {
+        let trace = BurstGptSpec::paper(4.0, 3).generate();
+        let mut counts = vec![0usize; 64];
+        for r in &trace.requests {
+            counts[r.model.0 as usize] += 1;
+        }
+        let active = counts.iter().filter(|&&c| c > 0).count();
+        assert!(active > 48, "most of the 64 models should see traffic");
+        let max = *counts.iter().max().unwrap();
+        let median = {
+            let mut c = counts.clone();
+            c.sort();
+            c[32]
+        };
+        assert!(max > 5 * median.max(1), "popularity skew max {max} median {median}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = BurstGptSpec::paper(1.0, 7).generate();
+        let b = BurstGptSpec::paper(1.0, 7).generate();
+        assert_eq!(a.requests, b.requests);
+    }
+}

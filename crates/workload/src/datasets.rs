@@ -1,0 +1,244 @@
+//! Token-length distributions for the five evaluation datasets.
+//!
+//! Figure 34 characterizes each dataset's input/output length CDFs; the
+//! paper additionally quotes that 97.9% of conversation and 85.9% of coding
+//! inputs in the Azure LLM trace are under 4 K tokens (§IV-A2), that
+//! ShareGPT's longer outputs provide more batching opportunity, and that
+//! LongBench inputs reach 32 K tokens (§IX-I1). Each dataset here is a
+//! clamped log-normal pair fitted to those anchors; the calibration tests at
+//! the bottom pin the quantiles.
+
+use serde::{Deserialize, Serialize};
+use simcore::dist::lognormal;
+use simcore::rng::SimRng;
+
+/// One of the paper's evaluation datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// Azure LLM inference trace, conversation slice (the default workload).
+    AzureConv,
+    /// Azure LLM inference trace, code slice.
+    AzureCode,
+    /// HumanEval programming problems (short prompts, short completions).
+    HumanEval,
+    /// ShareGPT chat logs (long, chatty outputs).
+    ShareGpt,
+    /// LongBench long-context suite (up to 32 K-token inputs).
+    LongBench,
+}
+
+/// Parameters of one clamped log-normal length distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct LenDist {
+    median: f64,
+    sigma: f64,
+    min: u32,
+    max: u32,
+}
+
+impl LenDist {
+    fn sample(&self, rng: &mut SimRng) -> u32 {
+        let x = lognormal(rng, self.median, self.sigma);
+        (x.round() as u32).clamp(self.min, self.max)
+    }
+}
+
+impl Dataset {
+    /// All five datasets in the order of Figure 35.
+    pub const ALL: [Dataset; 5] = [
+        Dataset::HumanEval,
+        Dataset::AzureCode,
+        Dataset::AzureConv,
+        Dataset::LongBench,
+        Dataset::ShareGpt,
+    ];
+
+    /// Short display name matching the figure labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::AzureConv => "AzureConv",
+            Dataset::AzureCode => "AzureCode",
+            Dataset::HumanEval => "HumanEval",
+            Dataset::ShareGpt => "ShareGPT",
+            Dataset::LongBench => "LongBench",
+        }
+    }
+
+    fn input_dist(self) -> LenDist {
+        match self {
+            // P(<4096) = 97.9% => sigma = ln(4096/median)/z(0.979), z≈2.034.
+            Dataset::AzureConv => LenDist {
+                median: 1024.0,
+                sigma: 0.682,
+                min: 16,
+                max: 32_768,
+            },
+            // P(<4096) = 85.9% => z≈1.076 with median 2048 ⇒ sigma 0.644.
+            Dataset::AzureCode => LenDist {
+                median: 2048.0,
+                sigma: 0.644,
+                min: 16,
+                max: 32_768,
+            },
+            Dataset::HumanEval => LenDist {
+                median: 180.0,
+                sigma: 0.45,
+                min: 16,
+                max: 2_048,
+            },
+            Dataset::ShareGpt => LenDist {
+                median: 600.0,
+                sigma: 1.0,
+                min: 16,
+                max: 16_384,
+            },
+            Dataset::LongBench => LenDist {
+                median: 8_000.0,
+                sigma: 0.62,
+                min: 512,
+                max: 32_768,
+            },
+        }
+    }
+
+    fn output_dist(self) -> LenDist {
+        match self {
+            Dataset::AzureConv => LenDist {
+                median: 128.0,
+                sigma: 0.9,
+                min: 1,
+                max: 1_024,
+            },
+            Dataset::AzureCode => LenDist {
+                median: 40.0,
+                sigma: 0.8,
+                min: 1,
+                max: 512,
+            },
+            Dataset::HumanEval => LenDist {
+                median: 80.0,
+                sigma: 0.6,
+                min: 1,
+                max: 512,
+            },
+            // "Datasets with longer outputs, such as ShareGPT" (§IX-I1).
+            Dataset::ShareGpt => LenDist {
+                median: 320.0,
+                sigma: 0.9,
+                min: 1,
+                max: 2_048,
+            },
+            Dataset::LongBench => LenDist {
+                median: 64.0,
+                sigma: 0.5,
+                min: 1,
+                max: 512,
+            },
+        }
+    }
+
+    /// Draws one prompt length.
+    pub fn sample_input_len(self, rng: &mut SimRng) -> u32 {
+        self.input_dist().sample(rng)
+    }
+
+    /// Draws one completion length.
+    pub fn sample_output_len(self, rng: &mut SimRng) -> u32 {
+        self.output_dist().sample(rng)
+    }
+
+    /// Draws an (input, output) pair.
+    pub fn sample_lengths(self, rng: &mut SimRng) -> (u32, u32) {
+        (self.sample_input_len(rng), self.sample_output_len(rng))
+    }
+
+    /// Mean output length of this distribution, estimated by sampling.
+    /// Schedulers use historical means, not oracle values (§VII-A).
+    pub fn mean_output_len(self, seed: u64) -> f64 {
+        let mut rng = SimRng::new(seed).split(0x0u64);
+        let n = 4096;
+        (0..n).map(|_| self.sample_output_len(&mut rng) as f64).sum::<f64>() / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fraction_below(ds: Dataset, threshold: u32, n: usize, input: bool) -> f64 {
+        let mut rng = SimRng::new(7);
+        let below = (0..n)
+            .filter(|_| {
+                let x = if input {
+                    ds.sample_input_len(&mut rng)
+                } else {
+                    ds.sample_output_len(&mut rng)
+                };
+                x < threshold
+            })
+            .count();
+        below as f64 / n as f64
+    }
+
+    #[test]
+    fn azure_conv_inputs_match_quoted_quantile() {
+        // §IV-A2: 97.9% of conversation inputs are under 4 K tokens.
+        let f = fraction_below(Dataset::AzureConv, 4096, 50_000, true);
+        assert!((f - 0.979).abs() < 0.01, "AzureConv P(<4K) = {f}");
+    }
+
+    #[test]
+    fn azure_code_inputs_match_quoted_quantile() {
+        // §IV-A2: 85.9% of coding inputs are under 4 K tokens.
+        let f = fraction_below(Dataset::AzureCode, 4096, 50_000, true);
+        assert!((f - 0.859).abs() < 0.015, "AzureCode P(<4K) = {f}");
+    }
+
+    #[test]
+    fn longbench_reaches_32k() {
+        let mut rng = SimRng::new(3);
+        let max = (0..20_000)
+            .map(|_| Dataset::LongBench.sample_input_len(&mut rng))
+            .max()
+            .unwrap();
+        assert!(max >= 30_000, "LongBench should reach ~32K, max {max}");
+        // And its median input must dwarf the conversational datasets.
+        let f = fraction_below(Dataset::LongBench, 4096, 20_000, true);
+        assert!(f < 0.25, "LongBench P(<4K) = {f}");
+    }
+
+    #[test]
+    fn sharegpt_outputs_are_longest() {
+        let mean = |ds: Dataset| {
+            let mut rng = SimRng::new(11);
+            (0..20_000).map(|_| ds.sample_output_len(&mut rng) as f64).sum::<f64>() / 20_000.0
+        };
+        let share = mean(Dataset::ShareGpt);
+        for ds in [Dataset::AzureConv, Dataset::AzureCode, Dataset::HumanEval, Dataset::LongBench]
+        {
+            assert!(share > mean(ds), "ShareGPT outputs should be longest");
+        }
+    }
+
+    #[test]
+    fn lengths_respect_clamps() {
+        let mut rng = SimRng::new(5);
+        for ds in Dataset::ALL {
+            for _ in 0..5_000 {
+                let (i, o) = ds.sample_lengths(&mut rng);
+                assert!(i >= 16 || ds == Dataset::LongBench);
+                assert!(i <= 32_768);
+                assert!(o >= 1 && o <= 2_048);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_output_is_deterministic_per_seed() {
+        let a = Dataset::AzureConv.mean_output_len(1);
+        let b = Dataset::AzureConv.mean_output_len(1);
+        assert_eq!(a, b);
+        // Log-normal mean > median.
+        assert!(a > 128.0 && a < 400.0, "AzureConv mean output {a}");
+    }
+}

@@ -1,0 +1,234 @@
+//! Request, trace, and SLO types shared by every scheduler.
+
+use serde::{Deserialize, Serialize};
+use simcore::time::{SimDuration, SimTime};
+
+/// Identifies one hosted model (one "serverless function" in the paper's
+/// Azure-trace mapping).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ModelId(pub u32);
+
+/// Identifies one inference request.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RequestId(pub u64);
+
+/// One inference request: which model, when it arrived, and its token
+/// lengths. The output length is pre-drawn by the generator but is hidden
+/// from schedulers until tokens are actually produced (the paper's memory
+/// estimator must *guess* it, §VII-A).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique id.
+    pub id: RequestId,
+    /// The model this request invokes.
+    pub model: ModelId,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Prompt length in tokens.
+    pub input_len: u32,
+    /// Ground-truth completion length in tokens (schedulers must not peek).
+    pub output_len: u32,
+}
+
+/// Service-level objectives, following §IX-A:
+/// `TTFT ≤ min(max(0.5, L/512), 8)` seconds and `TPOT ≤ 0.25` s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Slo {
+    /// Lower clamp of the TTFT SLO, seconds.
+    pub ttft_floor_s: f64,
+    /// Upper clamp of the TTFT SLO, seconds.
+    pub ttft_cap_s: f64,
+    /// Input tokens per second of TTFT allowance.
+    pub ttft_tokens_per_s: f64,
+    /// Time-per-output-token SLO, seconds.
+    pub tpot_s: f64,
+}
+
+impl Default for Slo {
+    fn default() -> Self {
+        Slo {
+            ttft_floor_s: 0.5,
+            ttft_cap_s: 8.0,
+            ttft_tokens_per_s: 512.0,
+            tpot_s: 0.25,
+        }
+    }
+}
+
+impl Slo {
+    /// The paper's default SLO.
+    pub fn paper() -> Self {
+        Slo::default()
+    }
+
+    /// A tighter interactive SLO (100 ms TPOT) used in §IV-A2's feasibility
+    /// discussion.
+    pub fn tight() -> Self {
+        Slo {
+            tpot_s: 0.10,
+            ..Slo::default()
+        }
+    }
+
+    /// TTFT budget for a request with `input_len` prompt tokens.
+    pub fn ttft(&self, input_len: u32) -> SimDuration {
+        let s = (input_len as f64 / self.ttft_tokens_per_s)
+            .max(self.ttft_floor_s)
+            .min(self.ttft_cap_s);
+        SimDuration::from_secs_f64(s)
+    }
+
+    /// TPOT budget per output token.
+    pub fn tpot(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.tpot_s)
+    }
+
+    /// The absolute deadline for token number `tokens_done + 1` of a request
+    /// that started at `start`: `ST + TTFT_SLO + TPOT_SLO · O` (Eq. 1).
+    pub fn token_deadline(&self, start: SimTime, input_len: u32, tokens_done: u32) -> SimTime {
+        start + self.ttft(input_len) + self.tpot() * tokens_done as u64
+    }
+
+    /// Headroom (Eq. 1): seconds until the next-token deadline; negative
+    /// once the SLO is violated.
+    pub fn headroom(
+        &self,
+        now: SimTime,
+        start: SimTime,
+        input_len: u32,
+        tokens_done: u32,
+    ) -> f64 {
+        self.token_deadline(start, input_len, tokens_done)
+            .signed_secs_since(now)
+    }
+}
+
+/// A complete workload: requests sorted by arrival plus the model count.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Requests in non-decreasing arrival order.
+    pub requests: Vec<Request>,
+    /// Number of distinct models (functions) in this trace.
+    pub n_models: u32,
+    /// Nominal duration of the trace window.
+    pub duration: SimDuration,
+}
+
+impl Trace {
+    /// Validates and wraps a request list.
+    ///
+    /// # Panics
+    /// Panics if requests are not sorted by arrival time.
+    pub fn new(mut requests: Vec<Request>, n_models: u32, duration: SimDuration) -> Self {
+        requests.sort_by_key(|r| (r.arrival, r.id));
+        Trace {
+            requests,
+            n_models,
+            duration,
+        }
+    }
+
+    /// Total number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True if the trace holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Aggregate requests-per-minute over the nominal duration.
+    pub fn aggregate_rpm(&self) -> f64 {
+        let mins = self.duration.as_secs_f64() / 60.0;
+        if mins <= 0.0 {
+            0.0
+        } else {
+            self.requests.len() as f64 / mins
+        }
+    }
+
+    /// Restricts the trace to requests arriving before `cutoff`.
+    pub fn truncated(&self, cutoff: SimTime) -> Trace {
+        Trace {
+            requests: self
+                .requests
+                .iter()
+                .filter(|r| r.arrival < cutoff)
+                .cloned()
+                .collect(),
+            n_models: self.n_models,
+            duration: cutoff - SimTime::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slo_matches_paper_formula() {
+        let slo = Slo::paper();
+        // min(max(0.5, L/512), 8)
+        assert_eq!(slo.ttft(100).as_secs_f64(), 0.5);
+        assert_eq!(slo.ttft(1024).as_secs_f64(), 2.0);
+        assert_eq!(slo.ttft(8192).as_secs_f64(), 8.0);
+        assert_eq!(slo.tpot().as_millis(), 250);
+    }
+
+    #[test]
+    fn headroom_equation_one() {
+        // Figure 14's worked example: TPOT SLO 0.25 s; a request that has
+        // produced O tokens has deadline ST + TTFT + 0.25·O.
+        let slo = Slo::paper();
+        let start = SimTime::from_secs(10);
+        let now = SimTime::from_secs(11);
+        // input 1024 => TTFT SLO 2 s; after 4 tokens: deadline = 10+2+1 = 13.
+        assert_eq!(slo.headroom(now, start, 1024, 4), 2.0);
+        // Negative headroom signals violation.
+        let late = SimTime::from_secs(14);
+        assert_eq!(slo.headroom(late, start, 1024, 4), -1.0);
+    }
+
+    #[test]
+    fn trace_sorts_requests() {
+        let mk = |id: u64, t: u64| Request {
+            id: RequestId(id),
+            model: ModelId(0),
+            arrival: SimTime::from_secs(t),
+            input_len: 10,
+            output_len: 10,
+        };
+        let t = Trace::new(
+            vec![mk(2, 5), mk(1, 1), mk(3, 3)],
+            1,
+            SimDuration::from_secs(10),
+        );
+        let ids: Vec<u64> = t.requests.iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn aggregate_rpm_and_truncation() {
+        let mk = |id: u64, t: u64| Request {
+            id: RequestId(id),
+            model: ModelId(0),
+            arrival: SimTime::from_secs(t),
+            input_len: 10,
+            output_len: 10,
+        };
+        let t = Trace::new(
+            (0..120).map(|i| mk(i, i)).collect(),
+            1,
+            SimDuration::from_secs(120),
+        );
+        assert_eq!(t.aggregate_rpm(), 60.0);
+        let half = t.truncated(SimTime::from_secs(60));
+        assert_eq!(half.len(), 60);
+    }
+}

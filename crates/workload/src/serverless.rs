@@ -1,0 +1,262 @@
+//! Azure-Serverless-style multi-model invocation generator.
+//!
+//! The paper maps each hosted LLM to one function of the Azure Serverless
+//! trace (§IX-A), keeping three properties this generator reproduces:
+//!
+//! 1. **Skewed popularity** — "most models have few requests, while top
+//!    models have many" (Fig. 21); the top 1% of functions contributes ≈26%
+//!    of all requests (§IV-C). Model weights follow a Zipf law.
+//! 2. **Burstiness** — hot functions see arrival bursts driving concurrency
+//!    from 1 to beyond 128 (Fig. 12). A fraction of each model's requests
+//!    arrive in tight bursts whose size scales with popularity.
+//! 3. **Volume** — uniformly sampling 32/64/128 functions from the first
+//!    30-minute segment yields 2 366 / 4 684 / 9 266 requests (~73.5 requests
+//!    per model), aggregate 79/156/309 RPM (Fig. 21).
+
+use serde::{Deserialize, Serialize};
+use simcore::dist::{exponential, zipf_weights};
+use simcore::rng::SimRng;
+use simcore::time::{SimDuration, SimTime};
+
+use crate::datasets::Dataset;
+use crate::request::{ModelId, Request, RequestId, Trace};
+
+/// Parameters of one synthetic serverless trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpec {
+    /// Number of hosted models (functions).
+    pub n_models: u32,
+    /// Trace window length.
+    pub duration: SimDuration,
+    /// Mean requests per model over the window (the Azure segment averages
+    /// ≈73.5).
+    pub requests_per_model: f64,
+    /// Zipf exponent of the popularity law.
+    pub zipf_s: f64,
+    /// Fraction of each model's requests that arrive in bursts.
+    pub burst_fraction: f64,
+    /// Mean intra-burst inter-arrival gap, seconds.
+    pub burst_gap_s: f64,
+    /// Dataset supplying token lengths.
+    pub dataset: Dataset,
+    /// Seed; equal specs with equal seeds generate identical traces.
+    pub seed: u64,
+}
+
+impl TraceSpec {
+    /// The paper's §IX-A configuration: a 30-minute Azure-like segment with
+    /// the conversation dataset.
+    pub fn azure_like(n_models: u32, seed: u64) -> Self {
+        TraceSpec {
+            n_models,
+            duration: SimDuration::from_secs(30 * 60),
+            requests_per_model: 73.5,
+            zipf_s: 1.05,
+            burst_fraction: 0.5,
+            burst_gap_s: 0.3,
+            dataset: Dataset::AzureConv,
+            seed,
+        }
+    }
+
+    /// Replaces the length dataset (for the §IX-I1 sweep).
+    pub fn with_dataset(mut self, dataset: Dataset) -> Self {
+        self.dataset = dataset;
+        self
+    }
+
+    /// Scales the request volume by `factor` (load sweeps).
+    pub fn with_load_scale(mut self, factor: f64) -> Self {
+        self.requests_per_model *= factor;
+        self
+    }
+
+    /// Generates the trace.
+    ///
+    /// # Panics
+    /// Panics if `n_models` is zero or `requests_per_model` is not positive.
+    pub fn generate(&self) -> Trace {
+        assert!(self.n_models > 0, "trace needs at least one model");
+        assert!(
+            self.requests_per_model > 0.0,
+            "requests_per_model must be positive"
+        );
+        let root = SimRng::new(self.seed);
+        let mut pop_rng = root.split(1);
+        let mut arrivals_rng = root.split(2);
+        let mut len_rng = root.split(3);
+
+        let total = self.requests_per_model * self.n_models as f64;
+        let mut weights = zipf_weights(self.n_models as usize, self.zipf_s);
+        // Decouple model id from popularity rank.
+        let mut ranks: Vec<usize> = (0..self.n_models as usize).collect();
+        pop_rng.shuffle(&mut ranks);
+        let mut per_model = vec![0usize; self.n_models as usize];
+        for (rank, &model) in ranks.iter().enumerate() {
+            let lambda = weights[rank] * total;
+            // Randomized rounding keeps the expected total exact.
+            let floor = lambda.floor();
+            per_model[model] =
+                floor as usize + usize::from(pop_rng.next_bool(lambda - floor));
+        }
+        weights.clear();
+
+        let horizon = self.duration.as_secs_f64();
+        let mut requests = Vec::with_capacity(total as usize + 16);
+        for (model, &n) in per_model.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let burst_budget = (n as f64 * self.burst_fraction).round() as usize;
+            let mean_burst = ((n as f64) / 8.0).clamp(3.0, 150.0);
+            let mut placed = 0usize;
+            // Bursts: geometric sizes around `mean_burst`, centers uniform.
+            while placed < burst_budget {
+                let size = sample_burst_size(&mut arrivals_rng, mean_burst)
+                    .min(burst_budget - placed);
+                let start = arrivals_rng.next_f64() * horizon;
+                let mut t = start;
+                for _ in 0..size {
+                    push_request(
+                        &mut requests,
+                        model as u32,
+                        t.min(horizon),
+                        self.dataset,
+                        &mut len_rng,
+                    );
+                    t += exponential(&mut arrivals_rng, 1.0 / self.burst_gap_s);
+                }
+                placed += size;
+            }
+            // Background arrivals: uniform (Poisson) over the window.
+            for _ in placed..n {
+                let t = arrivals_rng.next_f64() * horizon;
+                push_request(&mut requests, model as u32, t, self.dataset, &mut len_rng);
+            }
+        }
+
+        let mut trace = Trace::new(requests, self.n_models, self.duration);
+        for (i, r) in trace.requests.iter_mut().enumerate() {
+            r.id = RequestId(i as u64);
+        }
+        trace
+    }
+}
+
+fn sample_burst_size(rng: &mut SimRng, mean: f64) -> usize {
+    // Geometric with the given mean, at least 1.
+    let p = 1.0 / mean.max(1.0);
+    let u = rng.next_f64_open();
+    ((u.ln() / (1.0 - p).ln()).ceil() as usize).max(1)
+}
+
+fn push_request(
+    out: &mut Vec<Request>,
+    model: u32,
+    at_s: f64,
+    dataset: Dataset,
+    len_rng: &mut SimRng,
+) {
+    let (input_len, output_len) = dataset.sample_lengths(len_rng);
+    out.push(Request {
+        id: RequestId(0), // assigned after the global sort
+        model: ModelId(model),
+        arrival: SimTime::from_secs_f64(at_s),
+        input_len,
+        output_len,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn volume_matches_figure21() {
+        // Fig. 21: 2366 / 4684 / 9266 requests (±15% for synthetic jitter).
+        for (n, expect) in [(32u32, 2366.0), (64, 4684.0), (128, 9266.0)] {
+            let trace = TraceSpec::azure_like(n, 1).generate();
+            let got = trace.len() as f64;
+            assert!(
+                (got / expect - 1.0).abs() < 0.15,
+                "{n} models: {got} requests vs paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_rpm_matches_figure21() {
+        let trace = TraceSpec::azure_like(64, 2).generate();
+        let rpm = trace.aggregate_rpm();
+        assert!((rpm / 156.0 - 1.0).abs() < 0.15, "64-model RPM {rpm}");
+    }
+
+    #[test]
+    fn popularity_is_heavily_skewed() {
+        let trace = TraceSpec::azure_like(128, 3).generate();
+        let stats = TraceStats::from_trace(&trace);
+        // §IV-C: the top 1% contributes ~26% of requests.
+        let top_share = stats.top_models_share(0.01);
+        assert!(
+            (0.15..0.40).contains(&top_share),
+            "top-1% share {top_share}"
+        );
+        // Fig. 21: most models have few requests.
+        let median_rpm = stats.median_model_rpm();
+        assert!(median_rpm < 2.0, "median per-model RPM {median_rpm}");
+    }
+
+    #[test]
+    fn hot_model_bursts_above_128_concurrent() {
+        // Fig. 12: top-percentile functions see concurrency beyond 128
+        // (assuming ~60 s request residency).
+        let trace = TraceSpec::azure_like(128, 4).generate();
+        let stats = TraceStats::from_trace(&trace);
+        let hot = stats.hottest_model();
+        let peak = stats.peak_concurrency(hot, 60.0);
+        assert!(peak > 128, "hot model peak concurrency {peak}");
+    }
+
+    #[test]
+    fn cold_models_stay_low_concurrency() {
+        let trace = TraceSpec::azure_like(128, 5).generate();
+        let stats = TraceStats::from_trace(&trace);
+        let cold = stats.coldest_nonempty_model();
+        let peak = stats.peak_concurrency(cold, 60.0);
+        assert!(peak <= 16, "cold model peak concurrency {peak}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TraceSpec::azure_like(32, 9).generate();
+        let b = TraceSpec::azure_like(32, 9).generate();
+        assert_eq!(a.requests, b.requests);
+        let c = TraceSpec::azure_like(32, 10).generate();
+        assert_ne!(a.requests, c.requests);
+    }
+
+    #[test]
+    fn arrivals_fit_window_and_are_sorted() {
+        let spec = TraceSpec::azure_like(32, 11);
+        let trace = spec.generate();
+        let horizon = spec.duration.as_secs_f64() + 60.0; // bursts may spill a bit
+        for w in trace.requests.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        assert!(trace
+            .requests
+            .iter()
+            .all(|r| r.arrival.as_secs_f64() <= horizon));
+    }
+
+    #[test]
+    fn load_scale_scales_volume() {
+        let base = TraceSpec::azure_like(32, 12).generate().len() as f64;
+        let double = TraceSpec::azure_like(32, 12)
+            .with_load_scale(2.0)
+            .generate()
+            .len() as f64;
+        assert!((double / base - 2.0).abs() < 0.2, "{double} vs 2×{base}");
+    }
+}

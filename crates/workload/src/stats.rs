@@ -1,0 +1,258 @@
+//! Trace characterization (Figures 21, 12, 9, 34).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::request::{ModelId, Trace};
+
+/// Aggregate statistics of one trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Requests per model, indexed by model id.
+    pub per_model_counts: Vec<usize>,
+    /// Arrival timestamps (seconds) per model, sorted.
+    per_model_arrivals: Vec<Vec<f64>>,
+    /// Trace window in minutes.
+    pub window_minutes: f64,
+    /// Total requests.
+    pub total: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace`.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let n = trace.n_models as usize;
+        let mut per_model_counts = vec![0usize; n];
+        let mut per_model_arrivals = vec![Vec::new(); n];
+        for r in &trace.requests {
+            let m = r.model.0 as usize;
+            per_model_counts[m] += 1;
+            per_model_arrivals[m].push(r.arrival.as_secs_f64());
+        }
+        TraceStats {
+            per_model_counts,
+            per_model_arrivals,
+            window_minutes: trace.duration.as_secs_f64() / 60.0,
+            total: trace.len(),
+        }
+    }
+
+    /// Average requests-per-minute of each model, ascending.
+    pub fn model_rpms_sorted(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .per_model_counts
+            .iter()
+            .map(|&c| c as f64 / self.window_minutes.max(1e-9))
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    /// Median per-model RPM.
+    pub fn median_model_rpm(&self) -> f64 {
+        let v = self.model_rpms_sorted();
+        if v.is_empty() {
+            0.0
+        } else {
+            v[v.len() / 2]
+        }
+    }
+
+    /// Aggregate requests per minute.
+    pub fn aggregate_rpm(&self) -> f64 {
+        self.total as f64 / self.window_minutes.max(1e-9)
+    }
+
+    /// Fraction of all requests contributed by the hottest
+    /// `ceil(frac · n_models)` models (§IV-C's "top 1% contributes 26%").
+    pub fn top_models_share(&self, frac: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let k = ((self.per_model_counts.len() as f64 * frac).ceil() as usize).max(1);
+        let mut counts = self.per_model_counts.clone();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        counts.iter().take(k).sum::<usize>() as f64 / self.total as f64
+    }
+
+    /// The most-invoked model.
+    pub fn hottest_model(&self) -> ModelId {
+        let (i, _) = self
+            .per_model_counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .expect("trace has models");
+        ModelId(i as u32)
+    }
+
+    /// The least-invoked model that still received at least one request.
+    pub fn coldest_nonempty_model(&self) -> ModelId {
+        let (i, _) = self
+            .per_model_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .min_by_key(|(_, &c)| c)
+            .expect("trace has a non-empty model");
+        ModelId(i as u32)
+    }
+
+    /// Peak in-flight concurrency of `model` assuming each request resides
+    /// for `service_s` seconds (the Fig. 12 estimator).
+    pub fn peak_concurrency(&self, model: ModelId, service_s: f64) -> usize {
+        let arrivals = &self.per_model_arrivals[model.0 as usize];
+        let mut peak = 0usize;
+        let mut start = 0usize;
+        for (end, &t) in arrivals.iter().enumerate() {
+            while arrivals[start] + service_s < t {
+                start += 1;
+            }
+            peak = peak.max(end - start + 1);
+        }
+        peak
+    }
+
+    /// Concurrency time-series of `model` (one point per arrival) under the
+    /// fixed-residency assumption. Used by the Fig. 9 footprint experiment.
+    pub fn concurrency_series(&self, model: ModelId, service_s: f64) -> Vec<(f64, usize)> {
+        let arrivals = &self.per_model_arrivals[model.0 as usize];
+        let mut out = Vec::with_capacity(arrivals.len());
+        let mut start = 0usize;
+        for (end, &t) in arrivals.iter().enumerate() {
+            while arrivals[start] + service_s < t {
+                start += 1;
+            }
+            out.push((t, end - start + 1));
+        }
+        out
+    }
+
+    /// Requests per minute-bucket over the window (Fig. 21 timelines).
+    pub fn timeline_rpm(&self) -> Vec<usize> {
+        let buckets = self.window_minutes.ceil() as usize;
+        let mut v = vec![0usize; buckets.max(1)];
+        for arrivals in &self.per_model_arrivals {
+            for &t in arrivals {
+                let b = ((t / 60.0) as usize).min(v.len() - 1);
+                v[b] += 1;
+            }
+        }
+        v
+    }
+
+    /// Models ranked by request count, descending — `(model, count)` pairs.
+    pub fn ranking(&self) -> Vec<(ModelId, usize)> {
+        let mut v: Vec<(ModelId, usize)> = self
+            .per_model_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (ModelId(i as u32), c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+
+    /// The model whose popularity rank places it at the given top-percentile
+    /// (e.g. `1.0` → the P99 "top 1%" function of Fig. 9).
+    pub fn model_at_top_percent(&self, percent: f64) -> ModelId {
+        let ranked = self.ranking();
+        let idx = ((percent / 100.0) * ranked.len() as f64).floor() as usize;
+        ranked[idx.min(ranked.len() - 1)].0
+    }
+}
+
+/// A histogram of request counts per model-popularity bucket, handy for
+/// printing Fig. 21-style CDF tables.
+pub fn rpm_cdf_table(stats: &TraceStats, thresholds: &[f64]) -> BTreeMap<String, f64> {
+    let rpms = stats.model_rpms_sorted();
+    let n = rpms.len().max(1) as f64;
+    thresholds
+        .iter()
+        .map(|&t| {
+            let frac = rpms.iter().filter(|&&r| r <= t).count() as f64 / n;
+            (format!("rpm<={t}"), frac)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Request, RequestId};
+    use simcore::time::{SimDuration, SimTime};
+
+    fn mk_trace() -> Trace {
+        // Model 0: burst of 5 at t=0..4s; model 1: two spread requests.
+        let mut reqs = Vec::new();
+        for i in 0..5u64 {
+            reqs.push(Request {
+                id: RequestId(i),
+                model: ModelId(0),
+                arrival: SimTime::from_secs(i),
+                input_len: 100,
+                output_len: 10,
+            });
+        }
+        for (j, t) in [(5u64, 100u64), (6, 500)] {
+            reqs.push(Request {
+                id: RequestId(j),
+                model: ModelId(1),
+                arrival: SimTime::from_secs(t),
+                input_len: 100,
+                output_len: 10,
+            });
+        }
+        Trace::new(reqs, 2, SimDuration::from_secs(600))
+    }
+
+    #[test]
+    fn counts_and_rpm() {
+        let s = TraceStats::from_trace(&mk_trace());
+        assert_eq!(s.per_model_counts, vec![5, 2]);
+        assert_eq!(s.total, 7);
+        assert!((s.aggregate_rpm() - 0.7).abs() < 1e-9);
+        assert_eq!(s.hottest_model(), ModelId(0));
+        assert_eq!(s.coldest_nonempty_model(), ModelId(1));
+    }
+
+    #[test]
+    fn concurrency_estimator() {
+        let s = TraceStats::from_trace(&mk_trace());
+        // 60s residency: all 5 burst requests overlap.
+        assert_eq!(s.peak_concurrency(ModelId(0), 60.0), 5);
+        // 1s residency: at most 2 overlap (1s gaps).
+        assert_eq!(s.peak_concurrency(ModelId(0), 1.0), 2);
+        // Spread model never overlaps.
+        assert_eq!(s.peak_concurrency(ModelId(1), 60.0), 1);
+    }
+
+    #[test]
+    fn top_share_and_ranking() {
+        let s = TraceStats::from_trace(&mk_trace());
+        assert!((s.top_models_share(0.5) - 5.0 / 7.0).abs() < 1e-9);
+        assert_eq!(s.ranking()[0].0, ModelId(0));
+        assert_eq!(s.model_at_top_percent(1.0), ModelId(0));
+    }
+
+    #[test]
+    fn timeline_buckets() {
+        let s = TraceStats::from_trace(&mk_trace());
+        let tl = s.timeline_rpm();
+        assert_eq!(tl.len(), 10);
+        assert_eq!(tl[0], 5); // burst in minute 0
+        assert_eq!(tl[1], 1); // t=100s
+        assert_eq!(tl[8], 1); // t=500s
+    }
+
+    #[test]
+    fn cdf_table_monotone() {
+        let s = TraceStats::from_trace(&mk_trace());
+        let table = rpm_cdf_table(&s, &[0.1, 0.5, 1.0]);
+        let vals: Vec<f64> = table.values().cloned().collect();
+        for w in vals.windows(2) {
+            assert!(w[1] >= w[0] || (w[1] - w[0]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Capacity planning with the calibrated performance model.
+//!
+//! Uses `hwmodel` directly — no simulation — to answer the questions an
+//! operator asks before deploying: which models fit which hardware under
+//! the SLO, at what concurrency, and with how much KV headroom. This is
+//! the same math behind Table II and the §IV feasibility study.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planner
+//! ```
+
+use hwmodel::{AnalyticPerf, HardwareSpec, ModelSpec, PerfOracle};
+use workload::request::Slo;
+
+fn main() {
+    let perf = AnalyticPerf::new();
+    let slo = Slo::paper();
+    let hardware = [HardwareSpec::xeon4_amx_32c(), HardwareSpec::a100_80g()];
+    let models = [
+        ModelSpec::llama3_2_3b(),
+        ModelSpec::llama2_7b(),
+        ModelSpec::llama2_13b(),
+        ModelSpec::codellama_34b(),
+    ];
+    let ctx = 2048u32;
+
+    println!("capacity plan at {ctx}-token contexts, TPOT SLO {} ms:\n", slo.tpot_s * 1e3);
+    println!(
+        "{:<14} {:<16} {:>9} {:>11} {:>12} {:>12}",
+        "model", "hardware", "servable", "max batch", "KV room", "cold start"
+    );
+    for hw in &hardware {
+        for m in &models {
+            let servable = hw.can_serve(m);
+            let (batch, kv_room, load) = if servable {
+                let compute = perf.max_batch_under_tpot(m, hw, ctx, 1.0, slo.tpot_s);
+                let kv_room = hw.mem_bytes.saturating_sub(m.weights_bytes());
+                let mem_bound = (kv_room / (ctx as u64 * m.kv_bytes_per_token())) as u32;
+                (
+                    compute.min(mem_bound),
+                    format!("{:.0} GB", kv_room as f64 / 1e9),
+                    format!("{:.1} s", perf.load_time(m, hw)),
+                )
+            } else {
+                (0, "-".into(), "-".into())
+            };
+            println!(
+                "{:<14} {:<16} {:>9} {:>11} {:>12} {:>12}",
+                m.name,
+                hw.name,
+                if servable { "yes" } else { "no" },
+                batch,
+                kv_room,
+                load
+            );
+        }
+    }
+
+    // TTFT feasibility frontier: longest prompt each pair can absorb.
+    println!("\nlongest prompt within the TTFT SLO:");
+    for hw in &hardware {
+        for m in &models {
+            if !hw.can_serve(m) {
+                continue;
+            }
+            let longest = (1..=128)
+                .map(|k| k * 256)
+                .take_while(|&l| {
+                    perf.prefill_time(m, hw, l, 1.0) <= slo.ttft(l).as_secs_f64()
+                })
+                .last()
+                .unwrap_or(0);
+            println!("  {:<14} on {:<16} ≈ {longest} tokens", m.name, hw.name);
+        }
+    }
+}

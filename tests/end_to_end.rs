@@ -1,0 +1,108 @@
+//! End-to-end integration: full SLINFER runs over generated traces,
+//! checking request accounting, SLO bookkeeping, and the paper's headline
+//! behaviours at small scale.
+
+use bench::runner::{world_cfg, System};
+use bench::zoo;
+use cluster::WorldConfig;
+use hwmodel::{HardwareKind, ModelSpec, NoiseModel};
+use slinfer::SlinferConfig;
+use workload::serverless::TraceSpec;
+
+fn quiet(seed: u64) -> WorldConfig {
+    WorldConfig {
+        noise: NoiseModel::off(),
+        ..world_cfg(seed)
+    }
+}
+
+#[test]
+fn every_request_is_resolved() {
+    let trace = TraceSpec::azure_like(16, 11).generate();
+    let models = zoo::replicas(&ModelSpec::llama2_7b(), 16);
+    let sys = System::Slinfer(SlinferConfig::default());
+    let m = sys.run(&sys.cluster(2, 2, &models), models, quiet(11), &trace);
+    assert_eq!(m.total(), trace.len());
+    for r in &m.records {
+        assert!(
+            r.completed.is_some() || r.dropped,
+            "request {:?} neither completed nor dropped",
+            r.id
+        );
+        if let (Some(ft), Some(done)) = (r.first_token, r.completed) {
+            assert!(ft <= done, "first token after completion");
+            assert!(ft >= r.arrival, "first token before arrival");
+        }
+    }
+}
+
+#[test]
+fn light_load_meets_slos_with_few_nodes() {
+    let trace = TraceSpec::azure_like(8, 13).with_load_scale(0.5).generate();
+    let models = zoo::replicas(&ModelSpec::llama2_7b(), 8);
+    let sys = System::Slinfer(SlinferConfig::default());
+    let m = sys.run(&sys.cluster(4, 4, &models), models, quiet(13), &trace);
+    assert!(m.slo_rate() > 0.9, "light load should be easy: {}", m.slo_rate());
+    // SLINFER serves light 7B traffic mostly on CPUs (§V priority).
+    assert!(m.cpu_decode_tokens > m.gpu_decode_tokens);
+    let gpus = m.avg_nodes_used(HardwareKind::Gpu);
+    assert!(gpus < 2.0, "GPU usage should stay low: {gpus}");
+}
+
+#[test]
+fn capacity_gain_over_exclusive_allocation() {
+    // The core claim at modest scale: same hardware, more SLO-met requests.
+    let trace = TraceSpec::azure_like(48, 17).generate();
+    let models = zoo::replicas(&ModelSpec::llama2_7b(), 48);
+    let run = |sys: System| {
+        let c = sys.cluster(4, 4, &models);
+        sys.run(&c, models.clone(), quiet(17), &trace).slo_met()
+    };
+    let sllm = run(System::Sllm);
+    let slinfer = run(System::Slinfer(SlinferConfig::default()));
+    assert!(
+        slinfer > sllm,
+        "SLINFER ({slinfer}) must beat exclusive allocation ({sllm})"
+    );
+}
+
+#[test]
+fn ablation_sharing_matters_most() {
+    // §IX-C: disabling sharing costs the most SLO under multi-model load.
+    let trace = TraceSpec::azure_like(32, 19).generate();
+    let models = zoo::replicas(&ModelSpec::llama2_7b(), 32);
+    let run = |cfg: SlinferConfig| {
+        let sys = System::Slinfer(cfg);
+        let c = sys.cluster(2, 2, &models);
+        sys.run(&c, models.clone(), quiet(19), &trace).slo_rate()
+    };
+    let full = run(SlinferConfig::default());
+    let no_sharing = run(SlinferConfig {
+        enable_sharing: false,
+        ..SlinferConfig::default()
+    });
+    assert!(
+        full > no_sharing,
+        "sharing must increase attainment: full {full} vs w/o {no_sharing}"
+    );
+}
+
+#[test]
+fn grace_covers_cold_starts_only() {
+    let trace = TraceSpec::azure_like(4, 23).with_load_scale(0.3).generate();
+    let models = zoo::replicas(&ModelSpec::llama2_7b(), 4);
+    let sys = System::Slinfer(SlinferConfig::default());
+    let m = sys.run(&sys.cluster(1, 1, &models), models, quiet(23), &trace);
+    for r in &m.records {
+        if r.cold_start {
+            // 7B loads take ~0.7 s (CPU) or ~1 s (GPU); grace is bounded.
+            assert!(
+                r.grace.as_secs_f64() < 2.0,
+                "grace {:?} exceeds any plausible load time",
+                r.grace
+            );
+        } else {
+            assert!(r.grace.is_zero(), "warm requests get no grace");
+        }
+    }
+}

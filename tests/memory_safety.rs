@@ -1,0 +1,140 @@
+//! Memory-subsystem integration: the §VII guarantees under churn — no
+//! physical OOM, sound ledgers, reservation-station liveness.
+
+use bench::runner::{world_cfg, System};
+use bench::zoo;
+use cluster::{ClusterSpec, NodeId, Simulation, World, WorldConfig};
+use hwmodel::{ModelSpec, NoiseModel};
+use simcore::time::SimTime;
+use slinfer::{Slinfer, SlinferConfig};
+use workload::request::{ModelId, Request, RequestId};
+use workload::serverless::TraceSpec;
+
+fn quiet(seed: u64) -> WorldConfig {
+    WorldConfig {
+        noise: NoiseModel::off(),
+        ..world_cfg(seed)
+    }
+}
+
+#[test]
+fn no_oom_incidents_across_seeds_and_scales() {
+    for seed in [1u64, 2, 3] {
+        for n in [8u32, 24, 48] {
+            let trace = TraceSpec::azure_like(n, seed).generate();
+            let models = zoo::replicas(&ModelSpec::llama2_7b(), n as usize);
+            let sys = System::Slinfer(SlinferConfig::default());
+            let m = sys.run(&sys.cluster(2, 2, &models), models, quiet(seed), &trace);
+            assert_eq!(
+                m.oom_incidents, 0,
+                "seed {seed}, {n} models: orchestrator let an op overflow"
+            );
+        }
+    }
+}
+
+#[test]
+fn watermark_zero_scales_far_more_often() {
+    // Fig 31's mechanism: disabling the watermark multiplies rescales.
+    let trace = TraceSpec::azure_like(24, 5).generate();
+    let models = zoo::replicas(&ModelSpec::llama2_7b(), 24);
+    let run = |w: f64| {
+        let sys = System::Slinfer(SlinferConfig::default().with_watermark(w));
+        let c = sys.cluster(2, 2, &models);
+        sys.run(&c, models.clone(), quiet(5), &trace)
+    };
+    let none = run(0.0);
+    let paper = run(0.25);
+    assert!(
+        none.scale_ops > paper.scale_ops,
+        "w=0 ({}) should rescale more than w=25% ({})",
+        none.scale_ops,
+        paper.scale_ops
+    );
+    assert!(none.scaling_overhead_fraction() >= paper.scaling_overhead_fraction());
+}
+
+#[test]
+fn world_ledger_enforces_physical_capacity() {
+    // Direct World-level check: you cannot commit past a node's memory.
+    let cluster = ClusterSpec::heterogeneous(0, 1);
+    let mut w = World::new(
+        &cluster,
+        vec![ModelSpec::llama2_7b()],
+        quiet(1),
+    );
+    let gb = 1_000_000_000u64;
+    // 5 × (13.5 weights + 2 KV) ≈ 77.5 GB fits; the 6th (93 GB) must fail.
+    let mut created = 0;
+    for _ in 0..6 {
+        match w.create_instance(ModelId(0), NodeId(0), 0, 2 * gb) {
+            Ok(_) => created += 1,
+            Err(e) => {
+                assert!(matches!(e, cluster::MemError::WouldOom { .. }));
+            }
+        }
+    }
+    assert_eq!(created, 5);
+    assert!(w.node_available_bytes(NodeId(0)) < 16 * gb);
+    assert_eq!(w.metrics.oom_incidents, 1, "the rejected op is recorded");
+}
+
+#[test]
+fn kv_underestimation_recovers_via_eviction_or_scaling() {
+    // Long outputs blow past the average-based Eq. 2 estimate: the system
+    // must recover (scale up or migrate), never stall.
+    let reqs: Vec<Request> = (0..6u64)
+        .map(|i| Request {
+            id: RequestId(i),
+            model: ModelId((i % 2) as u32),
+            arrival: SimTime::from_millis(i * 200),
+            input_len: 2048,
+            output_len: 1500, // far above the 256-token prior
+        })
+        .collect();
+    let trace = workload::Trace::new(reqs, 2, simcore::time::SimDuration::from_secs(60));
+    let models = zoo::replicas(&ModelSpec::llama2_7b(), 2);
+    let sim = Simulation::new(
+        &ClusterSpec::heterogeneous(1, 1),
+        models,
+        quiet(3),
+        Slinfer::new(SlinferConfig::default()),
+    );
+    let m = sim.run(&trace);
+    for r in &m.records {
+        assert!(
+            r.completed.is_some() || r.dropped,
+            "{:?} stalled on KV underestimation",
+            r.id
+        );
+    }
+    assert_eq!(m.oom_incidents, 0);
+    // All six complete: the cluster has plenty of physical room.
+    assert!(m.records.iter().filter(|r| r.completed.is_some()).count() >= 5);
+}
+
+#[test]
+fn admit_during_scale_does_not_deadlock() {
+    // A burst into one instance while its grant is mid-flux exercises the
+    // coalescing path (wanted-target bumping).
+    let reqs: Vec<Request> = (0..20u64)
+        .map(|i| Request {
+            id: RequestId(i),
+            model: ModelId(0),
+            arrival: SimTime::from_millis(i * 50),
+            input_len: 1024,
+            output_len: 64,
+        })
+        .collect();
+    let trace = workload::Trace::new(reqs, 1, simcore::time::SimDuration::from_secs(60));
+    let sim = Simulation::new(
+        &ClusterSpec::heterogeneous(1, 1),
+        vec![ModelSpec::llama2_7b()],
+        quiet(9),
+        Slinfer::new(SlinferConfig::default()),
+    );
+    let m = sim.run(&trace);
+    let completed = m.records.iter().filter(|r| r.completed.is_some()).count();
+    assert!(completed >= 18, "burst mostly served, got {completed}");
+    assert_eq!(m.oom_incidents, 0);
+}
