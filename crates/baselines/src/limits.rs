@@ -128,9 +128,15 @@ mod tests {
         let slo = Slo::paper();
         let gpu = HardwareSpec::a100_80g();
         let got7 = profiled_limit(&ModelSpec::llama2_7b(), &gpu, 1.0, &slo);
-        assert!((30..=34).contains(&got7), "7B GPU fallback {got7} (table 32)");
+        assert!(
+            (30..=34).contains(&got7),
+            "7B GPU fallback {got7} (table 32)"
+        );
         let got13 = profiled_limit(&ModelSpec::llama2_13b(), &gpu, 1.0, &slo);
-        assert!((14..=18).contains(&got13), "13B GPU fallback {got13} (table 16)");
+        assert!(
+            (14..=18).contains(&got13),
+            "13B GPU fallback {got13} (table 16)"
+        );
     }
 
     #[test]
@@ -144,7 +150,12 @@ mod tests {
         assert!((1..=20).contains(&lim), "34B limit {lim}");
         // And legacy CPUs serve nothing.
         assert_eq!(
-            concurrency_limit(&ModelSpec::llama2_7b(), &HardwareSpec::xeon3_32c(), 1.0, &slo),
+            concurrency_limit(
+                &ModelSpec::llama2_7b(),
+                &HardwareSpec::xeon3_32c(),
+                1.0,
+                &slo
+            ),
             0
         );
     }

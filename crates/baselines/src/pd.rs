@@ -67,9 +67,10 @@ impl PdSllm {
         for (_, node, slot) in self.free_slots(w, model) {
             let spec = w.model_spec(model).clone();
             let slot_mem = w.node_hw(node).mem_bytes / w.slot_count(node) as u64;
-            let grant = slot_mem
-                .saturating_sub(spec.weights_bytes())
-                .min(w.node_available_bytes(node).saturating_sub(spec.weights_bytes()));
+            let grant = slot_mem.saturating_sub(spec.weights_bytes()).min(
+                w.node_available_bytes(node)
+                    .saturating_sub(spec.weights_bytes()),
+            );
             if grant == 0 {
                 continue;
             }
@@ -100,7 +101,11 @@ impl PdSllm {
         false
     }
 
-    fn try_place_decode(&mut self, w: &mut World, rr: RunningRequest) -> Result<(), RunningRequest> {
+    fn try_place_decode(
+        &mut self,
+        w: &mut World,
+        rr: RunningRequest,
+    ) -> Result<(), RunningRequest> {
         let model = rr.req.model;
         for inst in w.instances_of_model(model) {
             if self.prefill_insts.contains(&inst) {
@@ -245,8 +250,7 @@ impl Policy for PdSllm {
                 Err(rr) => {
                     // No decode capacity yet: back off briefly, give up when
                     // hopeless (well past the running deadline).
-                    let hopeless =
-                        w.now() > rr.next_deadline(&slo) + SimDuration::from_secs(10);
+                    let hopeless = w.now() > rr.next_deadline(&slo) + SimDuration::from_secs(10);
                     if hopeless {
                         w.drop_request(&rr);
                     } else {
@@ -312,9 +316,8 @@ mod tests {
             PdSllm::new(),
         );
         let m = sim.run(&trace);
-        assert_eq!(
+        assert!(
             m.records[0].completed.is_some(),
-            true,
             "request must complete across the handoff"
         );
         // Two pools ⇒ two cold starts for a single request.
@@ -324,8 +327,7 @@ mod tests {
     #[test]
     fn pd_uses_more_instances_than_aggregated() {
         use crate::sllm::{Sllm, SllmConfig};
-        let reqs: Vec<(u64, u32, u32, u32)> =
-            (0..10).map(|i| (i * 500, 0, 512, 32)).collect();
+        let reqs: Vec<(u64, u32, u32, u32)> = (0..10).map(|i| (i * 500, 0, 512, 32)).collect();
         let trace = mk_trace(reqs);
         let agg = Simulation::new(
             &ClusterSpec::statically_shared(0, 2),

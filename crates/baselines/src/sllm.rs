@@ -105,7 +105,11 @@ impl Sllm {
             .into_iter()
             .filter_map(|id| {
                 let (node, _) = w.instance_placement(id)?;
-                let rank = if w.node_hw(node).kind.is_cpu() { 0u8 } else { 1 };
+                let rank = if w.node_hw(node).kind.is_cpu() {
+                    0u8
+                } else {
+                    1
+                };
                 Some((rank, id))
             })
             .collect();
@@ -123,7 +127,11 @@ impl Sllm {
             if !self.node_usable(w, node, model) {
                 continue;
             }
-            let rank = if w.node_hw(node).kind.is_cpu() { 0u8 } else { 1 };
+            let rank = if w.node_hw(node).kind.is_cpu() {
+                0u8
+            } else {
+                1
+            };
             for slot in 0..w.slot_count(node) {
                 if w.instances_on_slot(node, slot).is_empty() {
                     slots.push((rank, node, slot));
@@ -138,17 +146,17 @@ impl Sllm {
             // node's memory instead, provided the node is empty — mirroring
             // the paper's whole-node exception for oversized instances.
             let slot_mem = w.node_hw(node).mem_bytes / w.slot_count(node) as u64;
-            let mem_budget = if spec.weights_bytes() + spec.kv_bytes_per_token() * 1024
-                > slot_mem
+            let mem_budget = if spec.weights_bytes() + spec.kv_bytes_per_token() * 1024 > slot_mem
                 && w.instances_on_node(node).is_empty()
             {
                 w.node_hw(node).mem_bytes
             } else {
                 slot_mem
             };
-            let grant = mem_budget
-                .saturating_sub(spec.weights_bytes())
-                .min(w.node_available_bytes(node).saturating_sub(spec.weights_bytes()));
+            let grant = mem_budget.saturating_sub(spec.weights_bytes()).min(
+                w.node_available_bytes(node)
+                    .saturating_sub(spec.weights_bytes()),
+            );
             if grant == 0 {
                 continue;
             }
@@ -224,7 +232,9 @@ impl Policy for Sllm {
                 Err(cluster::world::StartError::KvExhausted(_)) => {
                     // The grant is static; fall back to decoding so running
                     // sequences drain and free blocks.
-                    if w.instance(inst).map(|i| i.batch_size() > 0).unwrap_or(false)
+                    if w.instance(inst)
+                        .map(|i| i.batch_size() > 0)
+                        .unwrap_or(false)
                         && w.start_iteration(inst, IterationKind::Decode).is_ok()
                     {
                         return;
@@ -422,7 +432,11 @@ mod tests {
             Sllm::new(SllmConfig::sllm()),
         );
         let m = sim.run(&trace);
-        assert!(m.cold_starts >= 2, "expected scale-out, got {}", m.cold_starts);
+        assert!(
+            m.cold_starts >= 2,
+            "expected scale-out, got {}",
+            m.cold_starts
+        );
         assert!(m.slo_rate() > 0.9, "slo {}", m.slo_rate());
     }
 

@@ -23,9 +23,7 @@ fn main() {
         ("Fig 8", "Llama-2-13B", ModelSpec::llama2_13b()),
     ] {
         section(&format!("{fig} — TPOT (ms) of {name} (SLO 250 ms)"));
-        let mut table = Table::new(&[
-            "batch", "C-512", "C-1K", "C-2K", "G-512", "G-1K", "G-2K",
-        ]);
+        let mut table = Table::new(&["batch", "C-512", "C-1K", "C-2K", "G-512", "G-1K", "G-2K"]);
         for &bs in &batches {
             let mut row = vec![bs.to_string()];
             for hw in [&cpu, &gpu] {

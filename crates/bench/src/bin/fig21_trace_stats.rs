@@ -14,7 +14,11 @@ use workload::stats::TraceStats;
 fn main() {
     let seed = arg_seed();
     section("Fig 21 — serverless trace characterization");
-    let paper = [(32u32, 2366usize, 79.0), (64, 4684, 156.0), (128, 9266, 309.0)];
+    let paper = [
+        (32u32, 2366usize, 79.0),
+        (64, 4684, 156.0),
+        (128, 9266, 309.0),
+    ];
     let mut table = Table::new(&[
         "models",
         "requests (paper)",
@@ -41,10 +45,13 @@ fn main() {
         let tl = stats.timeline_rpm();
         let max_rpm = tl.iter().max().copied().unwrap_or(0);
         let min_rpm = tl.iter().min().copied().unwrap_or(0);
-        println!(
-            "{n}-model timeline: per-minute requests span {min_rpm}–{max_rpm} (bursty)"
-        );
-        dump.push((n, trace.len(), trace.aggregate_rpm(), stats.top_models_share(0.01)));
+        println!("{n}-model timeline: per-minute requests span {min_rpm}–{max_rpm} (bursty)");
+        dump.push((
+            n,
+            trace.len(),
+            trace.aggregate_rpm(),
+            stats.top_models_share(0.01),
+        ));
     }
     table.print();
     paper_note("Fig 21: 2366/4684/9266 requests; 79/156/309 RPM; heavy popularity skew");

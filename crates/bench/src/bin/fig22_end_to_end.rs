@@ -73,14 +73,17 @@ fn main() {
             table.print();
             if n_models == 128 {
                 let slinfer = row_results.last().unwrap().slo_met as f64;
-                let vs = |ix: usize| 100.0 * (slinfer / row_results[ix].slo_met.max(1) as f64 - 1.0);
+                let vs =
+                    |ix: usize| 100.0 * (slinfer / row_results[ix].slo_met.max(1) as f64 - 1.0);
                 println!(
                     "SLINFER SLO-met vs sllm: {:+.0}%  vs sllm+c: {:+.0}%  vs sllm+c+s: {:+.0}%",
                     vs(0),
                     vs(1),
                     vs(2)
                 );
-                paper_note("at 128 models: +86-154% vs sllm, +47-62% vs sllm+c, +18-70% vs sllm+c+s");
+                paper_note(
+                    "at 128 models: +86-154% vs sllm, +47-62% vs sllm+c, +18-70% vs sllm+c+s",
+                );
             }
             all_results.push((size_name.to_string(), n_models, row_results));
         }

@@ -72,7 +72,10 @@ fn main() {
                 .filter(|(t, _)| *t >= t0 && *t < t0 + 30.0)
                 .map(|(_, g)| *g as f64)
                 .sum::<f64>()
-                / tl.iter().filter(|(t, _)| *t >= t0 && *t < t0 + 30.0).count().max(1) as f64;
+                / tl.iter()
+                    .filter(|(t, _)| *t >= t0 && *t < t0 + 30.0)
+                    .count()
+                    .max(1) as f64;
             row.push(f(v, 1));
         }
         tl_table.row(&row);

@@ -16,12 +16,19 @@ fn main() {
     let seed = arg_seed();
     let n_models: u32 = if quick_mode() { 16 } else { 64 };
     let max_added: usize = if quick_mode() { 3 } else { 8 };
-    section(&format!("Fig 24 — CPU scalability, {n_models} 7B models, base 2 GPUs"));
+    section(&format!(
+        "Fig 24 — CPU scalability, {n_models} 7B models, base 2 GPUs"
+    ));
     let trace = TraceSpec::azure_like(n_models, seed).generate();
     let models = zoo::replicas(&ModelSpec::llama2_7b(), n_models as usize);
     let system = System::Slinfer(Default::default());
 
-    let mut table = Table::new(&["added nodes", "SLO-met (add CPU)", "SLO-met (add GPU)", "total"]);
+    let mut table = Table::new(&[
+        "added nodes",
+        "SLO-met (add CPU)",
+        "SLO-met (add GPU)",
+        "total",
+    ]);
     let mut series = Vec::new();
     // Scheduling under CPU-heavy overload is sensitive to placement tipping
     // points; average 3 seeds to expose the trend the paper plots.

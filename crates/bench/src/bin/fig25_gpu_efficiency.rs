@@ -15,7 +15,9 @@ use workload::serverless::TraceSpec;
 fn main() {
     let seed = arg_seed();
     let n_models: u32 = if quick_mode() { 24 } else { 48 };
-    section(&format!("Fig 25 — GPU efficiency, {n_models} models (3B:7B:13B = 2:2:2)"));
+    section(&format!(
+        "Fig 25 — GPU efficiency, {n_models} models (3B:7B:13B = 2:2:2)"
+    ));
     let trace = TraceSpec::azure_like(n_models, seed).generate();
     let parts = [
         (ModelSpec::llama3_2_3b(), 2),

@@ -19,7 +19,9 @@ use workload::serverless::TraceSpec;
 fn main() {
     let seed = arg_seed();
     let n_models: u32 = if quick_mode() { 16 } else { 32 };
-    section(&format!("Fig 26 — mixed deployment, {n_models} models, 4 CPU + 6 GPU"));
+    section(&format!(
+        "Fig 26 — mixed deployment, {n_models} models, 4 CPU + 6 GPU"
+    ));
     let ratios: Vec<(&str, [usize; 4])> = vec![
         ("4:1:1:1", [4, 1, 1, 1]),
         ("3:2:1:1", [3, 2, 1, 1]),
@@ -77,7 +79,9 @@ fn main() {
         results.push((label.to_string(), gpus, density));
     }
     table.print();
-    paper_note("Fig 26: SLINFER consistently uses fewer GPUs; gains shrink as large models dominate;");
+    paper_note(
+        "Fig 26: SLINFER consistently uses fewer GPUs; gains shrink as large models dominate;",
+    );
     paper_note("at 0:0:0:1 SLINFER falls back to exclusive allocation (parity with baselines)");
     dump_json("fig26_mixed_deploy", &results);
 }

@@ -43,7 +43,12 @@ fn main() {
                 f(miss, 1),
                 m.dropped.to_string(),
             ]);
-            results.push((rps, system.name(), miss, m.avg_nodes_used(HardwareKind::Gpu)));
+            results.push((
+                rps,
+                system.name(),
+                miss,
+                m.avg_nodes_used(HardwareKind::Gpu),
+            ));
         }
     }
     table.print();

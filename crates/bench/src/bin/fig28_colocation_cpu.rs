@@ -31,7 +31,10 @@ fn main() {
     }
     table.print();
     let eight = dump.last().unwrap().1;
-    println!("8 colocated instances use {} cores total (paper: slightly above 1)", f(eight, 2));
+    println!(
+        "8 colocated instances use {} cores total (paper: slightly above 1)",
+        f(eight, 2)
+    );
     paper_note("Fig 28: colocation does not contend for host CPUs — total stays ~1 core;");
     paper_note("preprocessing consumes <0.1 core per instance");
     dump_json("fig28_colocation_cpu", &dump);

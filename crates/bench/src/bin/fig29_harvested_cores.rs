@@ -22,7 +22,9 @@ fn main() {
     } else {
         vec![0, 8, 16, 32]
     };
-    section(&format!("Fig 29 — harvested cores, {n_models} 7B models, 4 GPUs"));
+    section(&format!(
+        "Fig 29 — harvested cores, {n_models} 7B models, 4 GPUs"
+    ));
     let trace = TraceSpec::azure_like(n_models, seed).generate();
     let models = zoo::replicas(&ModelSpec::llama2_7b(), n_models as usize);
 

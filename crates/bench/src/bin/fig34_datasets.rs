@@ -13,14 +13,7 @@ use workload::Dataset;
 fn main() {
     section("Fig 34 — dataset input/output length distributions");
     let mut table = Table::new(&[
-        "dataset",
-        "in p50",
-        "in p90",
-        "in p99",
-        "P(in<4K)",
-        "out p50",
-        "out p90",
-        "out mean",
+        "dataset", "in p50", "in p90", "in p99", "P(in<4K)", "out p50", "out p90", "out mean",
     ]);
     let mut dump = Vec::new();
     for ds in Dataset::ALL {

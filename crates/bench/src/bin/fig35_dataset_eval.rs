@@ -11,7 +11,7 @@ use bench::report::{dump_json, f, paper_note, section};
 use bench::runner::{arg_seed, quick_mode, world_cfg, System};
 use bench::{zoo, Table};
 use hwmodel::{HardwareKind, ModelSpec};
-use workload::{Dataset, serverless::TraceSpec};
+use workload::{serverless::TraceSpec, Dataset};
 
 fn main() {
     let seed = arg_seed();

@@ -27,16 +27,50 @@ fn main() {
     let cpu = HardwareSpec::xeon4_amx_32c();
     let gpu = HardwareSpec::a100_80g();
     let scenarios: Vec<(&str, ModelSpec, &HardwareSpec, u32, [&str; 4])> = vec![
-        ("C-7B-2K", ModelSpec::llama2_7b(), &cpu, 2048, ["-", "3×2", "2×9", "27"]),
-        ("C-7B-4K", ModelSpec::llama2_7b(), &cpu, 4096, ["-", "3×1", "2×4", "15"]),
-        ("G-7B-2K", ModelSpec::llama2_7b(), &gpu, 2048, ["4×6", "3×12", "2×26", "66"]),
-        ("G-7B-4K", ModelSpec::llama2_7b(), &gpu, 4096, ["4×3", "3×6", "2×13", "32"]),
-        ("G-13B-2K", ModelSpec::llama2_13b(), &gpu, 2048, ["-", "-", "2×7", "33"]),
-        ("G-13B-4K", ModelSpec::llama2_13b(), &gpu, 4096, ["-", "-", "2×3", "16"]),
+        (
+            "C-7B-2K",
+            ModelSpec::llama2_7b(),
+            &cpu,
+            2048,
+            ["-", "3×2", "2×9", "27"],
+        ),
+        (
+            "C-7B-4K",
+            ModelSpec::llama2_7b(),
+            &cpu,
+            4096,
+            ["-", "3×1", "2×4", "15"],
+        ),
+        (
+            "G-7B-2K",
+            ModelSpec::llama2_7b(),
+            &gpu,
+            2048,
+            ["4×6", "3×12", "2×26", "66"],
+        ),
+        (
+            "G-7B-4K",
+            ModelSpec::llama2_7b(),
+            &gpu,
+            4096,
+            ["4×3", "3×6", "2×13", "32"],
+        ),
+        (
+            "G-13B-2K",
+            ModelSpec::llama2_13b(),
+            &gpu,
+            2048,
+            ["-", "-", "2×7", "33"],
+        ),
+        (
+            "G-13B-4K",
+            ModelSpec::llama2_13b(),
+            &gpu,
+            4096,
+            ["-", "-", "2×3", "16"],
+        ),
     ];
-    let mut table = Table::new(&[
-        "scenario", "4×¼", "3×⅓", "2×½", "1 (whole)", "paper row",
-    ]);
+    let mut table = Table::new(&["scenario", "4×¼", "3×⅓", "2×½", "1 (whole)", "paper row"]);
     let mut dump = Vec::new();
     for (name, m, hw, ctx, paper) in scenarios {
         let mut cells = Vec::new();

@@ -52,7 +52,11 @@ fn main() {
                     f(a.avg_nodes_used(HardwareKind::Gpu), 1),
                     f(d.avg_nodes_used(HardwareKind::Gpu), 1)
                 ),
-                format!("{} / {}", f(a.slo_rate() * 100.0, 0), f(d.slo_rate() * 100.0, 0)),
+                format!(
+                    "{} / {}",
+                    f(a.slo_rate() * 100.0, 0),
+                    f(d.slo_rate() * 100.0, 0)
+                ),
                 format!("{} / {}", a.cold_starts, d.cold_starts),
             ]);
             results.push((
@@ -66,7 +70,9 @@ fn main() {
         }
     }
     table.print();
-    paper_note("Table III: sllm+c+s 99/93, 93/70, 65/35 %; SLINFER 99/99, 99/98, 86/69 % (agg/disagg)");
+    paper_note(
+        "Table III: sllm+c+s 99/93, 93/70, 65/35 %; SLINFER 99/99, 99/98, 86/69 % (agg/disagg)",
+    );
     paper_note("disaggregation raises GPU usage at every load level");
     dump_json("tab3_pd_disagg", &results);
 }

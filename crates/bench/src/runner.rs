@@ -92,9 +92,7 @@ impl System {
             System::Slinfer(scfg) => {
                 Simulation::new(cluster, models, cfg, Slinfer::new(scfg.clone())).run(trace)
             }
-            System::PdSllmCs => {
-                Simulation::new(cluster, models, cfg, PdSllm::new()).run(trace)
-            }
+            System::PdSllmCs => Simulation::new(cluster, models, cfg, PdSllm::new()).run(trace),
             System::PdSlinfer => {
                 let scfg = SlinferConfig {
                     pd_disaggregate: true,
@@ -176,7 +174,9 @@ pub fn arg_seed() -> u64 {
 /// True when `BENCH_QUICK=1` — experiments shrink their sweeps for smoke
 /// runs (CI) while keeping the full sweep the default.
 pub fn quick_mode() -> bool {
-    std::env::var("BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Default world config for experiments, seeded.

@@ -17,10 +17,7 @@ pub fn replicas(base: &ModelSpec, n: usize) -> Vec<ModelSpec> {
 pub fn mixed(parts: &[(ModelSpec, usize)], n: usize) -> Vec<ModelSpec> {
     let total: usize = parts.iter().map(|(_, w)| w).sum();
     assert!(total > 0, "mix needs non-zero weights");
-    let mut counts: Vec<usize> = parts
-        .iter()
-        .map(|(_, w)| (n * w) / total)
-        .collect();
+    let mut counts: Vec<usize> = parts.iter().map(|(_, w)| (n * w) / total).collect();
     let mut assigned: usize = counts.iter().sum();
     // Distribute the rounding remainder to the heaviest parts first.
     let mut order: Vec<usize> = (0..parts.len()).collect();

@@ -1,0 +1,99 @@
+//! Smoke test for the figure binaries: build and run one cheap experiment
+//! end-to-end so the 26 figure binaries can't silently rot.
+//!
+//! `CARGO_BIN_EXE_*` makes cargo build the binary before this test runs;
+//! every other figure binary shares the same `bench::runner`/`report`
+//! machinery, so one representative run catches harness-level breakage.
+
+use std::process::Command;
+
+#[test]
+fn fig04_runs_end_to_end() {
+    let exe = env!("CARGO_BIN_EXE_fig04_sllm_capacity");
+    // Unique per process so concurrent `cargo test` runs don't race on it.
+    let tmp = std::env::temp_dir().join(format!("slinfer-smoke-fig04-{}", std::process::id()));
+    // Start from a clean scratch dir: dump_json is best-effort, so a stale
+    // results file from a previous run could otherwise mask a broken dump.
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).expect("create smoke workdir");
+    let out = Command::new(exe)
+        .args(["--seed", "7"])
+        .env("BENCH_QUICK", "1")
+        // Run in a scratch dir so the results/ dump doesn't pollute the repo.
+        .current_dir(&tmp)
+        .output()
+        .expect("figure binary must launch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "fig04 exited with {:?}\nstdout:\n{stdout}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The run produced its table and the paper annotation.
+    assert!(
+        stdout.contains("Fig 4"),
+        "missing section header:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("SLO rate"),
+        "missing table header:\n{stdout}"
+    );
+    assert!(stdout.contains("[paper]"), "missing paper note:\n{stdout}");
+    // And dumped machine-readable results.
+    let json = tmp.join("results/fig04_sllm_capacity.json");
+    let blob = std::fs::read_to_string(&json).expect("JSON results dumped");
+    assert!(
+        blob.trim_start().starts_with('['),
+        "JSON should be an array"
+    );
+    // Quick mode sweeps two model counts → two top-level entries,
+    // independent of how each entry is serialized.
+    assert_eq!(
+        top_level_entries(&blob),
+        2,
+        "one entry per sweep point:\n{blob}"
+    );
+}
+
+/// Counts the direct children of the outermost JSON array (separating
+/// commas at depth 1, string-literal aware), independent of entry shape.
+fn top_level_entries(json: &str) -> usize {
+    let (mut depth, mut commas) = (0u32, 0usize);
+    let (mut in_str, mut escaped) = (false, false);
+    let mut saw_content = false;
+    for c in json.chars() {
+        if in_str {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if depth == 1 {
+                    saw_content = true;
+                }
+                in_str = true;
+            }
+            '[' | '{' => {
+                if depth == 1 {
+                    saw_content = true;
+                }
+                depth += 1;
+            }
+            ']' | '}' => depth -= 1,
+            ',' if depth == 1 => commas += 1,
+            c if depth == 1 && !c.is_whitespace() => saw_content = true,
+            _ => {}
+        }
+    }
+    if saw_content || commas > 0 {
+        commas + 1
+    } else {
+        0
+    }
+}

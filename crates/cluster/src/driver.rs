@@ -28,12 +28,7 @@ pub struct Simulation<P: Policy> {
 
 impl<P: Policy> Simulation<P> {
     /// Builds a simulation over `cluster` with the given model registry.
-    pub fn new(
-        cluster: &ClusterSpec,
-        models: Vec<ModelSpec>,
-        cfg: WorldConfig,
-        policy: P,
-    ) -> Self {
+    pub fn new(cluster: &ClusterSpec, models: Vec<ModelSpec>, cfg: WorldConfig, policy: P) -> Self {
         Simulation {
             world: World::new(cluster, models, cfg),
             policy,
@@ -184,11 +179,12 @@ impl<P: Policy> Simulation<P> {
             if self.world.slot_busy(node, slot) {
                 continue;
             }
-            let has_work = self
-                .world
-                .instances_on_slot(node, slot)
-                .iter()
-                .any(|&i| self.world.instance(i).map(|x| x.has_work()).unwrap_or(false));
+            let has_work = self.world.instances_on_slot(node, slot).iter().any(|&i| {
+                self.world
+                    .instance(i)
+                    .map(|x| x.has_work())
+                    .unwrap_or(false)
+            });
             if has_work {
                 self.policy.on_slot_free(&mut self.world, node, slot);
             }
@@ -203,7 +199,7 @@ mod tests {
     use engine::instance::InstanceId;
     use hwmodel::NoiseModel;
     use simcore::time::SimDuration;
-    use workload::request::{ModelId, Request, RequestId, Slo};
+    use workload::request::{ModelId, Request, RequestId};
 
     /// A one-node, one-model greedy policy used to exercise the driver: it
     /// creates a single instance on node 0 and runs everything FIFO.
@@ -300,7 +296,11 @@ mod tests {
         let rec = &m.records[0];
         assert!(rec.cold_start);
         // 7B at 14 GB/s loads in ~1 s.
-        assert!((rec.grace.as_secs_f64() - 0.96).abs() < 0.1, "{:?}", rec.grace);
+        assert!(
+            (rec.grace.as_secs_f64() - 0.96).abs() < 0.1,
+            "{:?}",
+            rec.grace
+        );
         assert!(rec.slo_met(), "grace should cover the cold start");
     }
 

@@ -160,8 +160,7 @@ impl RunMetrics {
     /// `slo` (deadlines include the stored grace).
     pub fn on_token(&mut self, id: RequestId, tokens_out: u32, now: SimTime, slo: &Slo) {
         let rec = &mut self.records[id.0 as usize];
-        let deadline =
-            slo.token_deadline(rec.arrival + rec.grace, rec.input_len, tokens_out - 1);
+        let deadline = slo.token_deadline(rec.arrival + rec.grace, rec.input_len, tokens_out - 1);
         if tokens_out == 1 {
             rec.first_token = Some(now);
             if now > deadline {
@@ -231,11 +230,7 @@ impl RunMetrics {
         let ok = self
             .records
             .iter()
-            .filter(|r| {
-                r.ttft()
-                    .map(|d| d.as_secs_f64() <= secs)
-                    .unwrap_or(false)
-            })
+            .filter(|r| r.ttft().map(|d| d.as_secs_f64() <= secs).unwrap_or(false))
             .count();
         ok as f64 / self.records.len() as f64
     }

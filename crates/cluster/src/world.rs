@@ -132,10 +132,7 @@ pub(crate) enum Event {
         elapsed: SimDuration,
     },
     /// Keep-alive check for an instance idle since `marker`.
-    KeepAlive {
-        inst: InstanceId,
-        marker: SimTime,
-    },
+    KeepAlive { inst: InstanceId, marker: SimTime },
     /// Policy-requested timer.
     Timer(u64),
     /// Periodic metrics sample.
@@ -414,8 +411,13 @@ impl World {
         let base = self.estimate_load_s(model, node);
         let dur = SimDuration::from_secs_f64(self.cfg.noise.apply(base, &mut self.rng));
         self.metrics.cold_starts += 1;
-        self.events
-            .push(self.clock + dur, Event::LoadDone { inst: id, elapsed: dur });
+        self.events.push(
+            self.clock + dur,
+            Event::LoadDone {
+                inst: id,
+                elapsed: dur,
+            },
+        );
         Ok(id)
     }
 
@@ -556,8 +558,7 @@ impl World {
         let freed = h.inst.spec.weights_bytes() + h.inst.kv_capacity_bytes();
         let node = &mut self.nodes[h.node.0 as usize];
         node.committed = node.committed.saturating_sub(freed);
-        self.metrics.instance_lifetime_s +=
-            self.clock.since(h.inst.created_at).as_secs_f64();
+        self.metrics.instance_lifetime_s += self.clock.since(h.inst.created_at).as_secs_f64();
         self.wake.push((h.node, h.slot));
     }
 
@@ -686,10 +687,7 @@ impl World {
         let mut cpu_used = 0u32;
         let mut gpu_used = 0u32;
         for (i, n) in self.nodes.iter().enumerate() {
-            let resident = self
-                .instances
-                .values()
-                .any(|h| h.node == NodeId(i as u32));
+            let resident = self.instances.values().any(|h| h.node == NodeId(i as u32));
             if resident {
                 match n.hw.kind {
                     HardwareKind::Gpu => gpu_used += 1,

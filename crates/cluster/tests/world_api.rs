@@ -66,9 +66,7 @@ fn create_commits_and_unload_releases() {
 fn unservable_models_are_rejected_up_front() {
     let mut w = world();
     // 34B on the AMX CPU: §IV-A2 says no.
-    let err = w
-        .create_instance(ModelId(1), NodeId(0), 0, GB)
-        .unwrap_err();
+    let err = w.create_instance(ModelId(1), NodeId(0), 0, GB).unwrap_err();
     assert_eq!(err, MemError::Unservable);
     // And the ledger is untouched.
     assert_eq!(w.node_available_bytes(NodeId(0)), 192 * GB);
@@ -101,7 +99,10 @@ fn oversized_scale_up_is_rejected_and_counted() {
     assert_eq!(w.metrics.oom_incidents, 1);
     // No partial commit on rejection.
     let weights = ModelSpec::llama2_7b().weights_bytes();
-    assert_eq!(w.node_available_bytes(NodeId(1)), 80 * GB - weights - 4 * GB);
+    assert_eq!(
+        w.node_available_bytes(NodeId(1)),
+        80 * GB - weights - 4 * GB
+    );
 }
 
 #[test]
@@ -115,7 +116,10 @@ fn estimates_are_noiseless_and_placement_aware() {
         .expect("fits");
     let cpu_t = w.estimate_prefill_s(cpu_inst, 1024);
     let gpu_t = w.estimate_prefill_s(gpu_inst, 1024);
-    assert!(cpu_t > gpu_t * 3.0, "CPU prefill far slower: {cpu_t} vs {gpu_t}");
+    assert!(
+        cpu_t > gpu_t * 3.0,
+        "CPU prefill far slower: {cpu_t} vs {gpu_t}"
+    );
     // Repeated estimates are identical (no noise).
     assert_eq!(cpu_t, w.estimate_prefill_s(cpu_inst, 1024));
     // Decode estimate grows with batch.

@@ -123,9 +123,14 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_ranges() {
-        assert!(SlinferConfig::default().with_watermark(-0.1).validate().is_err());
-        let mut c = SlinferConfig::default();
-        c.overestimate = 0.9;
+        assert!(SlinferConfig::default()
+            .with_watermark(-0.1)
+            .validate()
+            .is_err());
+        let c = SlinferConfig {
+            overestimate: 0.9,
+            ..SlinferConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -31,13 +31,14 @@ pub fn order_candidates(
         .map(|id| {
             let (node, _) = w.instance_placement(id).expect("listed instance");
             let is_cpu = w.node_hw(node).kind.is_cpu();
-            let batch = w
-                .instance(id)
-                .map(|i| i.live_count() as i64)
-                .unwrap_or(0);
+            let batch = w.instance(id).map(|i| i.live_count() as i64).unwrap_or(0);
             // Sort keys: CPU-first (when preferred), then biggest batch.
             let kind_rank = if prefer_cpu && is_cpu { 0 } else { 1 };
-            (kind_rank == 0, if bin_pack { -batch } else { id.0 as i64 }, id)
+            (
+                kind_rank == 0,
+                if bin_pack { -batch } else { id.0 as i64 },
+                id,
+            )
         })
         .map(|(cpu_first, key, id)| (!cpu_first, key, id))
         .collect();
@@ -68,7 +69,7 @@ pub fn pick_victim(w: &World, target: InstanceId) -> Option<InstanceId> {
         if batch >= target_batch {
             continue; // only smaller-batch neighbours may be preempted
         }
-        if best.map_or(true, |(b, _)| batch < b) {
+        if best.is_none_or(|(b, _)| batch < b) {
             best = Some((batch, id));
         }
     }

@@ -223,7 +223,7 @@ mod tests {
         assert!(!should_scale_down(125, 100, 0.25)); // 125 < 125 is false
         assert!(!should_scale_down(125, 110, 0.25));
         assert!(should_scale_down(200, 100, 0.25)); // 125 < 200
-        // Zero watermark collapses to exact tracking.
+                                                    // Zero watermark collapses to exact tracking.
         assert_eq!(recommend_bytes(100, 0.0), 100);
         assert!(should_scale_down(101, 100, 0.0));
     }
@@ -234,7 +234,7 @@ mod tests {
         let n = NodeId(0);
         p.commit(n, 9 * GB);
         // Scale an instance down 4 GB: optimistic frees instantly…
-        let d = p.plan_scale(n, InstanceId(1), 6 * GB, 2 * GB, 1 * GB);
+        let d = p.plan_scale(n, InstanceId(1), 6 * GB, 2 * GB, GB);
         assert_eq!(d, ScaleDecision::Execute);
         assert_eq!(p.optimistic_available(n), 5 * GB);
     }
@@ -252,7 +252,7 @@ mod tests {
             p.commit(n, 30);
         }
         let physical_free = 10; // 100 - 3×30
-        // A: down 30 → 10 (release 20 optimistically).
+                                // A: down 30 → 10 (release 20 optimistically).
         assert_eq!(
             p.plan_scale(n, InstanceId(1), 30, 10, physical_free),
             ScaleDecision::Execute
@@ -286,7 +286,7 @@ mod tests {
         let mut p = MemoryPlanner::new([10 * GB]);
         let n = NodeId(0);
         p.commit(n, 8 * GB);
-        let d = p.plan_scale(n, InstanceId(1), 1 * GB, 5 * GB, 2 * GB);
+        let d = p.plan_scale(n, InstanceId(1), GB, 5 * GB, 2 * GB);
         assert_eq!(d, ScaleDecision::Reject);
         // Rejection must not leak budget.
         assert_eq!(p.optimistic_available(n), 2 * GB);

@@ -71,8 +71,7 @@ impl Quantifier {
                 lengths
                     .iter()
                     .map(|&len| {
-                        let t =
-                            oracle.decode_time(model, hw, bs, bs as u64 * len as u64, share);
+                        let t = oracle.decode_time(model, hw, bs, bs as u64 * len as u64, share);
                         noise.apply(t, rng)
                     })
                     .collect()
@@ -108,7 +107,11 @@ impl Quantifier {
         let lj = bracket(&self.lengths, avg_len as f64);
         let (b0, b1) = bi;
         let (l0, l1) = lj;
-        let fb = frac(self.batches[b0] as f64, self.batches[b1] as f64, batch as f64);
+        let fb = frac(
+            self.batches[b0] as f64,
+            self.batches[b1] as f64,
+            batch as f64,
+        );
         let fl = frac(
             self.lengths[l0] as f64,
             self.lengths[l1] as f64,
@@ -197,9 +200,9 @@ impl QuantifierSet {
     ) -> &Quantifier {
         let key = Self::key(model, hw, share);
         let rng = self.rng.get_or_insert_with(|| SimRng::new(0));
-        self.map.entry(key).or_insert_with(|| {
-            Quantifier::profile(model, hw, share, oracle, noise, rng, 256)
-        })
+        self.map
+            .entry(key)
+            .or_insert_with(|| Quantifier::profile(model, hw, share, oracle, noise, rng, 256))
     }
 
     /// Immutable lookup of an already-profiled pair.
@@ -341,9 +344,13 @@ mod tests {
         let noise = NoiseModel::off();
         let m = ModelSpec::llama2_7b();
         let hw = HardwareSpec::a100_80g();
-        let a = set.get_or_profile(&m, &hw, 1.0, &oracle, &noise).prefill_s(512);
+        let a = set
+            .get_or_profile(&m, &hw, 1.0, &oracle, &noise)
+            .prefill_s(512);
         assert_eq!(set.len(), 1);
-        let b = set.get_or_profile(&m, &hw, 1.0, &oracle, &noise).prefill_s(512);
+        let b = set
+            .get_or_profile(&m, &hw, 1.0, &oracle, &noise)
+            .prefill_s(512);
         assert_eq!(set.len(), 1, "second lookup must hit the cache");
         assert_eq!(a, b);
         // A different share is a different profile.

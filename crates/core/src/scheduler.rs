@@ -144,10 +144,7 @@ impl Slinfer {
         self.ensure_profiles(w, node, &[model]);
         let share = w.slot_share(node, 0);
         let spec = w.model_spec(model);
-        let q = self
-            .quant
-            .get(spec, &hw, share)
-            .expect("just profiled");
+        let q = self.quant.get(spec, &hw, share).expect("just profiled");
         let slo = w.slo();
         let over = self.cfg.overestimate;
         let prefill_ok =
@@ -231,8 +228,14 @@ impl Slinfer {
         }
         let cand_ix = views[target_ix].reqs.len() - 1;
         w.note_shadow_validation();
-        validate(&mut views, target_ix, cand_ix, start, &slo, self.cfg.overestimate)
-            == Verdict::Pass
+        validate(
+            &mut views,
+            target_ix,
+            cand_ix,
+            start,
+            &slo,
+            self.cfg.overestimate,
+        ) == Verdict::Pass
     }
 
     /// Eq. 2 requirement if `rr` joined `inst`.
@@ -254,10 +257,7 @@ impl Slinfer {
     /// grant, any in-flight rescale target, and any approved-but-parked
     /// target.
     fn future_grant(&self, w: &World, inst: InstanceId) -> u64 {
-        let cur = w
-            .instance(inst)
-            .map(|i| i.kv_capacity_bytes())
-            .unwrap_or(0);
+        let cur = w.instance(inst).map(|i| i.kv_capacity_bytes()).unwrap_or(0);
         let issued = self.issued_scale.get(&inst).copied().unwrap_or(0);
         let wanted = self.wanted_scale.get(&inst).copied().unwrap_or(0);
         cur.max(issued).max(wanted)
@@ -286,7 +286,10 @@ impl Slinfer {
             if target <= future {
                 continue;
             }
-            match self.planner().plan_scale(node, inst, future, target, physical) {
+            match self
+                .planner()
+                .plan_scale(node, inst, future, target, physical)
+            {
                 ScaleDecision::Execute => {
                     self.wanted_scale.insert(inst, target);
                     self.try_issue_wanted(w, node);
@@ -328,7 +331,9 @@ impl Slinfer {
             .wanted_scale
             .iter()
             .filter(|(&i, _)| {
-                w.instance_placement(i).map(|(n, _)| n == node).unwrap_or(false)
+                w.instance_placement(i)
+                    .map(|(n, _)| n == node)
+                    .unwrap_or(false)
             })
             .map(|(&i, &t)| (i, t))
             .collect();
@@ -395,8 +400,7 @@ impl Slinfer {
             return;
         }
         let physical = w.node_available_bytes(node);
-        if self.planner().plan_scale(node, inst, cur, target, physical) == ScaleDecision::Execute
-        {
+        if self.planner().plan_scale(node, inst, cur, target, physical) == ScaleDecision::Execute {
             self.wanted_scale.insert(inst, target);
             self.try_issue_wanted(w, node);
         }
@@ -418,12 +422,8 @@ impl Slinfer {
     ) -> bool {
         self.ensure_init(w);
         let model = rr.req.model;
-        let candidates = order_candidates(
-            w,
-            model,
-            self.cfg.enable_cpu,
-            self.cfg.enable_consolidation,
-        );
+        let candidates =
+            order_candidates(w, model, self.cfg.enable_cpu, self.cfg.enable_consolidation);
         let mut mem_blocked: Vec<InstanceId> = Vec::new();
         for inst in candidates {
             if Some(inst) == exclude {
@@ -474,7 +474,10 @@ impl Slinfer {
         };
         // Shadow-validate that the freed bytes actually cover the demand.
         let require = self.required_with(w, target, rr);
-        let cur = w.instance(target).map(|i| i.kv_capacity_bytes()).unwrap_or(0);
+        let cur = w
+            .instance(target)
+            .map(|i| i.kv_capacity_bytes())
+            .unwrap_or(0);
         if cur < require {
             let delta = require - cur;
             let freed = victim_footprint(w, victim);
@@ -566,8 +569,7 @@ impl Slinfer {
                 Ok(inst) => {
                     self.planner()
                         .commit(node, spec.weights_bytes() + effective_grant);
-                    let act =
-                        w.now() + SimDuration::from_secs_f64(w.estimate_load_s(model, node));
+                    let act = w.now() + SimDuration::from_secs_f64(w.estimate_load_s(model, node));
                     self.expected_active.insert(inst, act);
                     if self.cfg.pd_disaggregate && as_prefill {
                         self.prefill_insts.insert(inst);
@@ -633,10 +635,7 @@ impl Slinfer {
             views.push(InstView { quant: q, reqs });
         }
         let spec = w.model_spec(rr.req.model);
-        let q_new = self
-            .quant
-            .get(spec, &hw, share)
-            .expect("profiled above");
+        let q_new = self.quant.get(spec, &hw, share).expect("profiled above");
         views.push(InstView {
             quant: q_new,
             reqs: vec![ShadowReq {
@@ -649,19 +648,21 @@ impl Slinfer {
         });
         let target = views.len() - 1;
         w.note_shadow_validation();
-        validate(&mut views, target, 0, start.max(act), &slo, self.cfg.overestimate)
-            == Verdict::Pass
+        validate(
+            &mut views,
+            target,
+            0,
+            start.max(act),
+            &slo,
+            self.cfg.overestimate,
+        ) == Verdict::Pass
     }
 
     /// PD mode: lands a prefilled request on a decode instance (§IX-G).
     fn place_decode(&mut self, w: &mut World, rr: RunningRequest) -> Result<(), RunningRequest> {
         let model = rr.req.model;
-        let candidates = order_candidates(
-            w,
-            model,
-            self.cfg.enable_cpu,
-            self.cfg.enable_consolidation,
-        );
+        let candidates =
+            order_candidates(w, model, self.cfg.enable_cpu, self.cfg.enable_consolidation);
         for inst in candidates {
             if self.prefill_insts.contains(&inst) {
                 continue;
@@ -720,10 +721,7 @@ impl Slinfer {
         if let Some((node, _)) = w.instance_placement(inst) {
             // Refund a parked (approved) op.
             if let Some(to) = self.wanted_scale.remove(&inst) {
-                let cur = w
-                    .instance(inst)
-                    .map(|i| i.kv_capacity_bytes())
-                    .unwrap_or(0);
+                let cur = w.instance(inst).map(|i| i.kv_capacity_bytes()).unwrap_or(0);
                 if to > cur {
                     self.planner().release(node, to - cur);
                 } else {
@@ -805,10 +803,7 @@ impl Policy for Slinfer {
                         ReqPhase::Decoding => (r.headroom(now, &slo), IterationKind::Decode),
                         _ => continue,
                     };
-                    if best
-                        .as_ref()
-                        .map_or(true, |(h, _, _)| item.0 < *h)
-                    {
+                    if best.as_ref().is_none_or(|(h, _, _)| item.0 < *h) {
                         best = Some((item.0, inst, item.1));
                     }
                 }
@@ -878,8 +873,7 @@ impl Policy for Slinfer {
             let Some(i) = w.instance(inst) else { return };
             (
                 i.model,
-                i.kv_used_bytes()
-                    + i.spec.kv_bytes_per_token() * 16 * i.live_count().max(1) as u64,
+                i.kv_used_bytes() + i.spec.kv_bytes_per_token() * 16 * i.live_count().max(1) as u64,
             )
         };
         let avg = self.avg_output(model);
@@ -895,19 +889,17 @@ impl Policy for Slinfer {
         // Evict the longest-headroom request.
         let now = w.now();
         let slo = w.slo();
-        let victim_req = w
-            .instance(inst)
-            .and_then(|i| {
-                i.requests()
-                    .iter()
-                    .filter(|r| !matches!(r.phase, ReqPhase::Prefilling))
-                    .max_by(|a, b| {
-                        a.headroom(now, &slo)
-                            .partial_cmp(&b.headroom(now, &slo))
-                            .unwrap()
-                    })
-                    .map(|r| r.req.id)
-            });
+        let victim_req = w.instance(inst).and_then(|i| {
+            i.requests()
+                .iter()
+                .filter(|r| !matches!(r.phase, ReqPhase::Prefilling))
+                .max_by(|a, b| {
+                    a.headroom(now, &slo)
+                        .partial_cmp(&b.headroom(now, &slo))
+                        .unwrap()
+                })
+                .map(|r| r.req.id)
+        });
         let Some(vid) = victim_req else { return };
         let moved = w
             .instance_mut(inst)
@@ -1124,8 +1116,7 @@ mod tests {
         // 12 requests in a sustainable burst to one model: consolidation
         // should grow one instance rather than fragmenting across nodes.
         // (128-token prefills every 250 ms leave decode headroom to spare.)
-        let reqs: Vec<(u64, u32, u32, u32)> =
-            (0..12).map(|i| (i * 250, 0, 128, 24)).collect();
+        let reqs: Vec<(u64, u32, u32, u32)> = (0..12).map(|i| (i * 250, 0, 128, 24)).collect();
         let trace = mk_trace(reqs);
         let sim = Simulation::new(
             &ClusterSpec::heterogeneous(2, 2),
@@ -1135,7 +1126,10 @@ mod tests {
         );
         let m = sim.run(&trace);
         assert!(m.slo_rate() > 0.9, "slo rate {}", m.slo_rate());
-        assert_eq!(m.cold_starts, 1, "a single instance should absorb the burst");
+        assert_eq!(
+            m.cold_starts, 1,
+            "a single instance should absorb the burst"
+        );
         assert!(m.batch_sizes.max() >= 6.0, "batching should build up");
     }
 
@@ -1203,8 +1197,9 @@ mod tests {
 
     #[test]
     fn pd_mode_costs_more_than_aggregated() {
-        let reqs: Vec<(u64, u32, u32, u32)> =
-            (0..12).map(|i| (i * 500, (i % 3) as u32, 512, 24)).collect();
+        let reqs: Vec<(u64, u32, u32, u32)> = (0..12)
+            .map(|i| (i * 500, (i % 3) as u32, 512, 24))
+            .collect();
         let trace = mk_trace(reqs);
         let run = |pd: bool| {
             let cfg = SlinferConfig {
@@ -1232,8 +1227,9 @@ mod tests {
 
     #[test]
     fn deterministic_with_seed() {
-        let reqs: Vec<(u64, u32, u32, u32)> =
-            (0..20).map(|i| (i * 250, (i % 4) as u32, 768, 24)).collect();
+        let reqs: Vec<(u64, u32, u32, u32)> = (0..20)
+            .map(|i| (i * 250, (i % 4) as u32, 768, 24))
+            .collect();
         let trace = mk_trace(reqs);
         let run = || {
             let sim = Simulation::new(
@@ -1253,5 +1249,4 @@ mod tests {
         assert_eq!(a.scale_ops, b.scale_ops);
         assert_eq!(a.cpu_decode_tokens, b.cpu_decode_tokens);
     }
-
 }

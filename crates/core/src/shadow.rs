@@ -146,15 +146,15 @@ pub fn validate(
             for (ri, r) in v.reqs.iter().enumerate() {
                 let h = r.deadline_s(slo) - t;
                 if r.waiting {
-                    if best.map_or(true, |(bh, _, _)| h < bh) {
+                    if best.is_none_or(|(bh, _, _)| h < bh) {
                         best = Some((h, vi, Some(ri)));
                     }
-                } else if decode_urgency.map_or(true, |d| h < d) {
+                } else if decode_urgency.is_none_or(|d| h < d) {
                     decode_urgency = Some(h);
                 }
             }
             if let Some(h) = decode_urgency {
-                if best.map_or(true, |(bh, _, _)| h < bh) {
+                if best.is_none_or(|(bh, _, _)| h < bh) {
                     best = Some((h, vi, None));
                 }
             }
@@ -248,14 +248,7 @@ mod tests {
             quant: &q,
             reqs: vec![req(10, 1024, 0, true)],
         }];
-        let v = validate(
-            &mut views,
-            0,
-            0,
-            SimTime::from_secs(10),
-            &Slo::paper(),
-            1.1,
-        );
+        let v = validate(&mut views, 0, 0, SimTime::from_secs(10), &Slo::paper(), 1.1);
         assert_eq!(v, Verdict::Pass);
     }
 
@@ -296,8 +289,7 @@ mod tests {
         let mk_views = |cand_input: u32| {
             // Each neighbour: anchored at 0, input 2048 (TTFT 4 s), 65
             // tokens done => next deadline 20.25 s; replay starts at 20 s.
-            let mut reqs: Vec<ShadowReq> =
-                (0..16).map(|_| req(0, 2048, 65, false)).collect();
+            let mut reqs: Vec<ShadowReq> = (0..16).map(|_| req(0, 2048, 65, false)).collect();
             reqs.push(ShadowReq {
                 anchor: SimTime::from_secs(20),
                 input_len: cand_input,
@@ -335,9 +327,7 @@ mod tests {
         let hw = HardwareSpec::xeon4_amx_32c();
         let q1 = quant(&hw);
         let q2 = quant(&hw);
-        let mk = |n: u32| -> Vec<ShadowReq> {
-            (0..n).map(|_| req(0, 2048, 5, false)).collect()
-        };
+        let mk = |n: u32| -> Vec<ShadowReq> { (0..n).map(|_| req(0, 2048, 5, false)).collect() };
         let mut reqs = mk(16);
         reqs.push(req(20, 512, 0, true)); // small candidate
         let mut views = vec![

@@ -198,7 +198,7 @@ impl Instance {
                 ReqPhase::Decoding => (r.headroom(now, slo), IterationKind::Decode),
                 _ => continue,
             };
-            if best.map_or(true, |(h, _)| candidate.0 < h) {
+            if best.is_none_or(|(h, _)| candidate.0 < h) {
                 best = Some(candidate);
             }
         }
@@ -508,7 +508,11 @@ mod tests {
         let len = i.begin_prefill(RequestId(1)).expect("kv fits");
         assert_eq!(len, 100);
         assert!(i.busy);
-        i.finish_prefill(RequestId(1), SimTime::from_millis(500), SimDuration::from_millis(500));
+        i.finish_prefill(
+            RequestId(1),
+            SimTime::from_millis(500),
+            SimDuration::from_millis(500),
+        );
         assert_eq!(i.batch_size(), 1);
         assert_eq!(i.decode_tokens, 1, "prefill produces the first token");
 
@@ -574,7 +578,11 @@ mod tests {
         // …and a decoding request about to hit its deadline.
         i.admit(rr(2, 100, 4));
         assert!(i.begin_prefill(RequestId(2)).is_some());
-        i.finish_prefill(RequestId(2), SimTime::from_millis(100), SimDuration::from_millis(100));
+        i.finish_prefill(
+            RequestId(2),
+            SimTime::from_millis(100),
+            SimDuration::from_millis(100),
+        );
         // At t close to req-2's next deadline, decode must win.
         let now = SimTime::from_millis(700);
         let (_, kind) = i.most_urgent(now, &slo).unwrap();

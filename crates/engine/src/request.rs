@@ -69,7 +69,11 @@ impl RunningRequest {
     /// Absolute deadline of the *next* token under `slo`, including the
     /// cold-start grace.
     pub fn next_deadline(&self, slo: &Slo) -> SimTime {
-        slo.token_deadline(self.req.arrival + self.grace, self.req.input_len, self.tokens_out)
+        slo.token_deadline(
+            self.req.arrival + self.grace,
+            self.req.input_len,
+            self.tokens_out,
+        )
     }
 
     /// Headroom (Eq. 1) at `now`: seconds until the next-token deadline.

@@ -1,0 +1,16 @@
+//! Top-level harness crate for the SLINFER reproduction workspace.
+//!
+//! This package owns the cross-crate integration suites under `tests/`
+//! (`end_to_end`, `cross_system`, `memory_safety`, `trace_replay`,
+//! `determinism`) and the runnable `examples/`. The library itself just
+//! re-exports the workspace crates so examples and downstream tooling can
+//! reach everything through one dependency.
+
+pub use ::bench;
+pub use baselines;
+pub use cluster;
+pub use engine;
+pub use hwmodel;
+pub use simcore;
+pub use slinfer;
+pub use workload;

@@ -91,7 +91,11 @@ mod tests {
             sum += t;
         }
         let mean = sum / n as f64;
-        assert!((mean / 0.25 - 1.0).abs() < 0.01, "mean ratio {}", mean / 0.25);
+        assert!(
+            (mean / 0.25 - 1.0).abs() < 0.01,
+            "mean ratio {}",
+            mean / 0.25
+        );
     }
 
     #[test]

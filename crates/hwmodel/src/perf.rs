@@ -106,7 +106,7 @@ impl AnalyticPerf {
         let mut lo = 0u32;
         let mut hi = 4096u32;
         while lo < hi {
-            let mid = (lo + hi + 1) / 2;
+            let mid = (lo + hi).div_ceil(2);
             let t = self.decode_time(model, hw, mid, mid as u64 * ctx as u64, share);
             if t <= tpot_slo {
                 lo = mid;
@@ -289,12 +289,24 @@ mod tests {
         let half_2k = limit(2048, 0.5);
         let third_2k = limit(2048, 1.0 / 3.0);
         let quarter_2k = limit(2048, 0.25);
-        assert!((25..=29).contains(&full_2k), "C-7B-2K full {full_2k} (paper 27)");
-        assert!((7..=10).contains(&half_2k), "C-7B-2K half {half_2k} (paper 9)");
-        assert!((1..=3).contains(&third_2k), "C-7B-2K third {third_2k} (paper 2)");
+        assert!(
+            (25..=29).contains(&full_2k),
+            "C-7B-2K full {full_2k} (paper 27)"
+        );
+        assert!(
+            (7..=10).contains(&half_2k),
+            "C-7B-2K half {half_2k} (paper 9)"
+        );
+        assert!(
+            (1..=3).contains(&third_2k),
+            "C-7B-2K third {third_2k} (paper 2)"
+        );
         assert_eq!(quarter_2k, 0, "C-7B-2K quarter infeasible (paper '-')");
         let full_4k = limit(4096, 1.0);
-        assert!((13..=17).contains(&full_4k), "C-7B-4K full {full_4k} (paper 15)");
+        assert!(
+            (13..=17).contains(&full_4k),
+            "C-7B-4K full {full_4k} (paper 15)"
+        );
         // Fragmentation cost (§IV-C): two halves yield far less than one full.
         assert!(2 * half_2k < full_2k);
     }
@@ -347,8 +359,14 @@ mod tests {
         // qualitative ordering (small limits, 4K < 1K) — see EXPERIMENTS.md.
         let b_100_1k = p.max_batch_under_tpot(&m7, &hw, 1024, 1.0, 0.10);
         let b_100_4k = p.max_batch_under_tpot(&m7, &hw, 4096, 1.0, 0.10);
-        assert!((3..=11).contains(&b_100_1k), "100ms/1K batch {b_100_1k} (paper 9)");
-        assert!((1..=4).contains(&b_100_4k), "100ms/4K batch {b_100_4k} (paper 3)");
+        assert!(
+            (3..=11).contains(&b_100_1k),
+            "100ms/1K batch {b_100_1k} (paper 9)"
+        );
+        assert!(
+            (1..=4).contains(&b_100_4k),
+            "100ms/4K batch {b_100_4k} (paper 3)"
+        );
         assert!(b_100_4k < b_100_1k);
         assert_eq!(p.max_batch_under_tpot(&m7, &hw, 1024, 1.0, 0.05), 0);
         assert_eq!(p.max_batch_under_tpot(&m13, &hw, 1024, 1.0, 0.10), 0);
@@ -365,7 +383,10 @@ mod tests {
         let t_2k = p.decode_time(&m, &hw, 32, 32 * 2048, 1.0);
         // The paper's firm claims: the 2K point violates the SLO after a ≈2×
         // growth from the 512 point (which sits right at the SLO boundary).
-        assert!(t_512 < 0.28, "13B bs32 @512 should sit near the SLO: {t_512}");
+        assert!(
+            t_512 < 0.28,
+            "13B bs32 @512 should sit near the SLO: {t_512}"
+        );
         assert!(t_2k > 0.25, "13B bs32 @2K should violate SLO: {t_2k}");
         let growth = t_2k / t_512;
         assert!((1.6..2.4).contains(&growth), "≈2× growth: {growth}");

@@ -144,7 +144,9 @@ mod tests {
     #[test]
     fn lognormal_median() {
         let mut rng = SimRng::new(3);
-        let mut xs: Vec<f64> = (0..50_001).map(|_| lognormal(&mut rng, 1024.0, 0.8)).collect();
+        let mut xs: Vec<f64> = (0..50_001)
+            .map(|_| lognormal(&mut rng, 1024.0, 0.8))
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = xs[25_000];
         assert!((med / 1024.0 - 1.0).abs() < 0.05, "median {med}");

@@ -63,7 +63,11 @@ impl Summary {
 
     /// Largest sample, or 0 if empty.
     pub fn max(&self) -> f64 {
-        self.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+        self.samples
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(0.0)
     }
 
     /// Smallest sample, or 0 if empty.
@@ -99,8 +103,7 @@ impl Summary {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().filter(|&&x| x <= threshold).count() as f64
-            / self.samples.len() as f64
+        self.samples.iter().filter(|&&x| x <= threshold).count() as f64 / self.samples.len() as f64
     }
 
     /// Builds an empirical CDF over `points` evaluation thresholds spanning

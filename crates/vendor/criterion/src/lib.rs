@@ -1,0 +1,144 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`/`bench_with_input`/`bench_function`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`, and `black_box` — backed by a
+//! simple wall-clock timing loop instead of criterion's statistical
+//! machinery. Each benchmark warms up briefly, then runs enough iterations
+//! to cover ~100 ms and reports the mean time per iteration.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const TARGET: Duration = Duration::from_millis(100);
+const MAX_ITERS: u64 = 1_000_000;
+
+/// Identifies one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::from_parameter(8)` → case labeled `"8"`.
+    pub fn from_parameter<D: Display>(p: D) -> Self {
+        BenchmarkId {
+            label: p.to_string(),
+        }
+    }
+
+    /// `BenchmarkId::new("f", 8)` → case labeled `"f/8"`.
+    pub fn new<D: Display>(function: &str, p: D) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{p}"),
+        }
+    }
+}
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration, filled in by [`Bencher::iter`].
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        // Estimate per-iteration cost, then size the measured batch.
+        let probe = Instant::now();
+        black_box(f());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, u128::from(MAX_ITERS)) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.mean = start.elapsed() / iters as u32;
+    }
+}
+
+fn run_case(name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        mean: Duration::ZERO,
+    };
+    f(&mut b);
+    println!("bench {name:<40} {:>12.3?}/iter", b.mean);
+}
+
+/// A named group of related benchmark cases.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Benchmarks `f` against one parameter value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_case(&format!("{}/{}", self.name, id.label), |b| f(b, input));
+    }
+
+    /// Benchmarks an unparameterized case within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_case(&format!("{}/{}", self.name, id), |b| f(b));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Mirrors `Criterion::configure_from_args`; CLI filtering is not
+    /// supported by the stand-in, so this is the identity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_case(name, |b| f(b));
+        self
+    }
+}
+
+/// Bundles benchmark functions into one group runner, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

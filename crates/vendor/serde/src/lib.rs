@@ -1,0 +1,273 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in a hermetic environment with no access to
+//! crates.io, so the real `serde` cannot be vendored. The simulation only
+//! needs one serialization capability — dumping experiment results as JSON
+//! under `results/` — so this crate provides exactly that surface:
+//!
+//! - [`Serialize`]: a trait that writes the value as JSON text. Implemented
+//!   for the primitives, strings, tuples, arrays, `Vec`, `Option`, and map
+//!   types the experiment records use, and derivable for structs and enums
+//!   via `#[derive(Serialize)]` (re-exported from `serde_derive`).
+//! - [`Deserialize`]: a marker trait (nothing in the workspace reads JSON
+//!   back in yet); `#[derive(Deserialize)]` emits the marker impl.
+//!
+//! If the workspace ever gains network access, swapping this out for the
+//! real `serde` requires only changing `[workspace.dependencies]` — the
+//! derive attribute surface (`#[derive(Serialize, Deserialize)]`) is
+//! identical.
+
+// Let the derive-generated `serde::...` paths resolve inside this crate's
+// own tests too.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can write themselves as JSON text.
+///
+/// This is a deliberately minimal stand-in for `serde::Serialize`: instead
+/// of the visitor-based data model, implementors append their JSON encoding
+/// directly to an output buffer.
+pub trait Serialize {
+    /// Appends this value's JSON encoding to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// Renders this value as a compact JSON string.
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+}
+
+/// Marker for types that could be read back from serialized form.
+///
+/// The workspace never deserializes anything today; the derive macro emits
+/// an empty impl so `#[derive(Deserialize)]` keeps compiling against this
+/// stand-in exactly as it would against real serde.
+pub trait Deserialize: Sized {}
+
+/// Escapes and writes a JSON string literal.
+pub fn write_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/Infinity literals.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for char {
+    fn write_json(&self, out: &mut String) {
+        write_json_str(&self.to_string(), out);
+    }
+}
+impl Deserialize for char {}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+impl Deserialize for String {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+fn write_json_seq<'a, T: Serialize + 'a>(items: impl IntoIterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, v) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        v.write_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(self, out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(self, out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        write_json_seq(self, out);
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+)),* $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    self.$n.write_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+);
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(&k.to_string(), out);
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn write_json(&self, out: &mut String) {
+        // Sort by rendered key: HashMap iteration order is nondeterministic,
+        // and the workspace guarantees byte-identical output per seed.
+        let mut entries: Vec<(String, &V)> = self.iter().map(|(k, v)| (k.to_string(), v)).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        out.push('{');
+        for (i, (k, v)) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(k, out);
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(42u32.to_json(), "42");
+        assert_eq!((-3i64).to_json(), "-3");
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!("a\"b".to_string().to_json(), "\"a\\\"b\"");
+        assert_eq!(vec![1u8, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!((1u32, 2.5f64).to_json(), "[1,2.5]");
+        assert_eq!(Option::<u32>::None.to_json(), "null");
+        assert_eq!(Some(7u32).to_json(), "7");
+    }
+
+    #[test]
+    fn derive_struct_and_enum() {
+        #[derive(Serialize)]
+        struct Point {
+            x: f64,
+            y: f64,
+        }
+        #[derive(Serialize)]
+        struct Id(u64);
+        #[derive(Serialize)]
+        enum Kind {
+            Unit,
+            Tagged(u32),
+        }
+        assert_eq!(Point { x: 1.0, y: 2.0 }.to_json(), "{\"x\":1,\"y\":2}");
+        assert_eq!(Id(9).to_json(), "9");
+        assert_eq!(Kind::Unit.to_json(), "\"Unit\"");
+        assert_eq!(Kind::Tagged(3).to_json(), "{\"Tagged\":3}");
+    }
+}

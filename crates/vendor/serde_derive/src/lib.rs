@@ -1,0 +1,271 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! The hermetic build environment has no `syn`/`quote`, so this crate
+//! parses the derive input token stream by hand. It supports exactly the
+//! shapes the workspace uses:
+//!
+//! - structs with named fields → JSON objects keyed by field name,
+//! - tuple structs with one field (newtypes) → the inner value,
+//! - tuple structs with several fields → JSON arrays,
+//! - enums with unit variants → the variant name as a string,
+//! - enums with tuple variants → `{"Variant": payload}` (payload is the
+//!   single field, or an array for multi-field variants).
+//!
+//! Generic types are rejected with a compile error (nothing in the
+//! workspace derives serde traits on a generic type).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+/// Splits a token slice at top-level commas, treating `<...>` angle-bracket
+/// nesting as one level (other brackets are `Group`s and already opaque).
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tt.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strips leading attributes (`#[...]`) and a visibility qualifier
+/// (`pub`, `pub(crate)`, ...) from a token slice.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1; // the `[...]` group
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(
+                    tokens.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1;
+            }
+            Some(_) => i += 1,
+            None => return Err("expected `struct` or `enum`".into()),
+        }
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the offline serde stand-in cannot derive for generic type `{name}`"
+            ));
+        }
+    }
+    if kind == "struct" {
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut names = Vec::new();
+                for chunk in split_top_commas(&inner) {
+                    let chunk = strip_attrs_and_vis(&chunk);
+                    match chunk.first() {
+                        Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+                        Some(_) => return Err(format!("unsupported field in `{name}`")),
+                        None => {}
+                    }
+                }
+                Fields::Named(names)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Tuple(split_top_commas(&inner).len())
+            }
+            _ => Fields::Unit,
+        };
+        Ok(Item::Struct { name, fields })
+    } else {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            _ => return Err(format!("expected enum body for `{name}`")),
+        };
+        let inner: Vec<TokenTree> = body.into_iter().collect();
+        let mut variants = Vec::new();
+        for chunk in split_top_commas(&inner) {
+            let chunk = strip_attrs_and_vis(&chunk);
+            let Some(TokenTree::Ident(id)) = chunk.first() else {
+                continue;
+            };
+            let vname = id.to_string();
+            let arity = match chunk.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    split_top_commas(&inner).len()
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    return Err(format!(
+                        "the offline serde stand-in cannot derive for struct variant \
+                         `{name}::{vname}`"
+                    ));
+                }
+                _ => 0,
+            };
+            variants.push((vname, arity));
+        }
+        Ok(Item::Enum { name, variants })
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let mut body = String::new();
+    let name = match &item {
+        Item::Struct { name, fields } => {
+            match fields {
+                Fields::Named(names) => {
+                    body.push_str("out.push('{');\n");
+                    for (i, f) in names.iter().enumerate() {
+                        if i > 0 {
+                            body.push_str("out.push(',');\n");
+                        }
+                        body.push_str(&format!(
+                            "out.push_str(\"\\\"{f}\\\":\");\n\
+                             serde::Serialize::write_json(&self.{f}, out);\n"
+                        ));
+                    }
+                    body.push_str("out.push('}');\n");
+                }
+                Fields::Tuple(1) => {
+                    body.push_str("serde::Serialize::write_json(&self.0, out);\n");
+                }
+                Fields::Tuple(n) => {
+                    body.push_str("out.push('[');\n");
+                    for i in 0..*n {
+                        if i > 0 {
+                            body.push_str("out.push(',');\n");
+                        }
+                        body.push_str(&format!("serde::Serialize::write_json(&self.{i}, out);\n"));
+                    }
+                    body.push_str("out.push(']');\n");
+                }
+                Fields::Unit => body.push_str("out.push_str(\"null\");\n"),
+            }
+            name
+        }
+        Item::Enum { name, variants } => {
+            body.push_str("match self {\n");
+            for (vname, arity) in variants {
+                match arity {
+                    0 => body.push_str(&format!(
+                        "{name}::{vname} => out.push_str(\"\\\"{vname}\\\"\"),\n"
+                    )),
+                    1 => body.push_str(&format!(
+                        "{name}::{vname}(f0) => {{\n\
+                         out.push_str(\"{{\\\"{vname}\\\":\");\n\
+                         serde::Serialize::write_json(f0, out);\n\
+                         out.push('}}');\n}}\n"
+                    )),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        body.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             out.push_str(\"{{\\\"{vname}\\\":[\");\n",
+                            binds.join(", ")
+                        ));
+                        for (i, b) in binds.iter().enumerate() {
+                            if i > 0 {
+                                body.push_str("out.push(',');\n");
+                            }
+                            body.push_str(&format!("serde::Serialize::write_json({b}, out);\n"));
+                        }
+                        body.push_str("out.push_str(\"]}\");\n}\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+            name
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+         fn write_json(&self, out: &mut String) {{\n{body}}}\n}}\n"
+    );
+    out.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!("#[automatically_derived]\nimpl serde::Deserialize for {name} {{}}\n")
+        .parse()
+        .unwrap()
+}

@@ -1,0 +1,114 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides the one entry point the workspace uses —
+//! [`to_string_pretty`] — on top of the offline [`serde`] stand-in's
+//! compact JSON writer, plus a string-aware re-indenting pretty printer.
+
+use std::fmt;
+
+/// Error type mirroring `serde_json::Error`'s role in signatures.
+///
+/// The stand-in serializer is infallible, so this is never constructed; it
+/// exists so `Result<String, Error>`-shaped call sites keep compiling.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json())
+}
+
+/// Serializes `value` as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(pretty(&value.to_json()))
+}
+
+/// Re-indents compact JSON produced by the stand-in serializer.
+///
+/// Walks the text with string-literal awareness, so braces and commas
+/// inside string values never trigger layout changes.
+fn pretty(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut chars = compact.chars().peekable();
+    let indent = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    while let Some(c) = chars.next() {
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                let close = if c == '{' { '}' } else { ']' };
+                if chars.peek() == Some(&close) {
+                    out.push(chars.next().unwrap());
+                } else {
+                    depth += 1;
+                    indent(&mut out, depth);
+                }
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                indent(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                indent(&mut out, depth);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested() {
+        let s = pretty("{\"a\":[1,2],\"b\":\"x,{y}\"}");
+        assert_eq!(
+            s,
+            "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": \"x,{y}\"\n}"
+        );
+    }
+
+    #[test]
+    fn empty_containers_stay_inline() {
+        assert_eq!(pretty("[]"), "[]");
+        assert_eq!(pretty("{\"a\":{}}"), "{\n  \"a\": {}\n}");
+    }
+}

@@ -135,7 +135,10 @@ mod tests {
             c.sort();
             c[32]
         };
-        assert!(max > 5 * median.max(1), "popularity skew max {max} median {median}");
+        assert!(
+            max > 5 * median.max(1),
+            "popularity skew max {max} median {median}"
+        );
     }
 
     #[test]

@@ -157,7 +157,10 @@ impl Dataset {
     pub fn mean_output_len(self, seed: u64) -> f64 {
         let mut rng = SimRng::new(seed).split(0x0u64);
         let n = 4096;
-        (0..n).map(|_| self.sample_output_len(&mut rng) as f64).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| self.sample_output_len(&mut rng) as f64)
+            .sum::<f64>()
+            / n as f64
     }
 }
 
@@ -211,11 +214,18 @@ mod tests {
     fn sharegpt_outputs_are_longest() {
         let mean = |ds: Dataset| {
             let mut rng = SimRng::new(11);
-            (0..20_000).map(|_| ds.sample_output_len(&mut rng) as f64).sum::<f64>() / 20_000.0
+            (0..20_000)
+                .map(|_| ds.sample_output_len(&mut rng) as f64)
+                .sum::<f64>()
+                / 20_000.0
         };
         let share = mean(Dataset::ShareGpt);
-        for ds in [Dataset::AzureConv, Dataset::AzureCode, Dataset::HumanEval, Dataset::LongBench]
-        {
+        for ds in [
+            Dataset::AzureConv,
+            Dataset::AzureCode,
+            Dataset::HumanEval,
+            Dataset::LongBench,
+        ] {
             assert!(share > mean(ds), "ShareGPT outputs should be longest");
         }
     }
@@ -228,7 +238,7 @@ mod tests {
                 let (i, o) = ds.sample_lengths(&mut rng);
                 assert!(i >= 16 || ds == Dataset::LongBench);
                 assert!(i <= 32_768);
-                assert!(o >= 1 && o <= 2_048);
+                assert!((1..=2_048).contains(&o));
             }
         }
     }

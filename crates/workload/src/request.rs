@@ -95,13 +95,7 @@ impl Slo {
 
     /// Headroom (Eq. 1): seconds until the next-token deadline; negative
     /// once the SLO is violated.
-    pub fn headroom(
-        &self,
-        now: SimTime,
-        start: SimTime,
-        input_len: u32,
-        tokens_done: u32,
-    ) -> f64 {
+    pub fn headroom(&self, now: SimTime, start: SimTime, input_len: u32, tokens_done: u32) -> f64 {
         self.token_deadline(start, input_len, tokens_done)
             .signed_secs_since(now)
     }

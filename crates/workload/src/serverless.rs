@@ -96,8 +96,7 @@ impl TraceSpec {
             let lambda = weights[rank] * total;
             // Randomized rounding keeps the expected total exact.
             let floor = lambda.floor();
-            per_model[model] =
-                floor as usize + usize::from(pop_rng.next_bool(lambda - floor));
+            per_model[model] = floor as usize + usize::from(pop_rng.next_bool(lambda - floor));
         }
         weights.clear();
 
@@ -112,8 +111,8 @@ impl TraceSpec {
             let mut placed = 0usize;
             // Bursts: geometric sizes around `mean_burst`, centers uniform.
             while placed < burst_budget {
-                let size = sample_burst_size(&mut arrivals_rng, mean_burst)
-                    .min(burst_budget - placed);
+                let size =
+                    sample_burst_size(&mut arrivals_rng, mean_burst).min(burst_budget - placed);
                 let start = arrivals_rng.next_f64() * horizon;
                 let mut t = start;
                 for _ in 0..size {

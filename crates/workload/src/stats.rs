@@ -150,7 +150,7 @@ impl TraceStats {
             .enumerate()
             .map(|(i, &c)| (ModelId(i as u32), c))
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         v
     }
 

@@ -24,7 +24,10 @@ fn main() {
     ];
     let ctx = 2048u32;
 
-    println!("capacity plan at {ctx}-token contexts, TPOT SLO {} ms:\n", slo.tpot_s * 1e3);
+    println!(
+        "capacity plan at {ctx}-token contexts, TPOT SLO {} ms:\n",
+        slo.tpot_s * 1e3
+    );
     println!(
         "{:<14} {:<16} {:>9} {:>11} {:>12} {:>12}",
         "model", "hardware", "servable", "max batch", "KV room", "cold start"
@@ -65,9 +68,7 @@ fn main() {
             }
             let longest = (1..=128)
                 .map(|k| k * 256)
-                .take_while(|&l| {
-                    perf.prefill_time(m, hw, l, 1.0) <= slo.ttft(l).as_secs_f64()
-                })
+                .take_while(|&l| perf.prefill_time(m, hw, l, 1.0) <= slo.ttft(l).as_secs_f64())
                 .last()
                 .unwrap_or(0);
             println!("  {:<14} on {:<16} ≈ {longest} tokens", m.name, hw.name);

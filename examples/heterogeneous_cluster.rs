@@ -37,7 +37,10 @@ fn run(cluster: ClusterSpec, models: Vec<ModelSpec>, trace: &workload::Trace) {
 fn main() {
     let models: Vec<ModelSpec> = (0..16).map(|i| ModelSpec::llama2_7b().replica(i)).collect();
     let trace = TraceSpec::azure_like(16, 3).generate();
-    println!("workload: {} conversation requests over 16 7B models", trace.len());
+    println!(
+        "workload: {} conversation requests over 16 7B models",
+        trace.len()
+    );
 
     println!("GPU-only (2 × A100):");
     run(ClusterSpec::heterogeneous(0, 2), models.clone(), &trace);
@@ -49,8 +52,9 @@ fn main() {
     run(ClusterSpec::heterogeneous(2, 1), models.clone(), &trace);
 
     // Long-context traffic cannot use CPUs: SLINFER must fall back to GPU.
-    let lb_models: Vec<ModelSpec> =
-        (0..8).map(|i| ModelSpec::llama3_1_8b().replica(i)).collect();
+    let lb_models: Vec<ModelSpec> = (0..8)
+        .map(|i| ModelSpec::llama3_1_8b().replica(i))
+        .collect();
     let lb_trace = TraceSpec::azure_like(8, 3)
         .with_dataset(Dataset::LongBench)
         .with_load_scale(0.3)

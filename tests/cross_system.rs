@@ -49,7 +49,12 @@ fn every_system_resolves_every_request() {
             .iter()
             .filter(|r| r.completed.is_none() && !r.dropped)
             .count();
-        assert_eq!(unresolved, 0, "{}: {unresolved} unresolved requests", sys.name());
+        assert_eq!(
+            unresolved,
+            0,
+            "{}: {unresolved} unresolved requests",
+            sys.name()
+        );
         assert_eq!(m.total(), trace.len());
     }
 }

@@ -42,7 +42,11 @@ fn light_load_meets_slos_with_few_nodes() {
     let models = zoo::replicas(&ModelSpec::llama2_7b(), 8);
     let sys = System::Slinfer(SlinferConfig::default());
     let m = sys.run(&sys.cluster(4, 4, &models), models, quiet(13), &trace);
-    assert!(m.slo_rate() > 0.9, "light load should be easy: {}", m.slo_rate());
+    assert!(
+        m.slo_rate() > 0.9,
+        "light load should be easy: {}",
+        m.slo_rate()
+    );
     // SLINFER serves light 7B traffic mostly on CPUs (§V priority).
     assert!(m.cpu_decode_tokens > m.gpu_decode_tokens);
     let gpus = m.avg_nodes_used(HardwareKind::Gpu);

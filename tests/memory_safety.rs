@@ -58,11 +58,7 @@ fn watermark_zero_scales_far_more_often() {
 fn world_ledger_enforces_physical_capacity() {
     // Direct World-level check: you cannot commit past a node's memory.
     let cluster = ClusterSpec::heterogeneous(0, 1);
-    let mut w = World::new(
-        &cluster,
-        vec![ModelSpec::llama2_7b()],
-        quiet(1),
-    );
+    let mut w = World::new(&cluster, vec![ModelSpec::llama2_7b()], quiet(1));
     let gb = 1_000_000_000u64;
     // 5 × (13.5 weights + 2 KV) ≈ 77.5 GB fits; the 6th (93 GB) must fail.
     let mut created = 0;
