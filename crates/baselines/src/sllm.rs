@@ -21,7 +21,7 @@ use cluster::{NodeId, Policy, World};
 use engine::instance::{InstanceId, IterationKind};
 use engine::request::{ReqPhase, RunningRequest};
 use hwmodel::HardwareKind;
-use workload::request::RequestId;
+use workload::request::{ModelId, RequestId};
 
 use crate::limits::concurrency_limit;
 
@@ -97,9 +97,40 @@ impl Sllm {
         concurrency_limit(w.model_spec(model), hw, share, &w.slo())
     }
 
+    /// All currently idle slots, CPUs first (model-independent; per-model
+    /// usability is re-checked at placement time).
+    fn free_slots(&self, w: &World) -> Vec<(u8, NodeId, usize)> {
+        let mut slots: Vec<(u8, NodeId, usize)> = Vec::new();
+        for node in w.node_ids() {
+            let rank = if w.node_hw(node).kind.is_cpu() {
+                0u8
+            } else {
+                1
+            };
+            for slot in 0..w.slot_count(node) {
+                if w.instances_on_slot(node, slot).is_empty() {
+                    slots.push((rank, node, slot));
+                }
+            }
+        }
+        slots.sort();
+        slots
+    }
+
     fn try_place(&mut self, w: &mut World, rr: &RunningRequest) -> bool {
+        if self.try_admit_existing(w, rr) {
+            return true;
+        }
+        // Scan for idle slots only once admission has failed — on the hot
+        // arrival path most requests land on an existing instance.
+        let mut free = self.free_slots(w);
+        self.try_create_on(w, rr, &mut free)
+    }
+
+    /// Routes the request to an existing instance of its model sitting
+    /// under its concurrency limit, CPU instances first.
+    fn try_admit_existing(&mut self, w: &mut World, rr: &RunningRequest) -> bool {
         let model = rr.req.model;
-        // Existing instances under their limit, CPU instances first.
         let mut candidates: Vec<(u8, InstanceId)> = w
             .instances_of_model(model)
             .into_iter()
@@ -121,25 +152,26 @@ impl Sllm {
                 return true;
             }
         }
+        false
+    }
+
+    /// Launches a new instance against a maintained free-slot list: slots
+    /// are consumed from `free` as instances are created, so a retry pass
+    /// over the whole queue scans the cluster once instead of once per
+    /// request.
+    fn try_create_on(
+        &mut self,
+        w: &mut World,
+        rr: &RunningRequest,
+        free: &mut Vec<(u8, NodeId, usize)>,
+    ) -> bool {
+        let model = rr.req.model;
         // A new instance on an idle slot, CPUs first.
-        let mut slots: Vec<(u8, NodeId, usize)> = Vec::new();
-        for node in w.node_ids() {
+        for fi in 0..free.len() {
+            let (_, node, slot) = free[fi];
             if !self.node_usable(w, node, model) {
                 continue;
             }
-            let rank = if w.node_hw(node).kind.is_cpu() {
-                0u8
-            } else {
-                1
-            };
-            for slot in 0..w.slot_count(node) {
-                if w.instances_on_slot(node, slot).is_empty() {
-                    slots.push((rank, node, slot));
-                }
-            }
-        }
-        slots.sort();
-        for (_, node, slot) in slots {
             let spec = w.model_spec(model).clone();
             // Exclusive ownership of the slot's memory share. Models whose
             // weights exceed the share (34B on a half-A100) claim the whole
@@ -166,6 +198,7 @@ impl Sllm {
                     .last()
                     .expect("just created");
                 w.admit(inst, rr.clone());
+                free.remove(fi);
                 return true;
             }
         }
@@ -184,16 +217,44 @@ impl Sllm {
         self.queue.push(rr);
     }
 
+    /// One incremental retry pass over the queue.
+    ///
+    /// Naively, every pass re-scans the full cluster per queued request —
+    /// O(queue × nodes) work per event, which is what made the 96/128-model
+    /// `fig04`/`fig22` points superlinear in queued load. Two invariants
+    /// make the pass incremental without changing any placement decision:
+    ///
+    /// 1. Nothing frees capacity *during* a pass — placements only consume
+    ///    it — so the idle-slot list can be computed once and maintained as
+    ///    slots are taken.
+    /// 2. For the same reason, once placement fails for a model, every
+    ///    later queued request of that model fails too (admission would
+    ///    need an instance under its limit or a usable slot, and neither
+    ///    can appear mid-pass), so the scan is skipped outright.
     fn retry_queue(&mut self, w: &mut World) {
         if self.queue.is_empty() {
             return;
         }
         let slo = w.slo();
+        // Built lazily: a pass that only admits to existing instances (or
+        // only drops) never scans the cluster at all.
+        let mut free: Option<Vec<(u8, NodeId, usize)>> = None;
+        let mut full_models: HashSet<ModelId> = HashSet::new();
         for rr in std::mem::take(&mut self.queue) {
             if w.now() >= rr.next_deadline(&slo) {
                 w.drop_request(&rr);
-            } else if !self.try_place(w, &rr) {
+            } else if full_models.contains(&rr.req.model) {
                 self.queue.push(rr);
+            } else if self.try_admit_existing(w, &rr) {
+                // Placed on an existing instance; slots untouched.
+            } else {
+                if free.is_none() {
+                    free = Some(self.free_slots(w));
+                }
+                if !self.try_create_on(w, &rr, free.as_mut().expect("just filled")) {
+                    full_models.insert(rr.req.model);
+                    self.queue.push(rr);
+                }
             }
         }
     }
@@ -297,11 +358,12 @@ impl Policy for Sllm {
         self.timers.remove(&id);
         let slo = w.slo();
         let now = w.now();
-        for rr in std::mem::take(&mut self.queue) {
-            if rr.req.id == id && now >= rr.next_deadline(&slo) {
+        // Drop in place (keeping FIFO order) instead of rebuilding the
+        // whole queue for every expired timer.
+        if let Some(pos) = self.queue.iter().position(|rr| rr.req.id == id) {
+            if now >= self.queue[pos].next_deadline(&slo) {
+                let rr = self.queue.remove(pos);
                 w.drop_request(&rr);
-            } else {
-                self.queue.push(rr);
             }
         }
     }

@@ -1,61 +1,6 @@
-//! Extra ablation (DESIGN.md §5): shadow-validation overestimation factor.
-//!
-//! §VI-C inflates every estimated iteration by 10% to absorb runtime
-//! fluctuation and context growth. This sweep shows the trade-off the
-//! constant balances: no margin (1.0×) admits optimistically and violates
-//! more SLOs under noise; heavy margins (1.5×+) reject work the cluster
-//! could have served.
-
-use bench::report::{dump_json, f, paper_note, section};
-use bench::runner::{arg_seed, quick_mode, world_cfg, System};
-use bench::{zoo, Table};
-use hwmodel::ModelSpec;
-use slinfer::SlinferConfig;
-use workload::serverless::TraceSpec;
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::abl_overestimate`.
 
 fn main() {
-    let seed = arg_seed();
-    let n_models: u32 = if quick_mode() { 24 } else { 64 };
-    let factors: Vec<f64> = if quick_mode() {
-        vec![1.0, 1.1]
-    } else {
-        vec![1.0, 1.05, 1.1, 1.25, 1.5, 2.0]
-    };
-    section(&format!(
-        "Ablation — shadow-validation overestimate, {n_models} 7B models"
-    ));
-    let trace = TraceSpec::azure_like(n_models, seed).generate();
-    let models = zoo::replicas(&ModelSpec::llama2_7b(), n_models as usize);
-
-    let mut table = Table::new(&[
-        "factor",
-        "SLO rate",
-        "SLO-met",
-        "dropped",
-        "validations",
-        "GPU nodes",
-    ]);
-    let mut results = Vec::new();
-    for &over in &factors {
-        let cfg = SlinferConfig {
-            overestimate: over,
-            ..SlinferConfig::default()
-        };
-        let system = System::Slinfer(cfg);
-        let cluster = system.cluster(4, 4, &models);
-        let m = system.run(&cluster, models.clone(), world_cfg(seed), &trace);
-        table.row(&[
-            format!("{over:.2}×"),
-            f(m.slo_rate(), 3),
-            m.slo_met().to_string(),
-            m.dropped.to_string(),
-            m.shadow_validations.to_string(),
-            f(m.avg_nodes_used(hwmodel::HardwareKind::Gpu), 1),
-        ]);
-        results.push((over, m.slo_rate(), m.slo_met(), m.dropped));
-    }
-    table.print();
-    paper_note("§VI-C picks 10%: enough margin for fluctuation and growing contexts,");
-    paper_note("without rejecting servable requests");
-    dump_json("abl_overestimate", &results);
+    bench::main_for("abl_overestimate");
 }

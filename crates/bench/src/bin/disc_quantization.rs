@@ -1,40 +1,6 @@
-//! §X discussion — serving INT4-quantized 22B models.
-//!
-//! 32 Codestral-22B-sized models on SLINFER: FP16 weights alone take 44 GB
-//! (little sharing room on an 80 GB A100), while INT4 shrinks them to 11 GB.
-//! The paper measures GPU usage dropping from 3.8 to 2.6 nodes.
-
-use bench::report::{dump_json, f, paper_note, section};
-use bench::runner::{arg_seed, quick_mode, world_cfg, System};
-use bench::{zoo, Table};
-use hwmodel::{HardwareKind, ModelSpec, Precision};
-use workload::serverless::TraceSpec;
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::disc_quantization`.
 
 fn main() {
-    let seed = arg_seed();
-    let n_models: u32 = if quick_mode() { 16 } else { 32 };
-    section(&format!("§X — INT4 quantization, {n_models} 22B models"));
-    let trace = TraceSpec::azure_like(n_models, seed).generate();
-
-    let mut table = Table::new(&["precision", "GPU nodes used", "SLO rate", "cold starts"]);
-    let mut dump = Vec::new();
-    for (label, precision) in [("FP16", Precision::Fp16), ("INT4", Precision::Int4)] {
-        let base = ModelSpec::codestral_22b().with_precision(precision);
-        let models = zoo::replicas(&base, n_models as usize);
-        let system = System::Slinfer(Default::default());
-        let cluster = system.cluster(4, 6, &models);
-        let m = system.run(&cluster, models, world_cfg(seed), &trace);
-        let gpus = m.avg_nodes_used(HardwareKind::Gpu);
-        table.row(&[
-            label.to_string(),
-            f(gpus, 1),
-            f(m.slo_rate(), 3),
-            m.cold_starts.to_string(),
-        ]);
-        dump.push((label.to_string(), gpus, m.slo_rate()));
-    }
-    table.print();
-    paper_note("§X: INT4 reduced GPU usage from 3.8 to 2.6 — 44 GB FP16 weights leave no");
-    paper_note("sharing room on an 80 GB device, so quantization unlocks colocation");
-    dump_json("disc_quantization", &dump);
+    bench::main_for("disc_quantization");
 }

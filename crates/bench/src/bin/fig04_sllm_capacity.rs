@@ -1,50 +1,6 @@
-//! Figure 4 — ServerlessLLM's serving capacity collapse (§III-C).
-//!
-//! Hosts a 3B/7B/13B mix on four A100s under `sllm` and sweeps the number
-//! of models from 16 to 128. The paper shows the SLO attainment rate
-//! dropping sharply as models multiply and requests queue for exclusive
-//! GPUs.
-
-use bench::report::{dump_json, f, paper_note, section};
-use bench::runner::{arg_seed, quick_mode, world_cfg, System};
-use bench::{zoo, Table};
-use hwmodel::ModelSpec;
-use workload::serverless::TraceSpec;
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::fig04_sllm_capacity`.
 
 fn main() {
-    let seed = arg_seed();
-    let counts: Vec<u32> = if quick_mode() {
-        vec![16, 64]
-    } else {
-        vec![16, 32, 64, 96, 128]
-    };
-    section("Fig 4 — sllm SLO rate vs number of LLMs (4 GPUs, 3B/7B/13B mix)");
-    let parts = [
-        (ModelSpec::llama3_2_3b(), 1),
-        (ModelSpec::llama2_7b(), 1),
-        (ModelSpec::llama2_13b(), 1),
-    ];
-    let mut table = Table::new(&["models", "SLO rate", "dropped", "total"]);
-    let mut results = Vec::new();
-    for &n in &counts {
-        let trace = TraceSpec::azure_like(n, seed).generate();
-        let models = zoo::mixed(&parts, n as usize);
-        let system = System::Sllm;
-        let cluster = system.cluster(0, 4, &models);
-        let m = system.run(&cluster, models, world_cfg(seed), &trace);
-        table.row(&[
-            n.to_string(),
-            f(m.slo_rate(), 3),
-            m.dropped.to_string(),
-            m.total().to_string(),
-        ]);
-        results.push((n, m.slo_rate()));
-    }
-    table.print();
-    let first = results.first().map(|r| r.1).unwrap_or(0.0);
-    let last = results.last().map(|r| r.1).unwrap_or(0.0);
-    println!("SLO rate {} → {} as models grow", f(first, 2), f(last, 2));
-    paper_note("Fig 4: performs well at small scales, then attainment drops sharply;");
-    paper_note("intro: 33% of requests fail SLOs at 64 LLMs on 4 A100s");
-    dump_json("fig04_sllm_capacity", &results);
+    bench::main_for("fig04_sllm_capacity");
 }

@@ -1,41 +1,6 @@
-//! Figure 5 — GPU memory utilization under ServerlessLLM (§III-C).
-//!
-//! Serving 128 LLMs with exclusive GPU allocation, each instance gets a
-//! whole 80 GB device; the paper measures only ~23% average utilization —
-//! the over-provisioning that motivates SLINFER.
-
-use bench::report::{dump_json, f, paper_note, section};
-use bench::runner::{arg_seed, quick_mode, world_cfg, System};
-use bench::{zoo, Table};
-use hwmodel::{HardwareKind, ModelSpec};
-use workload::serverless::TraceSpec;
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::fig05_sllm_memutil`.
 
 fn main() {
-    let seed = arg_seed();
-    let n: u32 = if quick_mode() { 32 } else { 128 };
-    section(&format!("Fig 5 — sllm GPU memory utilization, {n} LLMs"));
-    let parts = [
-        (ModelSpec::llama3_2_3b(), 1),
-        (ModelSpec::llama2_7b(), 1),
-        (ModelSpec::llama2_13b(), 1),
-    ];
-    let trace = TraceSpec::azure_like(n, seed).generate();
-    let models = zoo::mixed(&parts, n as usize);
-    let system = System::Sllm;
-    let cluster = system.cluster(0, 4, &models);
-    let mut m = system.run(&cluster, models, world_cfg(seed), &trace);
-
-    let mut table = Table::new(&["stat", "memory utilization"]);
-    table.row(&["mean".into(), f(m.mem_util_mean(HardwareKind::Gpu), 3)]);
-    for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0] {
-        table.row(&[format!("p{p:.0}"), f(m.mem_util_gpu.percentile(p), 3)]);
-    }
-    table.print();
-    let cdf = m.mem_util_gpu.cdf(11);
-    println!("CDF points (util, F):");
-    for (x, fr) in &cdf.points {
-        println!("  {:.2}  {:.2}", x, fr);
-    }
-    paper_note("Fig 5: each instance utilizes only ~23% of its allocated GPU memory on average");
-    dump_json("fig05_sllm_memutil", &cdf.points);
+    bench::main_for("fig05_sllm_memutil");
 }

@@ -1,59 +1,6 @@
-//! Figure 6 — TTFT vs input length across models and hardware (§IV-A2).
-//!
-//! Prefill latency of 7B/13B/34B models on the AMX CPU and the A100 against
-//! the `min(max(0.5, L/512), 8)` s TTFT SLO. The paper: CPUs meet the SLO
-//! for 7B/13B at short-to-moderate inputs (covering most real traffic);
-//! 34B and very long inputs need the GPU.
-
-use bench::report::{dump_json, f, paper_note, section};
-use bench::Table;
-use hwmodel::{AnalyticPerf, HardwareSpec, ModelSpec, PerfOracle};
-use workload::request::Slo;
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::fig06_ttft_curves`.
 
 fn main() {
-    section("Fig 6 — TTFT (s) vs input length");
-    let perf = AnalyticPerf::new();
-    let slo = Slo::paper();
-    let cpu = HardwareSpec::xeon4_amx_32c();
-    let gpu = HardwareSpec::a100_80g();
-    let models = [
-        ("7B", ModelSpec::llama2_7b()),
-        ("13B", ModelSpec::llama2_13b()),
-        ("34B", ModelSpec::codellama_34b()),
-    ];
-    let lengths = [128u32, 256, 512, 1024, 2048, 4096, 8192];
-
-    let mut table = Table::new(&[
-        "len", "C-7B", "C-13B", "C-34B", "G-7B", "G-13B", "G-34B", "SLO",
-    ]);
-    let mut rows = Vec::new();
-    for &len in &lengths {
-        let mut row = vec![len.to_string()];
-        let mut vals = Vec::new();
-        for hw in [&cpu, &gpu] {
-            for (_, m) in &models {
-                let t = perf.prefill_time(m, hw, len, 1.0);
-                vals.push(t);
-                row.push(f(t, 2));
-            }
-        }
-        let budget = slo.ttft(len).as_secs_f64();
-        row.push(f(budget, 2));
-        table.row(&row);
-        rows.push((len, vals, budget));
-    }
-    table.print();
-    // SLO-feasibility boundary per model on CPU.
-    for (name, m) in &models {
-        let crossing = (1..=64)
-            .map(|k| k * 512)
-            .find(|&l| perf.prefill_time(m, &cpu, l, 1.0) > slo.ttft(l).as_secs_f64());
-        match crossing {
-            Some(l) => println!("C-{name}: first SLO violation at ~{l} tokens"),
-            None => println!("C-{name}: meets TTFT SLO up to 32K tokens"),
-        }
-    }
-    paper_note("Fig 6: CPUs meet 7B/13B SLOs under short inputs (97.9% of conv traffic <4K);");
-    paper_note("13B feasible to ~5.6K tokens; 34B requires the GPU");
-    dump_json("fig06_ttft_curves", &rows);
+    bench::main_for("fig06_ttft_curves");
 }

@@ -1,59 +1,6 @@
-//! Figures 7 & 8 — TPOT vs batch size for Llama-2-7B and 13B (§IV-A2).
-//!
-//! Decode-iteration latency on the AMX CPU and the A100 at token lengths
-//! {512, 1K, 2K} and batch sizes 1–128, against the 250 ms TPOT SLO.
-//! Paper observations: CPUs meet the SLO with batching headroom (7B 4-batch
-//! costs only ~14% over 1-batch at 1K); 13B at 32-batch crosses the SLO
-//! between 512 and 2K tokens; GPUs stay far below the SLO throughout.
-
-use bench::report::{dump_json, f, paper_note, section};
-use bench::Table;
-use hwmodel::{AnalyticPerf, HardwareSpec, ModelSpec, PerfOracle};
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::fig07_08_tpot_curves`.
 
 fn main() {
-    let perf = AnalyticPerf::new();
-    let cpu = HardwareSpec::xeon4_amx_32c();
-    let gpu = HardwareSpec::a100_80g();
-    let batches = [1u32, 2, 4, 8, 16, 32, 64, 128];
-    let lengths = [512u32, 1024, 2048];
-    let mut dump = Vec::new();
-
-    for (fig, name, model) in [
-        ("Fig 7", "Llama-2-7B", ModelSpec::llama2_7b()),
-        ("Fig 8", "Llama-2-13B", ModelSpec::llama2_13b()),
-    ] {
-        section(&format!("{fig} — TPOT (ms) of {name} (SLO 250 ms)"));
-        let mut table = Table::new(&["batch", "C-512", "C-1K", "C-2K", "G-512", "G-1K", "G-2K"]);
-        for &bs in &batches {
-            let mut row = vec![bs.to_string()];
-            for hw in [&cpu, &gpu] {
-                for &len in &lengths {
-                    let t = perf.decode_time(&model, hw, bs, bs as u64 * len as u64, 1.0) * 1e3;
-                    row.push(f(t, 0));
-                    dump.push((name.to_string(), hw.name.clone(), bs, len, t));
-                }
-            }
-            table.row(&row);
-        }
-        table.print();
-    }
-    // The paper's two quantitative anchors.
-    let m7 = ModelSpec::llama2_7b();
-    let t1 = perf.decode_time(&m7, &cpu, 1, 1024, 1.0);
-    let t4 = perf.decode_time(&m7, &cpu, 4, 4 * 1024, 1.0);
-    println!(
-        "7B CPU 4-batch vs 1-batch @1K: +{:.0}% (paper: +14%)",
-        100.0 * (t4 / t1 - 1.0)
-    );
-    let m13 = ModelSpec::llama2_13b();
-    let a = perf.decode_time(&m13, &cpu, 32, 32 * 512, 1.0);
-    let b = perf.decode_time(&m13, &cpu, 32, 32 * 2048, 1.0);
-    println!(
-        "13B CPU 32-batch 512→2K: {:.0} → {:.0} ms ({:.1}×, paper ≈2×; 2K violates the SLO)",
-        a * 1e3,
-        b * 1e3,
-        b / a
-    );
-    paper_note("Figs 7-8: CPU meets TPOT with batching headroom; GPU far below SLO");
-    dump_json("fig07_08_tpot_curves", &dump);
+    bench::main_for("fig07_08_tpot_curves");
 }

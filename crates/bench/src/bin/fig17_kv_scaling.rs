@@ -1,32 +1,6 @@
-//! Figure 17 — KV-cache rescale overhead on the GPU (§VII-B).
-//!
-//! Cost of scaling a paged KV cache to 0.5× and 2× across cache sizes
-//! 2–32 GB. Paper anchors: 32 GB → 16 GB ≈ 0.3 s; 32 GB → 64 GB ≈ 1.9 s.
-
-use bench::report::{dump_json, f, paper_note, section};
-use bench::Table;
-use hwmodel::{AnalyticPerf, HardwareSpec};
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::fig17_kv_scaling`.
 
 fn main() {
-    section("Fig 17 — KV rescale time (s) on A100");
-    let perf = AnalyticPerf::new();
-    let gpu = HardwareSpec::a100_80g();
-    let gb = 1_000_000_000u64;
-    let mut table = Table::new(&["cache size (GB)", "scale to 0.5×", "scale to 2×"]);
-    let mut dump = Vec::new();
-    for size in [2u64, 4, 8, 16, 32] {
-        let down = perf.kv_scale_time(&gpu, size * gb, size * gb / 2, size * gb / 2);
-        let up = perf.kv_scale_time(&gpu, size * gb, size * gb * 2, size * gb);
-        table.row(&[size.to_string(), f(down, 2), f(up, 2)]);
-        dump.push((size, down, up));
-    }
-    table.print();
-    let (_, d32, u32_) = dump.last().cloned().unwrap();
-    println!(
-        "32 GB: down {} s (paper 0.3), up {} s (paper 1.9)",
-        f(d32, 2),
-        f(u32_, 2)
-    );
-    paper_note("Fig 17: rescaling is non-trivial — the watermark policy exists to amortize it");
-    dump_json("fig17_kv_scaling", &dump);
+    bench::main_for("fig17_kv_scaling");
 }

@@ -1,92 +1,6 @@
-//! Figure 22 — end-to-end comparison (§IX-B).
-//!
-//! For each model size (3B/7B/13B) and zoo size (32/64/128), runs the four
-//! systems on the Azure-like trace over 4 CPU + 4 GPU nodes and reports the
-//! paper's four panels: SLO-met requests, TTFT percentiles, per-node decode
-//! speed, and average nodes used.
-//!
-//! Paper headline (at 128 models): SLINFER serves **+86–154%** more SLO-met
-//! requests than `sllm`, **+47–62%** more than `sllm+c`, and **+18–70%**
-//! more than `sllm+c+s`.
-
-use bench::report::{dump_json, f, paper_note, section};
-use bench::runner::{arg_seed, quick_mode, world_cfg, System, SystemResult};
-use bench::{zoo, Table};
-use workload::serverless::TraceSpec;
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::fig22_end_to_end`.
 
 fn main() {
-    let seed = arg_seed();
-    let counts: Vec<u32> = if quick_mode() {
-        vec![32]
-    } else {
-        vec![32, 64, 128]
-    };
-    let mut all_results = Vec::new();
-
-    for (size_name, base) in zoo::size_bases() {
-        if quick_mode() && size_name != "7B" {
-            continue;
-        }
-        for &n_models in &counts {
-            section(&format!("Fig 22 — {size_name}-sized, {n_models} models"));
-            let trace = TraceSpec::azure_like(n_models, seed).generate();
-            println!(
-                "trace: {} requests over {:.0} min (aggregate {:.0} RPM)",
-                trace.len(),
-                trace.duration.as_secs_f64() / 60.0,
-                trace.aggregate_rpm()
-            );
-            let models = zoo::replicas(&base, n_models as usize);
-            let mut table = Table::new(&[
-                "system",
-                "SLO-met",
-                "total",
-                "rate",
-                "TTFT p50(s)",
-                "TTFT p95(s)",
-                "CPU nodes",
-                "GPU nodes",
-                "dec CPU t/(n·s)",
-                "dec GPU t/(n·s)",
-                "dropped",
-            ]);
-            let mut row_results = Vec::new();
-            for system in System::paper_lineup() {
-                let cluster = system.cluster(4, 4, &models);
-                let m = system.run(&cluster, models.clone(), world_cfg(seed), &trace);
-                let r = SystemResult::from_metrics(&system, &m);
-                table.row(&[
-                    r.system.clone(),
-                    r.slo_met.to_string(),
-                    r.total.to_string(),
-                    f(r.slo_rate, 3),
-                    f(r.ttft_p50, 2),
-                    f(r.ttft_p95, 2),
-                    f(r.cpu_nodes, 1),
-                    f(r.gpu_nodes, 1),
-                    f(r.cpu_decode_speed, 0),
-                    f(r.gpu_decode_speed, 0),
-                    r.dropped.to_string(),
-                ]);
-                row_results.push(r);
-            }
-            table.print();
-            if n_models == 128 {
-                let slinfer = row_results.last().unwrap().slo_met as f64;
-                let vs =
-                    |ix: usize| 100.0 * (slinfer / row_results[ix].slo_met.max(1) as f64 - 1.0);
-                println!(
-                    "SLINFER SLO-met vs sllm: {:+.0}%  vs sllm+c: {:+.0}%  vs sllm+c+s: {:+.0}%",
-                    vs(0),
-                    vs(1),
-                    vs(2)
-                );
-                paper_note(
-                    "at 128 models: +86-154% vs sllm, +47-62% vs sllm+c, +18-70% vs sllm+c+s",
-                );
-            }
-            all_results.push((size_name.to_string(), n_models, row_results));
-        }
-    }
-    dump_json("fig22_end_to_end", &all_results);
+    bench::main_for("fig22_end_to_end");
 }

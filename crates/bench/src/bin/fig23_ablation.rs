@@ -1,85 +1,6 @@
-//! Figure 23 — ablation study (§IX-C).
-//!
-//! Serves 64 7B-sized models while disabling each SLINFER component:
-//! full / w/o CPU / w/o consolidation / w/o sharing. The paper reports
-//! higher GPU usage whenever any component is disabled, and an SLO
-//! compliance drop to ~89% without sharing.
-
-use bench::report::{dump_json, f, paper_note, section};
-use bench::runner::{arg_seed, quick_mode, world_cfg, System, SystemResult};
-use bench::{zoo, Table};
-use hwmodel::ModelSpec;
-use slinfer::SlinferConfig;
-use workload::serverless::TraceSpec;
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::fig23_ablation`.
 
 fn main() {
-    let seed = arg_seed();
-    let n_models: u32 = if quick_mode() { 16 } else { 64 };
-    section(&format!("Fig 23 — ablation, {n_models} 7B-sized models"));
-    let trace = TraceSpec::azure_like(n_models, seed).generate();
-    let models = zoo::replicas(&ModelSpec::llama2_7b(), n_models as usize);
-
-    let mut table = Table::new(&[
-        "variant",
-        "SLO rate",
-        "CPU nodes",
-        "GPU nodes",
-        "preempt",
-        "scale ops",
-        "dropped",
-    ]);
-    let mut results = Vec::new();
-    let mut timelines: Vec<(String, Vec<(f64, u32)>)> = Vec::new();
-    for (label, cfg) in SlinferConfig::ablations() {
-        let system = System::Slinfer(cfg);
-        let cluster = system.cluster(4, 4, &models);
-        let m = system.run(&cluster, models.clone(), world_cfg(seed), &trace);
-        table.row(&[
-            label.to_string(),
-            f(m.slo_rate(), 3),
-            f(m.avg_nodes_used(hwmodel::HardwareKind::CpuAccel), 1),
-            f(m.avg_nodes_used(hwmodel::HardwareKind::Gpu), 1),
-            m.preemptions.to_string(),
-            m.scale_ops.to_string(),
-            m.dropped.to_string(),
-        ]);
-        let tl: Vec<(f64, u32)> = m
-            .usage_timeline
-            .iter()
-            .map(|s| (s.t, s.gpu_nodes_used))
-            .collect();
-        timelines.push((label.to_string(), tl));
-        results.push((label.to_string(), SystemResult::from_metrics(&system, &m)));
-    }
-    table.print();
-    paper_note("Fig 23: disabling any component raises GPU usage; w/o sharing SLO drops to ~89%");
-
-    // Truncated GPU-usage timeline (Fig 23 top panel, first 300 s).
-    println!("GPU usage timeline (0–300 s, 30 s buckets):");
-    let mut tl_table = Table::new(&[
-        "t(s)",
-        "SLINFER-Full",
-        "w/o CPU",
-        "w/o Consolidation",
-        "w/o Sharing",
-    ]);
-    for bucket in 0..10 {
-        let t0 = bucket as f64 * 30.0;
-        let mut row = vec![format!("{t0:.0}")];
-        for (_, tl) in &timelines {
-            let v = tl
-                .iter()
-                .filter(|(t, _)| *t >= t0 && *t < t0 + 30.0)
-                .map(|(_, g)| *g as f64)
-                .sum::<f64>()
-                / tl.iter()
-                    .filter(|(t, _)| *t >= t0 && *t < t0 + 30.0)
-                    .count()
-                    .max(1) as f64;
-            row.push(f(v, 1));
-        }
-        tl_table.row(&row);
-    }
-    tl_table.print();
-    dump_json("fig23_ablation", &results);
+    bench::main_for("fig23_ablation");
 }

@@ -1,77 +1,6 @@
-//! Figure 24 — CPU scalability (§IX-D).
-//!
-//! Starting from 2 GPU nodes (insufficient for 64 7B models), adds CPU
-//! nodes or GPU nodes one at a time and plots SLO-met requests. The paper
-//! finds capacity grows with CPUs, with roughly 3–4 CPU nodes matching one
-//! GPU node.
-
-use bench::report::{dump_json, f, paper_note, section};
-use bench::runner::{arg_seed, quick_mode, world_cfg, System};
-use bench::{zoo, Table};
-use cluster::ClusterSpec;
-use hwmodel::ModelSpec;
-use workload::serverless::TraceSpec;
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::fig24_cpu_scaling`.
 
 fn main() {
-    let seed = arg_seed();
-    let n_models: u32 = if quick_mode() { 16 } else { 64 };
-    let max_added: usize = if quick_mode() { 3 } else { 8 };
-    section(&format!(
-        "Fig 24 — CPU scalability, {n_models} 7B models, base 2 GPUs"
-    ));
-    let trace = TraceSpec::azure_like(n_models, seed).generate();
-    let models = zoo::replicas(&ModelSpec::llama2_7b(), n_models as usize);
-    let system = System::Slinfer(Default::default());
-
-    let mut table = Table::new(&[
-        "added nodes",
-        "SLO-met (add CPU)",
-        "SLO-met (add GPU)",
-        "total",
-    ]);
-    let mut series = Vec::new();
-    // Scheduling under CPU-heavy overload is sensitive to placement tipping
-    // points; average 3 seeds to expose the trend the paper plots.
-    let seeds = [seed, seed + 1, seed + 2];
-    for added in 0..=max_added {
-        let run = |cluster: &ClusterSpec| {
-            seeds
-                .iter()
-                .map(|&s| {
-                    system
-                        .run(cluster, models.clone(), world_cfg(s), &trace)
-                        .slo_met()
-                })
-                .sum::<usize>()
-                / seeds.len()
-        };
-        let cpu_met = run(&ClusterSpec::heterogeneous(added, 2));
-        let gpu_met = run(&ClusterSpec::heterogeneous(0, 2 + added));
-        table.row(&[
-            added.to_string(),
-            cpu_met.to_string(),
-            gpu_met.to_string(),
-            trace.len().to_string(),
-        ]);
-        series.push((added, cpu_met, gpu_met));
-    }
-    table.print();
-    // Crossover estimate: CPUs needed to match the first added GPU.
-    if series.len() > 1 {
-        let one_gpu = series[1].2;
-        let needed = series
-            .iter()
-            .find(|(_, cpu, _)| *cpu >= one_gpu)
-            .map(|(n, _, _)| *n);
-        match needed {
-            Some(n) => println!("≈{n} CPU nodes match 1 added GPU node (paper: 3–4)"),
-            None => println!(
-                "within {max_added} CPUs, capacity reached {} vs 1-GPU {}",
-                f(series.last().unwrap().1 as f64 / one_gpu.max(1) as f64, 2),
-                one_gpu
-            ),
-        }
-    }
-    paper_note("Fig 24: adding CPUs grows capacity; ~3-4 CPU nodes ≈ 1 GPU node");
-    dump_json("fig24_cpu_scaling", &series);
+    bench::main_for("fig24_cpu_scaling");
 }

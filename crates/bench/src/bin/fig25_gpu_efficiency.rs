@@ -1,72 +1,6 @@
-//! Figure 25 — GPU efficiency under mixed sizes (§IX-F).
-//!
-//! Serves a 2:2:2 mix of 3B/7B/13B models and compares GPU memory
-//! utilization and batch-size distributions across `sllm`, `sllm+c+s`, and
-//! SLINFER. The paper reports SLINFER's memory utilization near 1 (vs a
-//! three-tier under-used pattern for the baselines) and a 74% higher
-//! average batch size than `sllm`.
-
-use bench::report::{dump_json, f, paper_note, section};
-use bench::runner::{arg_seed, quick_mode, world_cfg, System};
-use bench::{zoo, Table};
-use hwmodel::{HardwareKind, ModelSpec};
-use workload::serverless::TraceSpec;
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::fig25_gpu_efficiency`.
 
 fn main() {
-    let seed = arg_seed();
-    let n_models: u32 = if quick_mode() { 24 } else { 48 };
-    section(&format!(
-        "Fig 25 — GPU efficiency, {n_models} models (3B:7B:13B = 2:2:2)"
-    ));
-    let trace = TraceSpec::azure_like(n_models, seed).generate();
-    let parts = [
-        (ModelSpec::llama3_2_3b(), 2),
-        (ModelSpec::llama2_7b(), 2),
-        (ModelSpec::llama2_13b(), 2),
-    ];
-    let models = zoo::mixed(&parts, n_models as usize);
-
-    let mut table = Table::new(&[
-        "system",
-        "mem util mean",
-        "mem util p50",
-        "batch mean",
-        "batch p95",
-        "SLO rate",
-    ]);
-    let mut results = Vec::new();
-    for system in [
-        System::Sllm,
-        System::SllmCs,
-        System::Slinfer(Default::default()),
-    ] {
-        let cluster = system.cluster(4, 4, &models);
-        let mut m = system.run(&cluster, models.clone(), world_cfg(seed), &trace);
-        let util_mean = m.mem_util_mean(HardwareKind::Gpu);
-        let util_p50 = m.mem_util_gpu.percentile(50.0);
-        let batch_mean = m.batch_sizes_gpu.mean();
-        let batch_p95 = m.batch_sizes_gpu.percentile(95.0);
-        table.row(&[
-            system.name(),
-            f(util_mean, 2),
-            f(util_p50, 2),
-            f(batch_mean, 1),
-            f(batch_p95, 0),
-            f(m.slo_rate(), 3),
-        ]);
-        results.push((system.name(), util_mean, util_p50, batch_mean, batch_p95));
-    }
-    table.print();
-    let sllm_batch = results[0].3;
-    let slinfer_batch = results[2].3;
-    println!(
-        "SLINFER avg batch vs sllm: {:+.0}% (paper: +74%)",
-        100.0 * (slinfer_batch / sllm_batch.max(1e-9) - 1.0)
-    );
-    println!(
-        "SLINFER GPU memory utilization: {} (paper: near 1; sllm ≈ three-tier, most < 0.5)",
-        f(results[2].1, 2)
-    );
-    paper_note("Fig 25: SLINFER near-optimal memory utilization; +74% average batch vs sllm");
-    dump_json("fig25_gpu_efficiency", &results);
+    bench::main_for("fig25_gpu_efficiency");
 }

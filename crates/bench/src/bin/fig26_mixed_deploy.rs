@@ -1,87 +1,6 @@
-//! Figure 26 — mixed model-size deployment (§IX-E).
-//!
-//! Varies model-size popularity (3B:7B:13B:34B ratios) over 4 CPU + 6 GPU
-//! nodes and reports GPUs used per system plus SLINFER's deployment density.
-//! The paper: SLINFER always uses fewer GPUs; its advantage shrinks as
-//! large models dominate, collapsing to exclusive allocation at 0:0:0:1.
-//!
-//! Substitution note: the paper serves CodeLlama-34B with TP=2 (two GPUs
-//! per instance); here a 34B instance occupies one whole A100 exclusively
-//! (67 GB weights leave no room for co-tenants), which preserves the
-//! density trend while halving the absolute GPU count for 34B-heavy mixes.
-
-use bench::report::{dump_json, f, paper_note, section};
-use bench::runner::{arg_seed, quick_mode, world_cfg, System};
-use bench::{zoo, Table};
-use hwmodel::{HardwareKind, ModelSpec};
-use workload::serverless::TraceSpec;
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::fig26_mixed_deploy`.
 
 fn main() {
-    let seed = arg_seed();
-    let n_models: u32 = if quick_mode() { 16 } else { 32 };
-    section(&format!(
-        "Fig 26 — mixed deployment, {n_models} models, 4 CPU + 6 GPU"
-    ));
-    let ratios: Vec<(&str, [usize; 4])> = vec![
-        ("4:1:1:1", [4, 1, 1, 1]),
-        ("3:2:1:1", [3, 2, 1, 1]),
-        ("2:2:2:1", [2, 2, 2, 1]),
-        ("1:2:3:1", [1, 2, 3, 1]),
-        ("1:1:4:1", [1, 1, 4, 1]),
-        ("0:0:0:1", [0, 0, 0, 1]),
-    ];
-    let mut table = Table::new(&[
-        "mix (3B:7B:13B:34B)",
-        "sllm+c GPUs(SLO)",
-        "sllm+c+s GPUs(SLO)",
-        "SLINFER GPUs(SLO)",
-        "SLINFER density",
-    ]);
-    let mut results = Vec::new();
-    for (label, r) in &ratios {
-        let trace = TraceSpec::azure_like(n_models, seed).generate();
-        let mut parts: Vec<(ModelSpec, usize)> = Vec::new();
-        for (spec, w) in [
-            (ModelSpec::llama3_2_3b(), r[0]),
-            (ModelSpec::llama2_7b(), r[1]),
-            (ModelSpec::llama2_13b(), r[2]),
-            (ModelSpec::codellama_34b(), r[3]),
-        ] {
-            if w > 0 {
-                parts.push((spec, w));
-            }
-        }
-        let models = zoo::mixed(&parts, n_models as usize);
-        let mut row = vec![label.to_string()];
-        let mut gpus = Vec::new();
-        let mut density = 0.0;
-        for system in [
-            System::SllmC,
-            System::SllmCs,
-            System::Slinfer(Default::default()),
-        ] {
-            let cluster = system.cluster(4, 6, &models);
-            let m = system.run(&cluster, models.clone(), world_cfg(seed), &trace);
-            let g = m.avg_nodes_used(HardwareKind::Gpu);
-            gpus.push(g);
-            row.push(format!("{} ({})", f(g, 1), f(m.slo_rate(), 2)));
-            if matches!(system, System::Slinfer(_)) {
-                // Approximate density: instance-lifetime per node-second.
-                density = if m.cpu_node_busy_s + m.gpu_node_busy_s > 0.0 {
-                    m.instance_lifetime_s / (m.cpu_node_busy_s + m.gpu_node_busy_s)
-                } else {
-                    0.0
-                };
-            }
-        }
-        row.push(f(density, 1));
-        table.row(&row);
-        results.push((label.to_string(), gpus, density));
-    }
-    table.print();
-    paper_note(
-        "Fig 26: SLINFER consistently uses fewer GPUs; gains shrink as large models dominate;",
-    );
-    paper_note("at 0:0:0:1 SLINFER falls back to exclusive allocation (parity with baselines)");
-    dump_json("fig26_mixed_deploy", &results);
+    bench::main_for("fig26_mixed_deploy");
 }

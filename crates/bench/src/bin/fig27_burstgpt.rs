@@ -1,58 +1,6 @@
-//! Figure 27 — BurstGPT trace at varying load levels (§IX-I2).
-//!
-//! Redistributes BurstGPT-style bursty arrivals across 64 models (Pareto)
-//! and sweeps aggregate RPS ∈ {0.5, 1, 2, 4}. The paper: SLINFER uses fewer
-//! nodes at every level; at 4 RPS `sllm+c+s` violates 7.7% of SLOs vs
-//! SLINFER's 1.0%.
-
-use bench::report::{dump_json, f, paper_note, section};
-use bench::runner::{arg_seed, quick_mode, world_cfg, System};
-use bench::{zoo, Table};
-use hwmodel::{HardwareKind, ModelSpec};
-use workload::burstgpt::BurstGptSpec;
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::fig27_burstgpt`.
 
 fn main() {
-    let seed = arg_seed();
-    let rates: Vec<f64> = if quick_mode() {
-        vec![0.5, 2.0]
-    } else {
-        vec![0.5, 1.0, 2.0, 4.0]
-    };
-    section("Fig 27 — BurstGPT load sweep (64 models, Pareto spread)");
-    let models = zoo::replicas(&ModelSpec::llama2_7b(), 64);
-    let mut table = Table::new(&[
-        "RPS",
-        "system",
-        "CPU nodes",
-        "GPU nodes",
-        "SLO-miss %",
-        "dropped",
-    ]);
-    let mut results = Vec::new();
-    for &rps in &rates {
-        let trace = BurstGptSpec::paper(rps, seed).generate();
-        for system in [System::SllmCs, System::Slinfer(Default::default())] {
-            let cluster = system.cluster(4, 4, &models);
-            let m = system.run(&cluster, models.clone(), world_cfg(seed), &trace);
-            let miss = 100.0 * (1.0 - m.slo_rate());
-            table.row(&[
-                f(rps, 1),
-                system.name(),
-                f(m.avg_nodes_used(HardwareKind::CpuAccel), 1),
-                f(m.avg_nodes_used(HardwareKind::Gpu), 1),
-                f(miss, 1),
-                m.dropped.to_string(),
-            ]);
-            results.push((
-                rps,
-                system.name(),
-                miss,
-                m.avg_nodes_used(HardwareKind::Gpu),
-            ));
-        }
-    }
-    table.print();
-    paper_note("Fig 27: SLINFER consistently consumes fewer resources;");
-    paper_note("at 4 RPS: sllm+c+s 7.7% SLO violations vs SLINFER 1.0%");
-    dump_json("fig27_burstgpt", &results);
+    bench::main_for("fig27_burstgpt");
 }

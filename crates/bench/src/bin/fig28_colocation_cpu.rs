@@ -1,41 +1,6 @@
-//! Figure 28 — host-CPU usage during multi-model GPU colocation (§IX-I3).
-//!
-//! The paper measures that even eight colocated GPU instances barely exceed
-//! one host-CPU core in total: instances take turns on the GPU, and only
-//! the instance interacting with the device busy-waits. We reproduce that
-//! arithmetic with the same cost model (busy-wait core while iterating +
-//! negligible preprocessing), weighting by each instance's share of the
-//! GPU's serialized iteration time.
-
-use bench::report::{dump_json, f, paper_note, section};
-use bench::Table;
-
-/// Host-core demand of one GPU instance given its share of GPU time.
-/// Busy-wait consumes a core only while the instance's iteration runs;
-/// preprocessing adds <0.1 core (paper measurement).
-fn host_cores(gpu_time_share: f64) -> f64 {
-    gpu_time_share + 0.08 * gpu_time_share.min(1.0)
-}
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::fig28_colocation_cpu`.
 
 fn main() {
-    section("Fig 28 — total host-CPU core usage vs colocated models");
-    let mut table = Table::new(&["colocated models", "total core use"]);
-    let mut dump = Vec::new();
-    for n in [1usize, 2, 4, 8] {
-        // The GPU serializes iterations: n instances share one device, so
-        // each runs ~1/n of the time (plus a small util gap when idle).
-        let per_instance_share = 1.0 / n as f64;
-        let total: f64 = (0..n).map(|_| host_cores(per_instance_share)).sum();
-        table.row(&[n.to_string(), f(total, 2)]);
-        dump.push((n, total));
-    }
-    table.print();
-    let eight = dump.last().unwrap().1;
-    println!(
-        "8 colocated instances use {} cores total (paper: slightly above 1)",
-        f(eight, 2)
-    );
-    paper_note("Fig 28: colocation does not contend for host CPUs — total stays ~1 core;");
-    paper_note("preprocessing consumes <0.1 core per instance");
-    dump_json("fig28_colocation_cpu", &dump);
+    bench::main_for("fig28_colocation_cpu");
 }

@@ -1,77 +1,6 @@
-//! Figure 29 — harvested CPU cores per GPU (§IX-I3).
-//!
-//! With only 4 GPU nodes plus {0, 8, 16, 32} harvested host-CPU cores per
-//! GPU, compares NEO+ (KV/attention offload), `sllm+c+s` (statically shares
-//! the harvested cores as half-slots), and SLINFER (elastically serves on
-//! them). Paper SLO-miss rates: NEO+ 46/45/41/34%, sllm+c+s 46/52/49/38%,
-//! SLINFER 19/16/12/9%.
-
-use baselines::NeoPlus;
-use bench::report::{dump_json, f, paper_note, section};
-use bench::runner::{arg_seed, quick_mode, world_cfg, System};
-use bench::{zoo, Table};
-use cluster::ClusterSpec;
-use hwmodel::ModelSpec;
-use workload::serverless::TraceSpec;
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::fig29_harvested_cores`.
 
 fn main() {
-    let seed = arg_seed();
-    let n_models: u32 = if quick_mode() { 32 } else { 64 };
-    let cores_sweep: Vec<u32> = if quick_mode() {
-        vec![0, 32]
-    } else {
-        vec![0, 8, 16, 32]
-    };
-    section(&format!(
-        "Fig 29 — harvested cores, {n_models} 7B models, 4 GPUs"
-    ));
-    let trace = TraceSpec::azure_like(n_models, seed).generate();
-    let models = zoo::replicas(&ModelSpec::llama2_7b(), n_models as usize);
-
-    let mut table = Table::new(&["cores/GPU", "NEO+ miss%", "sllm+c+s miss%", "SLINFER miss%"]);
-    let mut results = Vec::new();
-    for &cores in &cores_sweep {
-        // NEO+: offload-extended GPU nodes, exclusive allocation.
-        let neo_cluster = NeoPlus::cluster(4, cores);
-        let neo = cluster::Simulation::new(
-            &neo_cluster,
-            models.clone(),
-            world_cfg(seed),
-            NeoPlus::policy(),
-        )
-        .run(&trace);
-
-        // sllm+c+s: harvested cores appear as fractional CPU nodes, halved.
-        let mut cs_cluster = ClusterSpec::statically_shared(0, 4);
-        let harvested = ClusterSpec::heterogeneous(0, 0).with_harvested_cpus(4, cores);
-        for mut n in harvested.nodes {
-            if cores >= 16 {
-                n = cluster::NodeSpec::split(n.hw, 2);
-            }
-            cs_cluster.nodes.push(n);
-        }
-        let cs = System::SllmCs.run(&cs_cluster, models.clone(), world_cfg(seed), &trace);
-
-        // SLINFER: harvested cores as whole fractional CPU nodes.
-        let sl_cluster = ClusterSpec::heterogeneous(0, 4).with_harvested_cpus(4, cores);
-        let sl = System::Slinfer(Default::default()).run(
-            &sl_cluster,
-            models.clone(),
-            world_cfg(seed),
-            &trace,
-        );
-
-        let miss = |m: &cluster::RunMetrics| 100.0 * (1.0 - m.slo_rate());
-        table.row(&[
-            cores.to_string(),
-            f(miss(&neo), 0),
-            f(miss(&cs), 0),
-            f(miss(&sl), 0),
-        ]);
-        results.push((cores, miss(&neo), miss(&cs), miss(&sl)));
-    }
-    table.print();
-    paper_note("Fig 29: NEO+ 46/45/41/34, sllm+c+s 46/52/49/38, SLINFER 19/16/12/9 % miss");
-    paper_note("SLINFER lowest at every core count; NEO+ improves only mildly (no sharing)");
-    dump_json("fig29_harvested_cores", &results);
+    bench::main_for("fig29_harvested_cores");
 }

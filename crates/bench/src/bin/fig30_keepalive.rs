@@ -1,63 +1,6 @@
-//! Figure 30 — keep-alive threshold sensitivity (§IX-I4).
-//!
-//! Sweeps the keep-alive threshold over {0, 1, 2, 4, 8} s for `sllm+c+s`
-//! and SLINFER. The paper's counterintuitive finding: longer keep-alive can
-//! *worsen* P95 TTFT (idle instances hog resources and queue requests)
-//! while raising GPU usage; 1 s balances both.
-
-use bench::report::{dump_json, f, paper_note, section};
-use bench::runner::{arg_seed, quick_mode, world_cfg, System};
-use bench::{zoo, Table};
-use hwmodel::{HardwareKind, ModelSpec};
-use simcore::time::SimDuration;
-use workload::serverless::TraceSpec;
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::fig30_keepalive`.
 
 fn main() {
-    let seed = arg_seed();
-    let n_models: u32 = if quick_mode() { 24 } else { 64 };
-    let thresholds: Vec<u64> = if quick_mode() {
-        vec![1, 8]
-    } else {
-        vec![0, 1, 2, 4, 8]
-    };
-    section(&format!("Fig 30 — keep-alive sweep, {n_models} 7B models"));
-    let trace = TraceSpec::azure_like(n_models, seed).generate();
-    let models = zoo::replicas(&ModelSpec::llama2_7b(), n_models as usize);
-
-    let mut table = Table::new(&[
-        "keep-alive (s)",
-        "system",
-        "GPU nodes",
-        "P95 TTFT (s)",
-        "SLO rate",
-        "cold starts",
-    ]);
-    let mut results = Vec::new();
-    for &ka in &thresholds {
-        for system in [System::SllmCs, System::Slinfer(Default::default())] {
-            let cluster = system.cluster(4, 4, &models);
-            let mut cfg = world_cfg(seed);
-            cfg.keep_alive = SimDuration::from_secs(ka);
-            let m = system.run(&cluster, models.clone(), cfg, &trace);
-            let mut ttft = m.ttft_summary();
-            table.row(&[
-                ka.to_string(),
-                system.name(),
-                f(m.avg_nodes_used(HardwareKind::Gpu), 1),
-                f(ttft.percentile(95.0), 2),
-                f(m.slo_rate(), 3),
-                m.cold_starts.to_string(),
-            ]);
-            results.push((
-                ka,
-                system.name(),
-                m.avg_nodes_used(HardwareKind::Gpu),
-                ttft.percentile(95.0),
-            ));
-        }
-    }
-    table.print();
-    paper_note("Fig 30: longer keep-alive raises GPU usage and can worsen P95 TTFT;");
-    paper_note("a short threshold (1 s) balances efficiency and user experience");
-    dump_json("fig30_keepalive", &results);
+    bench::main_for("fig30_keepalive");
 }

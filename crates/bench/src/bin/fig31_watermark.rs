@@ -1,57 +1,6 @@
-//! Figure 31 — KV-cache scaling watermark sensitivity (§IX-I5).
-//!
-//! Sweeps the watermark `w` over {0%, 10%, 25%, 50%, 100%}. The paper:
-//! disabling the watermark (0%) makes instances spend 11.3% of their
-//! lifetime rescaling; 25% already cuts that to 1.4% with a 0–0.3%
-//! migration rate, while larger values only erode KV utilization.
-
-use bench::report::{dump_json, f, paper_note, section};
-use bench::runner::{arg_seed, quick_mode, world_cfg, System};
-use bench::{zoo, Table};
-use hwmodel::ModelSpec;
-use slinfer::SlinferConfig;
-use workload::serverless::TraceSpec;
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::fig31_watermark`.
 
 fn main() {
-    let seed = arg_seed();
-    let n_models: u32 = if quick_mode() { 24 } else { 64 };
-    let watermarks: Vec<f64> = if quick_mode() {
-        vec![0.0, 0.25]
-    } else {
-        vec![0.0, 0.10, 0.25, 0.50, 1.00]
-    };
-    section(&format!("Fig 31 — watermark sweep, {n_models} 7B models"));
-    let trace = TraceSpec::azure_like(n_models, seed).generate();
-    let models = zoo::replicas(&ModelSpec::llama2_7b(), n_models as usize);
-
-    let mut table = Table::new(&[
-        "watermark",
-        "KV util (mean)",
-        "scaling overhead %",
-        "migration rate %",
-        "scale ops",
-        "SLO rate",
-    ]);
-    let mut results = Vec::new();
-    for &w in &watermarks {
-        let cfg = SlinferConfig::default().with_watermark(w);
-        let system = System::Slinfer(cfg);
-        let cluster = system.cluster(4, 4, &models);
-        let m = system.run(&cluster, models.clone(), world_cfg(seed), &trace);
-        let overhead = 100.0 * m.scaling_overhead_fraction();
-        let mig_rate = 100.0 * m.migrated_requests() as f64 / m.total().max(1) as f64;
-        table.row(&[
-            format!("{:.0}%", w * 100.0),
-            f(m.kv_util.mean(), 2),
-            f(overhead, 1),
-            f(mig_rate, 2),
-            m.scale_ops.to_string(),
-            f(m.slo_rate(), 3),
-        ]);
-        results.push((w, m.kv_util.mean(), overhead, mig_rate, m.scale_ops));
-    }
-    table.print();
-    paper_note("Fig 31: 0% watermark → 11.3% of lifetime spent scaling; 25% → 1.4% overhead,");
-    paper_note("0–0.3% migration rate; higher watermarks only lower KV utilization");
-    dump_json("fig31_watermark", &results);
+    bench::main_for("fig31_watermark");
 }

@@ -1,63 +1,6 @@
-//! Figure 32 — performance under different node counts (§IX-H).
-//!
-//! Sweeps the cluster from 1 CPU + 1 GPU up to 4 CPU + 4 GPU under a fixed
-//! 64-model workload. The paper: SLINFER leads at every size and its
-//! 4-node configuration matches `sllm+c+s` on eight nodes, with
-//! diminishing returns at the top end.
-
-use bench::report::{dump_json, paper_note, section};
-use bench::runner::{arg_seed, quick_mode, world_cfg, System};
-use bench::{zoo, Table};
-use hwmodel::ModelSpec;
-use workload::serverless::TraceSpec;
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::fig32_node_scaling`.
 
 fn main() {
-    let seed = arg_seed();
-    let n_models: u32 = if quick_mode() { 24 } else { 64 };
-    let sizes: Vec<usize> = if quick_mode() {
-        vec![1, 2]
-    } else {
-        vec![1, 2, 3, 4]
-    };
-    section(&format!("Fig 32 — node-count sweep, {n_models} 7B models"));
-    let trace = TraceSpec::azure_like(n_models, seed).generate();
-    let models = zoo::replicas(&ModelSpec::llama2_7b(), n_models as usize);
-
-    let mut table = Table::new(&[
-        "nodes (CPU+GPU)",
-        "sllm+c+s SLO-met",
-        "SLINFER SLO-met",
-        "total",
-    ]);
-    let mut results = Vec::new();
-    for &k in &sizes {
-        let mut row = vec![format!("{k}+{k}")];
-        let mut met = Vec::new();
-        for system in [System::SllmCs, System::Slinfer(Default::default())] {
-            let cluster = system.cluster(k, k, &models);
-            let m = system.run(&cluster, models.clone(), world_cfg(seed), &trace);
-            met.push(m.slo_met());
-            row.push(m.slo_met().to_string());
-        }
-        row.push(trace.len().to_string());
-        table.row(&row);
-        results.push((k, met[0], met[1]));
-    }
-    table.print();
-    if !quick_mode() {
-        // The paper's headline: SLINFER at 4+4 ≈ sllm+c+s at 8 nodes.
-        let eight = System::SllmCs;
-        let cluster = eight.cluster(4, 4, &models); // 8 nodes total
-        let m = eight.run(&cluster, models.clone(), world_cfg(seed), &trace);
-        let four = System::Slinfer(Default::default());
-        let ccluster = four.cluster(2, 2, &models); // 4 nodes total
-        let ms = four.run(&ccluster, models, world_cfg(seed), &trace);
-        println!(
-            "SLINFER on 4 nodes: {} SLO-met vs sllm+c+s on 8 nodes: {}",
-            ms.slo_met(),
-            m.slo_met()
-        );
-    }
-    paper_note("Fig 32: SLINFER leads at every node count; 4-node SLINFER ≈ 8-node sllm+c+s");
-    dump_json("fig32_node_scaling", &results);
+    bench::main_for("fig32_node_scaling");
 }

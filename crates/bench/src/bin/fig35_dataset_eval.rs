@@ -1,68 +1,6 @@
-//! Figure 35 — evaluation across length datasets (§IX-I1).
-//!
-//! Serves 64 Llama-3.1-8B models under each of the five datasets (HumanEval,
-//! AzureCode, AzureConv, LongBench, ShareGPT). The paper: SLINFER uses
-//! fewer nodes everywhere; long-output datasets (ShareGPT) reach higher
-//! decode throughput; for LongBench the CPUs cannot hold the long-sequence
-//! TTFT SLO, so SLINFER avoids them while `sllm+c+s` blindly fills them and
-//! violates 63.4% of SLOs.
-
-use bench::report::{dump_json, f, paper_note, section};
-use bench::runner::{arg_seed, quick_mode, world_cfg, System};
-use bench::{zoo, Table};
-use hwmodel::{HardwareKind, ModelSpec};
-use workload::{serverless::TraceSpec, Dataset};
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::fig35_dataset_eval`.
 
 fn main() {
-    let seed = arg_seed();
-    let n_models: u32 = if quick_mode() { 16 } else { 64 };
-    section(&format!("Fig 35 — dataset sweep, {n_models} 8B models"));
-    let models = zoo::replicas(&ModelSpec::llama3_1_8b(), n_models as usize);
-
-    let mut table = Table::new(&[
-        "dataset",
-        "system",
-        "CPU nodes",
-        "GPU nodes",
-        "dec CPU t/(n·s)",
-        "dec GPU t/(n·s)",
-        "SLO rate",
-    ]);
-    let mut results = Vec::new();
-    let datasets = if quick_mode() {
-        vec![Dataset::AzureConv, Dataset::LongBench]
-    } else {
-        Dataset::ALL.to_vec()
-    };
-    for ds in datasets {
-        let trace = TraceSpec::azure_like(n_models, seed)
-            .with_dataset(ds)
-            .generate();
-        for system in [System::SllmCs, System::Slinfer(Default::default())] {
-            let cluster = system.cluster(4, 4, &models);
-            let m = system.run(&cluster, models.clone(), world_cfg(seed), &trace);
-            table.row(&[
-                ds.name().to_string(),
-                system.name(),
-                f(m.avg_nodes_used(HardwareKind::CpuAccel), 1),
-                f(m.avg_nodes_used(HardwareKind::Gpu), 1),
-                f(m.decode_speed_per_node(HardwareKind::CpuAccel), 0),
-                f(m.decode_speed_per_node(HardwareKind::Gpu), 0),
-                f(m.slo_rate(), 3),
-            ]);
-            results.push((
-                ds.name().to_string(),
-                system.name(),
-                m.avg_nodes_used(HardwareKind::CpuAccel),
-                m.avg_nodes_used(HardwareKind::Gpu),
-                m.slo_rate(),
-            ));
-        }
-    }
-    table.print();
-    paper_note("Fig 35: SLINFER consumes fewer resources on every dataset;");
-    paper_note("ShareGPT's long outputs raise decode throughput (more batching);");
-    paper_note("LongBench: CPUs cannot meet long-sequence TTFT — SLINFER avoids them,");
-    paper_note("sllm+c+s fills them and violates 63.4% of SLOs");
-    dump_json("fig35_dataset_eval", &results);
+    bench::main_for("fig35_dataset_eval");
 }

@@ -1,78 +1,6 @@
-//! Table III — prefill–decode disaggregation (§IX-G).
-//!
-//! Compares aggregated vs PD-disaggregated variants of `sllm+c+s` and
-//! SLINFER at 32/64/128 7B-sized models (100 Gbps KV transfer). The paper
-//! finds disaggregation *increases* GPU usage and *reduces* SLO rates —
-//! prefill instances idle 93% of their lifetime under serverless traffic.
-
-use bench::report::{dump_json, f, paper_note, section};
-use bench::runner::{arg_seed, quick_mode, world_cfg, System};
-use bench::{zoo, Table};
-use hwmodel::{HardwareKind, ModelSpec};
-use workload::serverless::TraceSpec;
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::tab3_pd_disagg`.
 
 fn main() {
-    let seed = arg_seed();
-    let counts: Vec<u32> = if quick_mode() {
-        vec![32]
-    } else {
-        vec![32, 64, 128]
-    };
-    section("Table III — aggregated vs disaggregated PD");
-    let mut table = Table::new(&[
-        "system",
-        "models",
-        "GPU use (agg/disagg)",
-        "SLO % (agg/disagg)",
-        "cold starts (agg/disagg)",
-    ]);
-    let mut results = Vec::new();
-    for (agg, disagg, label) in [
-        (System::SllmCs, System::PdSllmCs, "sllm+c+s"),
-        (
-            System::Slinfer(Default::default()),
-            System::PdSlinfer,
-            "SLINFER",
-        ),
-    ] {
-        for &n in &counts {
-            let trace = TraceSpec::azure_like(n, seed).generate();
-            let models = zoo::replicas(&ModelSpec::llama2_7b(), n as usize);
-            let run = |sys: &System| {
-                let cluster = sys.cluster(4, 4, &models);
-                sys.run(&cluster, models.clone(), world_cfg(seed), &trace)
-            };
-            let a = run(&agg);
-            let d = run(&disagg);
-            table.row(&[
-                label.to_string(),
-                n.to_string(),
-                format!(
-                    "{} / {}",
-                    f(a.avg_nodes_used(HardwareKind::Gpu), 1),
-                    f(d.avg_nodes_used(HardwareKind::Gpu), 1)
-                ),
-                format!(
-                    "{} / {}",
-                    f(a.slo_rate() * 100.0, 0),
-                    f(d.slo_rate() * 100.0, 0)
-                ),
-                format!("{} / {}", a.cold_starts, d.cold_starts),
-            ]);
-            results.push((
-                label.to_string(),
-                n,
-                a.slo_rate(),
-                d.slo_rate(),
-                a.avg_nodes_used(HardwareKind::Gpu),
-                d.avg_nodes_used(HardwareKind::Gpu),
-            ));
-        }
-    }
-    table.print();
-    paper_note(
-        "Table III: sllm+c+s 99/93, 93/70, 65/35 %; SLINFER 99/99, 99/98, 86/69 % (agg/disagg)",
-    );
-    paper_note("disaggregation raises GPU usage at every load level");
-    dump_json("tab3_pd_disagg", &results);
+    bench::main_for("tab3_pd_disagg");
 }

@@ -1,0 +1,75 @@
+//! Figures 9 & 12 — memory footprint and concurrency under real workloads
+//! (§IV-B, §IV-C).
+//!
+//! Maps 7B/13B models onto popularity percentiles of the serverless trace
+//! and estimates per-model memory footprint (weights + live KV) and burst
+//! concurrency. Paper anchors: 7B/13B floors at 14/26 GB; top-1% peaks at
+//! 169/263 GB driven by >128-concurrency bursts; yet even the top-1%'s
+//! footprint stays below 17/43 GB more than half the time.
+
+use crate::cli::Cli;
+use crate::report::{f, Report, Table};
+use hwmodel::ModelSpec;
+use workload::serverless::TraceSpec;
+use workload::stats::TraceStats;
+
+pub fn run(cli: &Cli, r: &mut Report) {
+    let seed = cli.seed;
+    r.section("Fig 9/12 — footprint & concurrency by popularity percentile");
+    // A 512-function trace gives clean P50–P99 percentile slots.
+    let trace = TraceSpec::azure_like(512, seed).generate();
+    let stats = TraceStats::from_trace(&trace);
+    // Average request residency for the concurrency estimator: prefill +
+    // ~230 output tokens at 120 ms/token mixed ≈ 30 s; the paper's bursts
+    // overlap within ~1 min windows.
+    let service_s = 45.0;
+
+    let mut table = Table::new(&[
+        "percentile",
+        "peak conc",
+        "7B floor GB",
+        "7B median GB",
+        "7B peak GB",
+        "13B peak GB",
+    ]);
+    let mut dump = Vec::new();
+    for pct in [1.0, 5.0, 10.0, 20.0, 50.0] {
+        let model = stats.model_at_top_percent(pct);
+        let series = stats.concurrency_series(model, service_s);
+        let peak = series.iter().map(|&(_, c)| c).max().unwrap_or(0);
+        let median = {
+            let mut cs: Vec<usize> = series.iter().map(|&(_, c)| c).collect();
+            cs.sort_unstable();
+            cs.get(cs.len() / 2).copied().unwrap_or(0)
+        };
+        // Footprint: weights + concurrency × (avg context ≈ 1.3 K tokens) × C.
+        let ctx_tokens = 1300u64;
+        let fp = |m: &ModelSpec, conc: usize| {
+            (m.weights_bytes() + conc as u64 * ctx_tokens * m.kv_bytes_per_token()) as f64 / 1e9
+        };
+        let m7 = ModelSpec::llama2_7b();
+        let m13 = ModelSpec::llama2_13b();
+        table.row(&[
+            format!("P{:.0}", 100.0 - pct),
+            peak.to_string(),
+            f(m7.weights_bytes() as f64 / 1e9, 0),
+            f(fp(&m7, median), 0),
+            f(fp(&m7, peak), 0),
+            f(fp(&m13, peak), 0),
+        ]);
+        dump.push((pct, peak, fp(&m7, peak), fp(&m13, peak)));
+    }
+    r.table(&table);
+    let top = stats.model_at_top_percent(1.0);
+    r.line(format!(
+        "top-1% model: {} requests; top-1% of models contribute {:.0}% of requests",
+        stats.per_model_counts[top.0 as usize],
+        100.0 * stats.top_models_share(0.01)
+    ));
+    r.paper_note(
+        "Fig 9: 7B/13B floors 14/26 GB; top-1% peaks 169/263 GB (bursts >128 concurrent);",
+    );
+    r.paper_note("even top-1% sits below 17/43 GB more than 50% of the time");
+    r.paper_note("Fig 12: top-1% concurrency spans 1 to >128; contributes ~26% of requests");
+    r.dump_json("fig09_12_footprint", &dump);
+}

@@ -1,0 +1,108 @@
+//! Figure 22 — end-to-end comparison (§IX-B).
+//!
+//! For each model size (3B/7B/13B) and zoo size (32/64/128), runs the four
+//! systems on the Azure-like trace over 4 CPU + 4 GPU nodes and reports the
+//! paper's four panels: SLO-met requests, TTFT percentiles, per-node decode
+//! speed, and average nodes used.
+//!
+//! Paper headline (at 128 models): SLINFER serves **+86–154%** more SLO-met
+//! requests than `sllm`, **+47–62%** more than `sllm+c`, and **+18–70%**
+//! more than `sllm+c+s`.
+
+use crate::cli::Cli;
+use crate::report::{f, Report, Table};
+use crate::runner::{world_cfg, System};
+use crate::sweep::{Scenario, Sweep};
+use crate::zoo;
+use hwmodel::ModelSpec;
+use workload::serverless::TraceSpec;
+
+pub fn run(cli: &Cli, r: &mut Report) {
+    let seed = cli.seed;
+    let counts: Vec<u32> = if cli.quick {
+        vec![32]
+    } else {
+        vec![32, 64, 128]
+    };
+    let mut points: Vec<(&'static str, ModelSpec, u32)> = Vec::new();
+    for (size_name, base) in zoo::size_bases() {
+        if cli.quick && size_name != "7B" {
+            continue;
+        }
+        for &n in &counts {
+            points.push((size_name, base.clone(), n));
+        }
+    }
+    let res = Sweep::new()
+        .points(points)
+        .systems(System::paper_lineup())
+        .seeds(vec![seed])
+        .scenario(|cx| {
+            let (_, base, n_models) = cx.point;
+            let models = zoo::replicas(base, *n_models as usize);
+            Scenario {
+                cluster: cx.system.cluster(4, 4, &models),
+                models,
+                cfg: world_cfg(cx.seed),
+                trace: TraceSpec::azure_like(*n_models, seed).generate(),
+            }
+        })
+        .run(cli.worker_threads());
+
+    let mut all_results = Vec::new();
+    for (pi, (size_name, _, n_models)) in res.points.iter().enumerate() {
+        r.section(&format!("Fig 22 — {size_name}-sized, {n_models} models"));
+        let trace = TraceSpec::azure_like(*n_models, seed).generate();
+        r.line(format!(
+            "trace: {} requests over {:.0} min (aggregate {:.0} RPM)",
+            trace.len(),
+            trace.duration.as_secs_f64() / 60.0,
+            trace.aggregate_rpm()
+        ));
+        let mut table = Table::new(&[
+            "system",
+            "SLO-met",
+            "total",
+            "rate",
+            "TTFT p50(s)",
+            "TTFT p95(s)",
+            "CPU nodes",
+            "GPU nodes",
+            "dec CPU t/(n·s)",
+            "dec GPU t/(n·s)",
+            "dropped",
+        ]);
+        let mut row_results = Vec::new();
+        for si in 0..res.systems.len() {
+            let sr = res.summary(pi, si, 0);
+            table.row(&[
+                sr.system.clone(),
+                sr.slo_met.to_string(),
+                sr.total.to_string(),
+                f(sr.slo_rate, 3),
+                f(sr.ttft_p50, 2),
+                f(sr.ttft_p95, 2),
+                f(sr.cpu_nodes, 1),
+                f(sr.gpu_nodes, 1),
+                f(sr.cpu_decode_speed, 0),
+                f(sr.gpu_decode_speed, 0),
+                sr.dropped.to_string(),
+            ]);
+            row_results.push(sr);
+        }
+        r.table(&table);
+        if *n_models == 128 {
+            let slinfer = row_results.last().unwrap().slo_met as f64;
+            let vs = |ix: usize| 100.0 * (slinfer / row_results[ix].slo_met.max(1) as f64 - 1.0);
+            r.line(format!(
+                "SLINFER SLO-met vs sllm: {:+.0}%  vs sllm+c: {:+.0}%  vs sllm+c+s: {:+.0}%",
+                vs(0),
+                vs(1),
+                vs(2)
+            ));
+            r.paper_note("at 128 models: +86-154% vs sllm, +47-62% vs sllm+c, +18-70% vs sllm+c+s");
+        }
+        all_results.push((size_name.to_string(), *n_models, row_results));
+    }
+    r.dump_json("fig22_end_to_end", &all_results);
+}

@@ -1,0 +1,102 @@
+//! Figure 23 — ablation study (§IX-C).
+//!
+//! Serves 64 7B-sized models while disabling each SLINFER component:
+//! full / w/o CPU / w/o consolidation / w/o sharing. The paper reports
+//! higher GPU usage whenever any component is disabled, and an SLO
+//! compliance drop to ~89% without sharing.
+
+use crate::cli::Cli;
+use crate::report::{f, Report, Table};
+use crate::runner::{world_cfg, System, SystemResult};
+use crate::sweep::{Scenario, Sweep};
+use crate::zoo;
+use hwmodel::ModelSpec;
+use slinfer::SlinferConfig;
+use workload::serverless::TraceSpec;
+
+pub fn run(cli: &Cli, r: &mut Report) {
+    let seed = cli.seed;
+    let n_models: u32 = if cli.quick { 16 } else { 64 };
+    let ablations = SlinferConfig::ablations();
+    let res = Sweep::new()
+        .points(vec![n_models])
+        .systems(
+            ablations
+                .iter()
+                .map(|(_, cfg)| System::Slinfer(cfg.clone())),
+        )
+        .seeds(vec![seed])
+        .scenario(|cx| {
+            let models = zoo::replicas(&ModelSpec::llama2_7b(), *cx.point as usize);
+            Scenario {
+                cluster: cx.system.cluster(4, 4, &models),
+                models,
+                cfg: world_cfg(cx.seed),
+                trace: TraceSpec::azure_like(*cx.point, seed).generate(),
+            }
+        })
+        .run(cli.worker_threads());
+
+    r.section(&format!("Fig 23 — ablation, {n_models} 7B-sized models"));
+    let mut table = Table::new(&[
+        "variant",
+        "SLO rate",
+        "CPU nodes",
+        "GPU nodes",
+        "preempt",
+        "scale ops",
+        "dropped",
+    ]);
+    let mut results: Vec<(String, SystemResult)> = Vec::new();
+    let mut timelines: Vec<(String, Vec<(f64, u32)>)> = Vec::new();
+    for (si, (label, _)) in ablations.iter().enumerate() {
+        let m = res.metrics(0, si, 0);
+        table.row(&[
+            label.to_string(),
+            f(m.slo_rate(), 3),
+            f(m.avg_nodes_used(hwmodel::HardwareKind::CpuAccel), 1),
+            f(m.avg_nodes_used(hwmodel::HardwareKind::Gpu), 1),
+            m.preemptions.to_string(),
+            m.scale_ops.to_string(),
+            m.dropped.to_string(),
+        ]);
+        let tl: Vec<(f64, u32)> = m
+            .usage_timeline
+            .iter()
+            .map(|s| (s.t, s.gpu_nodes_used))
+            .collect();
+        timelines.push((label.to_string(), tl));
+        results.push((label.to_string(), res.summary(0, si, 0)));
+    }
+    r.table(&table);
+    r.paper_note("Fig 23: disabling any component raises GPU usage; w/o sharing SLO drops to ~89%");
+
+    // Truncated GPU-usage timeline (Fig 23 top panel, first 300 s).
+    r.line("GPU usage timeline (0–300 s, 30 s buckets):");
+    let mut tl_table = Table::new(&[
+        "t(s)",
+        "SLINFER-Full",
+        "w/o CPU",
+        "w/o Consolidation",
+        "w/o Sharing",
+    ]);
+    for bucket in 0..10 {
+        let t0 = bucket as f64 * 30.0;
+        let mut row = vec![format!("{t0:.0}")];
+        for (_, tl) in &timelines {
+            let v = tl
+                .iter()
+                .filter(|(t, _)| *t >= t0 && *t < t0 + 30.0)
+                .map(|(_, g)| *g as f64)
+                .sum::<f64>()
+                / tl.iter()
+                    .filter(|(t, _)| *t >= t0 && *t < t0 + 30.0)
+                    .count()
+                    .max(1) as f64;
+            row.push(f(v, 1));
+        }
+        tl_table.row(&row);
+    }
+    r.table(&tl_table);
+    r.dump_json("fig23_ablation", &results);
+}

@@ -1,0 +1,82 @@
+//! Figure 29 — harvested CPU cores per GPU (§IX-I3).
+//!
+//! With only 4 GPU nodes plus {0, 8, 16, 32} harvested host-CPU cores per
+//! GPU, compares NEO+ (KV/attention offload), `sllm+c+s` (statically shares
+//! the harvested cores as half-slots), and SLINFER (elastically serves on
+//! them). Paper SLO-miss rates: NEO+ 46/45/41/34%, sllm+c+s 46/52/49/38%,
+//! SLINFER 19/16/12/9%.
+
+use crate::cli::Cli;
+use crate::report::{f, Report, Table};
+use crate::runner::{world_cfg, System};
+use crate::sweep::{Scenario, Sweep};
+use crate::zoo;
+use baselines::NeoPlus;
+use cluster::{ClusterSpec, RunMetrics};
+use hwmodel::ModelSpec;
+use workload::serverless::TraceSpec;
+
+pub fn run(cli: &Cli, r: &mut Report) {
+    let seed = cli.seed;
+    let n_models: u32 = if cli.quick { 32 } else { 64 };
+    let cores_sweep: Vec<u32> = if cli.quick {
+        vec![0, 32]
+    } else {
+        vec![0, 8, 16, 32]
+    };
+    let res = Sweep::new()
+        .points(cores_sweep)
+        .systems(vec![
+            System::NeoPlus,
+            System::SllmCs,
+            System::Slinfer(Default::default()),
+        ])
+        .seeds(vec![seed])
+        .scenario(|cx| {
+            let cores = *cx.point;
+            let cluster = match cx.system {
+                // NEO+: offload-extended GPU nodes, exclusive allocation.
+                System::NeoPlus => NeoPlus::cluster(4, cores),
+                // sllm+c+s: harvested cores appear as fractional CPU
+                // nodes, halved once they are big enough to split.
+                System::SllmCs => {
+                    let mut cs_cluster = ClusterSpec::statically_shared(0, 4);
+                    let harvested = ClusterSpec::heterogeneous(0, 0).with_harvested_cpus(4, cores);
+                    for mut n in harvested.nodes {
+                        if cores >= 16 {
+                            n = cluster::NodeSpec::split(n.hw, 2);
+                        }
+                        cs_cluster.nodes.push(n);
+                    }
+                    cs_cluster
+                }
+                // SLINFER: harvested cores as whole fractional CPU nodes.
+                _ => ClusterSpec::heterogeneous(0, 4).with_harvested_cpus(4, cores),
+            };
+            Scenario {
+                cluster,
+                models: zoo::replicas(&ModelSpec::llama2_7b(), n_models as usize),
+                cfg: world_cfg(cx.seed),
+                trace: TraceSpec::azure_like(n_models, seed).generate(),
+            }
+        })
+        .run(cli.worker_threads());
+
+    r.section(&format!(
+        "Fig 29 — harvested cores, {n_models} 7B models, 4 GPUs"
+    ));
+    let mut table = Table::new(&["cores/GPU", "NEO+ miss%", "sllm+c+s miss%", "SLINFER miss%"]);
+    let mut results = Vec::new();
+    let miss = |m: &RunMetrics| 100.0 * (1.0 - m.slo_rate());
+    for (pi, &cores) in res.points.iter().enumerate() {
+        let neo = miss(res.metrics(pi, 0, 0));
+        let cs = miss(res.metrics(pi, 1, 0));
+        let sl = miss(res.metrics(pi, 2, 0));
+        table.row(&[cores.to_string(), f(neo, 0), f(cs, 0), f(sl, 0)]);
+        results.push((cores, neo, cs, sl));
+    }
+    r.table(&table);
+    r.paper_note("Fig 29: NEO+ 46/45/41/34, sllm+c+s 46/52/49/38, SLINFER 19/16/12/9 % miss");
+    r.paper_note("SLINFER lowest at every core count; NEO+ improves only mildly (no sharing)");
+    r.dump_json("fig29_harvested_cores", &results);
+}

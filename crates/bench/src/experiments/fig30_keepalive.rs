@@ -1,0 +1,76 @@
+//! Figure 30 — keep-alive threshold sensitivity (§IX-I4).
+//!
+//! Sweeps the keep-alive threshold over {0, 1, 2, 4, 8} s for `sllm+c+s`
+//! and SLINFER. The paper's counterintuitive finding: longer keep-alive can
+//! *worsen* P95 TTFT (idle instances hog resources and queue requests)
+//! while raising GPU usage; 1 s balances both.
+
+use crate::cli::Cli;
+use crate::report::{f, Report, Table};
+use crate::runner::{world_cfg, System};
+use crate::sweep::{Scenario, Sweep};
+use crate::zoo;
+use hwmodel::{HardwareKind, ModelSpec};
+use simcore::time::SimDuration;
+use workload::serverless::TraceSpec;
+
+pub fn run(cli: &Cli, r: &mut Report) {
+    let seed = cli.seed;
+    let n_models: u32 = if cli.quick { 24 } else { 64 };
+    let thresholds: Vec<u64> = if cli.quick {
+        vec![1, 8]
+    } else {
+        vec![0, 1, 2, 4, 8]
+    };
+    let res = Sweep::new()
+        .points(thresholds)
+        .systems(vec![System::SllmCs, System::Slinfer(Default::default())])
+        .seeds(vec![seed])
+        .scenario(|cx| {
+            let models = zoo::replicas(&ModelSpec::llama2_7b(), n_models as usize);
+            let mut cfg = world_cfg(cx.seed);
+            cfg.keep_alive = SimDuration::from_secs(*cx.point);
+            Scenario {
+                cluster: cx.system.cluster(4, 4, &models),
+                models,
+                cfg,
+                trace: TraceSpec::azure_like(n_models, seed).generate(),
+            }
+        })
+        .run(cli.worker_threads());
+
+    r.section(&format!("Fig 30 — keep-alive sweep, {n_models} 7B models"));
+    let mut table = Table::new(&[
+        "keep-alive (s)",
+        "system",
+        "GPU nodes",
+        "P95 TTFT (s)",
+        "SLO rate",
+        "cold starts",
+    ]);
+    let mut results = Vec::new();
+    for (pi, &ka) in res.points.iter().enumerate() {
+        for (si, system) in res.systems.iter().enumerate() {
+            let m = res.metrics(pi, si, 0);
+            let mut ttft = m.ttft_summary();
+            table.row(&[
+                ka.to_string(),
+                system.name(),
+                f(m.avg_nodes_used(HardwareKind::Gpu), 1),
+                f(ttft.percentile(95.0), 2),
+                f(m.slo_rate(), 3),
+                m.cold_starts.to_string(),
+            ]);
+            results.push((
+                ka,
+                system.name(),
+                m.avg_nodes_used(HardwareKind::Gpu),
+                ttft.percentile(95.0),
+            ));
+        }
+    }
+    r.table(&table);
+    r.paper_note("Fig 30: longer keep-alive raises GPU usage and can worsen P95 TTFT;");
+    r.paper_note("a short threshold (1 s) balances efficiency and user experience");
+    r.dump_json("fig30_keepalive", &results);
+}

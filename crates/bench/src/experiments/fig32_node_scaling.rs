@@ -1,0 +1,89 @@
+//! Figure 32 — performance under different node counts (§IX-H).
+//!
+//! Sweeps the cluster from 1 CPU + 1 GPU up to 4 CPU + 4 GPU under a fixed
+//! 64-model workload. The paper: SLINFER leads at every size and its
+//! 4-node configuration matches `sllm+c+s` on eight nodes, with
+//! diminishing returns at the top end.
+
+use crate::cli::Cli;
+use crate::report::{Report, Table};
+use crate::runner::{world_cfg, System};
+use crate::sweep::{Scenario, Sweep};
+use crate::zoo;
+use hwmodel::ModelSpec;
+use workload::serverless::TraceSpec;
+
+/// A sweep point: one symmetric k+k size, or the paper's 8-vs-4-node
+/// headline comparison (sllm+c+s on 4+4 vs SLINFER on 2+2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pt {
+    Size(usize),
+    Headline,
+}
+
+pub fn run(cli: &Cli, r: &mut Report) {
+    let seed = cli.seed;
+    let n_models: u32 = if cli.quick { 24 } else { 64 };
+    let sizes: Vec<usize> = if cli.quick {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 3, 4]
+    };
+    let mut points: Vec<Pt> = sizes.iter().map(|&k| Pt::Size(k)).collect();
+    if !cli.quick {
+        points.push(Pt::Headline);
+    }
+    let res = Sweep::new()
+        .points(points)
+        .systems(vec![System::SllmCs, System::Slinfer(Default::default())])
+        .seeds(vec![seed])
+        .scenario(|cx| {
+            let models = zoo::replicas(&ModelSpec::llama2_7b(), n_models as usize);
+            let (n_cpu, n_gpu) = match (cx.point, cx.system_ix) {
+                (Pt::Size(k), _) => (*k, *k),
+                // Headline: 8 nodes of sllm+c+s vs 4 nodes of SLINFER.
+                (Pt::Headline, 0) => (4, 4),
+                (Pt::Headline, _) => (2, 2),
+            };
+            Scenario {
+                cluster: cx.system.cluster(n_cpu, n_gpu, &models),
+                models,
+                cfg: world_cfg(cx.seed),
+                trace: TraceSpec::azure_like(n_models, seed).generate(),
+            }
+        })
+        .run(cli.worker_threads());
+
+    r.section(&format!("Fig 32 — node-count sweep, {n_models} 7B models"));
+    let trace_len = TraceSpec::azure_like(n_models, seed).generate().len();
+    let mut table = Table::new(&[
+        "nodes (CPU+GPU)",
+        "sllm+c+s SLO-met",
+        "SLINFER SLO-met",
+        "total",
+    ]);
+    let mut results = Vec::new();
+    for (pi, pt) in res.points.iter().enumerate() {
+        let Pt::Size(k) = pt else { continue };
+        let cs = res.metrics(pi, 0, 0).slo_met();
+        let sl = res.metrics(pi, 1, 0).slo_met();
+        table.row(&[
+            format!("{k}+{k}"),
+            cs.to_string(),
+            sl.to_string(),
+            trace_len.to_string(),
+        ]);
+        results.push((*k, cs, sl));
+    }
+    r.table(&table);
+    if let Some(pi) = res.points.iter().position(|p| *p == Pt::Headline) {
+        // The paper's headline: SLINFER at 4+4 ≈ sllm+c+s at 8 nodes.
+        r.line(format!(
+            "SLINFER on 4 nodes: {} SLO-met vs sllm+c+s on 8 nodes: {}",
+            res.metrics(pi, 1, 0).slo_met(),
+            res.metrics(pi, 0, 0).slo_met()
+        ));
+    }
+    r.paper_note("Fig 32: SLINFER leads at every node count; 4-node SLINFER ≈ 8-node sllm+c+s");
+    r.dump_json("fig32_node_scaling", &results);
+}

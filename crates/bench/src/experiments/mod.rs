@@ -1,0 +1,34 @@
+//! The 26 experiment implementations, one module per paper figure/table.
+//!
+//! Each module exposes `run(&Cli, &mut Report)` and is registered in
+//! [`crate::registry::REGISTRY`]. Simulation experiments declare their grid
+//! as a [`crate::sweep::Sweep`] and let the shared driver fan it out;
+//! analytic experiments (cost-model tables, trace characterization,
+//! wall-clock microbenchmarks) compute directly into the report.
+
+pub mod abl_overestimate;
+pub mod disc_quantization;
+pub mod fig04_sllm_capacity;
+pub mod fig05_sllm_memutil;
+pub mod fig06_ttft_curves;
+pub mod fig07_08_tpot_curves;
+pub mod fig09_12_footprint;
+pub mod fig17_kv_scaling;
+pub mod fig21_trace_stats;
+pub mod fig22_end_to_end;
+pub mod fig23_ablation;
+pub mod fig24_cpu_scaling;
+pub mod fig25_gpu_efficiency;
+pub mod fig26_mixed_deploy;
+pub mod fig27_burstgpt;
+pub mod fig28_colocation_cpu;
+pub mod fig29_harvested_cores;
+pub mod fig30_keepalive;
+pub mod fig31_watermark;
+pub mod fig32_node_scaling;
+pub mod fig33_sched_overhead;
+pub mod fig34_datasets;
+pub mod fig35_dataset_eval;
+pub mod tab1_xeon_gens;
+pub mod tab2_partition_limits;
+pub mod tab3_pd_disagg;

@@ -1,0 +1,75 @@
+//! Table I — Llama-2-7B on 3rd- vs 4th-gen Xeon (§IV-A2).
+//!
+//! TTFT at 256/1K/4K inputs and TPOT at {1,32}-batch × {1K,4K} context, on
+//! the AMX-less 8369B and the AMX 6462C. The paper measures 6.7–7.3× TTFT
+//! and 1.4–1.7× TPOT generational speedups.
+
+use crate::cli::Cli;
+use crate::report::{f, Report, Table};
+use hwmodel::{AnalyticPerf, HardwareSpec, ModelSpec, PerfOracle};
+
+pub fn run(_cli: &Cli, r: &mut Report) {
+    r.section("Table I — Llama-2-7B across Xeon generations");
+    let perf = AnalyticPerf::new();
+    let m = ModelSpec::llama2_7b();
+    let gens = [
+        ("3rd Gen", HardwareSpec::xeon3_32c()),
+        ("4th Gen", HardwareSpec::xeon4_amx_32c()),
+    ];
+    let paper_ttft = [[1003.0, 4113.0, 18612.0], [149.0, 567.0, 2748.0]];
+    let paper_tpot = [[100.0, 338.0, 110.0, 697.0], [71.0, 196.0, 80.0, 459.0]];
+
+    let mut table = Table::new(&[
+        "CPU",
+        "TTFT 256",
+        "TTFT 1K",
+        "TTFT 4K",
+        "TPOT 1bs-1K",
+        "TPOT 32bs-1K",
+        "TPOT 1bs-4K",
+        "TPOT 32bs-4K",
+    ]);
+    let mut measured = Vec::new();
+    for (gi, (name, hw)) in gens.iter().enumerate() {
+        let ttft: Vec<f64> = [256u32, 1024, 4096]
+            .iter()
+            .map(|&l| perf.prefill_time(&m, hw, l, 1.0) * 1e3)
+            .collect();
+        let tpot: Vec<f64> = [(1u32, 1024u64), (32, 32 * 1024), (1, 4096), (32, 32 * 4096)]
+            .iter()
+            .map(|&(b, t)| perf.decode_time(&m, hw, b, t, 1.0) * 1e3)
+            .collect();
+        let mut row = vec![name.to_string()];
+        for (i, v) in ttft.iter().enumerate() {
+            row.push(format!("{} ({})", f(*v, 0), f(paper_ttft[gi][i], 0)));
+        }
+        for (i, v) in tpot.iter().enumerate() {
+            row.push(format!("{} ({})", f(*v, 0), f(paper_tpot[gi][i], 0)));
+        }
+        table.row(&row);
+        measured.push((name.to_string(), ttft, tpot));
+    }
+    r.table(&table);
+    r.line("cells: measured (paper), ms");
+    let speedup: Vec<f64> = (0..3)
+        .map(|i| measured[0].1[i] / measured[1].1[i])
+        .collect();
+    r.line(format!(
+        "TTFT speedups: {} / {} / {} (paper: 6.7 / 7.3 / 6.8×)",
+        f(speedup[0], 1),
+        f(speedup[1], 1),
+        f(speedup[2], 1)
+    ));
+    let tsp: Vec<f64> = (0..4)
+        .map(|i| measured[0].2[i] / measured[1].2[i])
+        .collect();
+    r.line(format!(
+        "TPOT speedups: {} / {} / {} / {} (paper: 1.4 / 1.7 / 1.4 / 1.5×)",
+        f(tsp[0], 1),
+        f(tsp[1], 1),
+        f(tsp[2], 1),
+        f(tsp[3], 1)
+    ));
+    r.paper_note("Table I: AMX-less CPUs are unsuitable (4.1 s TTFT for 1K inputs)");
+    r.dump_json("tab1_xeon_gens", &measured);
+}

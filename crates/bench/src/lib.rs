@@ -1,19 +1,35 @@
 //! Experiment harness for the SLINFER reproduction.
 //!
-//! Each table/figure of the paper has one binary under `src/bin/` (see
-//! `DESIGN.md` for the index). This library holds what they share:
+//! Each table/figure of the paper is one [`registry`] entry with a binary
+//! stub under `src/bin/` (plus the `bench` multi-runner). This library
+//! holds the shared machinery:
 //!
+//! - [`cli`] — the unified `--seed`/`--quick`/`--threads`/`--json` command
+//!   line every binary accepts (with `SEED`/`BENCH_QUICK` env fallbacks).
+//! - [`sweep`] — the declarative (point × system × seed) [`sweep::Sweep`]
+//!   grid and its parallel, deterministic driver.
 //! - [`runner`] — the [`System`] enum (sllm / sllm+c / sllm+c+s / SLINFER /
 //!   PD variants / NEO+) with per-system cluster construction and a single
 //!   `run` entry point, so every experiment exercises every system through
 //!   identical machinery.
-//! - [`report`] — fixed-width table printing, paper-vs-measured annotation,
-//!   and JSON result dumps under `results/`.
+//! - [`report`] — the [`Report`] sink experiments append to (tables,
+//!   prose, paper notes, JSON blobs); presentation is serial and ordered,
+//!   which keeps output byte-identical at any worker count.
+//! - [`registry`] — the experiment registry tooling enumerates, and the
+//!   shared binary entry point [`registry::main_for`].
+//! - [`experiments`] — the 26 experiment implementations.
 //! - [`zoo`] — model-zoo builders (replica zoos, popularity mixes).
 
+pub mod cli;
+pub mod experiments;
+pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 pub mod zoo;
 
-pub use report::Table;
+pub use cli::Cli;
+pub use registry::{find, main_for, run_experiment, Experiment, REGISTRY};
+pub use report::{Report, Table};
 pub use runner::{System, SystemResult};
+pub use sweep::{Scenario, Sweep, SweepResults};

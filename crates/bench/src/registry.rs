@@ -1,0 +1,227 @@
+//! The experiment registry and the shared binary entry point.
+//!
+//! Every figure/table of the paper registers here, so tooling — the
+//! `bench` multi-runner, the smoke tests, CI — can enumerate the whole
+//! suite instead of hard-coding binary names. The per-figure binaries are
+//! one-line stubs over [`main_for`].
+
+use crate::cli::{Cli, Parsed, USAGE};
+use crate::experiments;
+use crate::report::Report;
+
+/// One registered experiment: a stable name (also the binary and JSON blob
+/// name), a human title, and the run function.
+pub struct Experiment {
+    /// Stable identifier, e.g. `fig04_sllm_capacity`.
+    pub name: &'static str,
+    /// Human-readable description of the figure/table reproduced.
+    pub title: &'static str,
+    /// Builds the experiment's [`Report`] under the given options.
+    pub run: fn(&Cli, &mut Report),
+}
+
+/// Every experiment in the suite, in paper order.
+pub const REGISTRY: &[Experiment] = &[
+    Experiment {
+        name: "tab1_xeon_gens",
+        title: "Table I — Llama-2-7B across Xeon generations",
+        run: experiments::tab1_xeon_gens::run,
+    },
+    Experiment {
+        name: "tab2_partition_limits",
+        title: "Table II — aggregated concurrency limits under static partitioning",
+        run: experiments::tab2_partition_limits::run,
+    },
+    Experiment {
+        name: "tab3_pd_disagg",
+        title: "Table III — aggregated vs disaggregated prefill–decode",
+        run: experiments::tab3_pd_disagg::run,
+    },
+    Experiment {
+        name: "fig04_sllm_capacity",
+        title: "Fig 4 — ServerlessLLM serving-capacity collapse",
+        run: experiments::fig04_sllm_capacity::run,
+    },
+    Experiment {
+        name: "fig05_sllm_memutil",
+        title: "Fig 5 — GPU memory utilization under ServerlessLLM",
+        run: experiments::fig05_sllm_memutil::run,
+    },
+    Experiment {
+        name: "fig06_ttft_curves",
+        title: "Fig 6 — TTFT vs input length across models and hardware",
+        run: experiments::fig06_ttft_curves::run,
+    },
+    Experiment {
+        name: "fig07_08_tpot_curves",
+        title: "Figs 7-8 — TPOT vs batch size for Llama-2-7B/13B",
+        run: experiments::fig07_08_tpot_curves::run,
+    },
+    Experiment {
+        name: "fig09_12_footprint",
+        title: "Figs 9 & 12 — footprint and concurrency under real workloads",
+        run: experiments::fig09_12_footprint::run,
+    },
+    Experiment {
+        name: "fig17_kv_scaling",
+        title: "Fig 17 — KV-cache rescale overhead on the GPU",
+        run: experiments::fig17_kv_scaling::run,
+    },
+    Experiment {
+        name: "fig21_trace_stats",
+        title: "Fig 21 — Azure-trace characterization",
+        run: experiments::fig21_trace_stats::run,
+    },
+    Experiment {
+        name: "fig22_end_to_end",
+        title: "Fig 22 — end-to-end comparison",
+        run: experiments::fig22_end_to_end::run,
+    },
+    Experiment {
+        name: "fig23_ablation",
+        title: "Fig 23 — component ablation study",
+        run: experiments::fig23_ablation::run,
+    },
+    Experiment {
+        name: "fig24_cpu_scaling",
+        title: "Fig 24 — CPU scalability",
+        run: experiments::fig24_cpu_scaling::run,
+    },
+    Experiment {
+        name: "fig25_gpu_efficiency",
+        title: "Fig 25 — GPU efficiency under mixed sizes",
+        run: experiments::fig25_gpu_efficiency::run,
+    },
+    Experiment {
+        name: "fig26_mixed_deploy",
+        title: "Fig 26 — mixed model-size deployment",
+        run: experiments::fig26_mixed_deploy::run,
+    },
+    Experiment {
+        name: "fig27_burstgpt",
+        title: "Fig 27 — BurstGPT trace at varying load levels",
+        run: experiments::fig27_burstgpt::run,
+    },
+    Experiment {
+        name: "fig28_colocation_cpu",
+        title: "Fig 28 — host-CPU usage during multi-model GPU colocation",
+        run: experiments::fig28_colocation_cpu::run,
+    },
+    Experiment {
+        name: "fig29_harvested_cores",
+        title: "Fig 29 — harvested CPU cores per GPU",
+        run: experiments::fig29_harvested_cores::run,
+    },
+    Experiment {
+        name: "fig30_keepalive",
+        title: "Fig 30 — keep-alive threshold sensitivity",
+        run: experiments::fig30_keepalive::run,
+    },
+    Experiment {
+        name: "fig31_watermark",
+        title: "Fig 31 — KV-scaling watermark sensitivity",
+        run: experiments::fig31_watermark::run,
+    },
+    Experiment {
+        name: "fig32_node_scaling",
+        title: "Fig 32 — performance under different node counts",
+        run: experiments::fig32_node_scaling::run,
+    },
+    Experiment {
+        name: "fig33_sched_overhead",
+        title: "Fig 33 — scheduling overhead (wall clock)",
+        run: experiments::fig33_sched_overhead::run,
+    },
+    Experiment {
+        name: "fig34_datasets",
+        title: "Fig 34 — dataset length characterization",
+        run: experiments::fig34_datasets::run,
+    },
+    Experiment {
+        name: "fig35_dataset_eval",
+        title: "Fig 35 — evaluation across length datasets",
+        run: experiments::fig35_dataset_eval::run,
+    },
+    Experiment {
+        name: "abl_overestimate",
+        title: "Ablation — shadow-validation overestimation factor",
+        run: experiments::abl_overestimate::run,
+    },
+    Experiment {
+        name: "disc_quantization",
+        title: "§X discussion — serving INT4-quantized 22B models",
+        run: experiments::disc_quantization::run,
+    },
+];
+
+/// Looks an experiment up by name.
+pub fn find(name: &str) -> Option<&'static Experiment> {
+    REGISTRY.iter().find(|e| e.name == name)
+}
+
+/// Runs one experiment under `cli` and returns its report.
+pub fn run_experiment(exp: &Experiment, cli: &Cli) -> Report {
+    let mut report = Report::new();
+    (exp.run)(cli, &mut report);
+    report
+}
+
+/// Prints a report the way the binaries present it: text to stdout, blobs
+/// to `results/`, and — under `--json` — the blobs echoed to stdout.
+pub fn present(report: &Report, cli: &Cli) {
+    print!("{}", report.text());
+    report.write_dumps();
+    if cli.json {
+        for (name, blob) in report.dumps() {
+            println!("--- {name}.json");
+            println!("{blob}");
+        }
+    }
+}
+
+/// Entry point for the per-figure binary stubs: parse the unified CLI,
+/// run the named experiment, present it. Exits 2 on a bad command line.
+pub fn main_for(name: &str) {
+    let exp = find(name).unwrap_or_else(|| panic!("experiment `{name}` is not registered"));
+    let cli = match Cli::parse(std::env::args().skip(1)) {
+        Ok(Parsed::Run(cli)) => cli,
+        Ok(Parsed::Help) => {
+            println!(
+                "{} — {}\n\nusage: {} [options]\n\n{}",
+                exp.name, exp.title, exp.name, USAGE
+            );
+            return;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    present(&run_experiment(exp, &cli), &cli);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_26_experiments() {
+        assert_eq!(REGISTRY.len(), 26);
+    }
+
+    #[test]
+    fn names_are_unique_and_findable() {
+        for e in REGISTRY {
+            assert_eq!(find(e.name).unwrap().name, e.name);
+        }
+        let mut names: Vec<&str> = REGISTRY.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), REGISTRY.len());
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(find("fig99_nonexistent").is_none());
+    }
+}

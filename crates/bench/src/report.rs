@@ -1,4 +1,9 @@
-//! Fixed-width tables and JSON result dumps.
+//! Presentation: fixed-width tables, the [`Report`] sink, and JSON dumps.
+//!
+//! Experiments never print directly — they append to a [`Report`], and the
+//! experiment driver renders it once the whole grid has run. Presentation
+//! is therefore always serial and in declaration order, which is what makes
+//! `--threads 1` and `--threads N` byte-identical.
 
 use std::fs;
 use std::path::PathBuf;
@@ -64,22 +69,6 @@ impl Table {
         }
         out
     }
-
-    /// Prints the rendered table to stdout.
-    pub fn print(&self) {
-        println!("{}", self.render());
-    }
-}
-
-/// Prints an experiment section header.
-pub fn section(title: &str) {
-    println!();
-    println!("=== {title} ===");
-}
-
-/// Prints a paper-reference note.
-pub fn paper_note(note: &str) {
-    println!("[paper] {note}");
 }
 
 /// Formats a float with the given precision.
@@ -87,16 +76,74 @@ pub fn f(x: f64, prec: usize) -> String {
     format!("{x:.prec$}")
 }
 
-/// Writes a JSON result blob under `results/<name>.json` (best-effort; the
-/// experiment still succeeds if the directory is unwritable).
-pub fn dump_json<T: serde::Serialize>(name: &str, value: &T) {
-    let dir = PathBuf::from("results");
-    if fs::create_dir_all(&dir).is_err() {
-        return;
+/// The ordered output of one experiment: rendered text blocks plus named
+/// machine-readable JSON blobs.
+///
+/// The driver prints [`Report::text`] to stdout, writes each blob under
+/// `results/<name>.json`, and echoes the blobs to stdout under `--json`.
+#[derive(Debug, Default, Clone)]
+pub struct Report {
+    text: String,
+    dumps: Vec<(String, String)>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
     }
-    let path = dir.join(format!("{name}.json"));
-    if let Ok(s) = serde_json::to_string_pretty(value) {
-        let _ = fs::write(path, s);
+
+    /// Appends an experiment section header.
+    pub fn section(&mut self, title: &str) {
+        self.text.push('\n');
+        self.text.push_str(&format!("=== {title} ===\n"));
+    }
+
+    /// Appends one line of prose.
+    pub fn line(&mut self, line: impl AsRef<str>) {
+        self.text.push_str(line.as_ref());
+        self.text.push('\n');
+    }
+
+    /// Appends a rendered table.
+    pub fn table(&mut self, t: &Table) {
+        self.text.push_str(&t.render());
+        self.text.push('\n');
+    }
+
+    /// Appends a paper-reference note.
+    pub fn paper_note(&mut self, note: &str) {
+        self.text.push_str(&format!("[paper] {note}\n"));
+    }
+
+    /// Serializes `value` and attaches it as the blob named `name`
+    /// (written to `results/<name>.json` by the driver).
+    pub fn dump_json<T: serde::Serialize>(&mut self, name: &str, value: &T) {
+        if let Ok(s) = serde_json::to_string_pretty(value) {
+            self.dumps.push((name.to_string(), s));
+        }
+    }
+
+    /// The rendered human-readable output.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The attached JSON blobs, in attachment order.
+    pub fn dumps(&self) -> &[(String, String)] {
+        &self.dumps
+    }
+
+    /// Writes every attached blob under `results/` (best-effort; the
+    /// experiment still succeeds if the directory is unwritable).
+    pub fn write_dumps(&self) {
+        let dir = PathBuf::from("results");
+        if fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        for (name, blob) in &self.dumps {
+            let _ = fs::write(dir.join(format!("{name}.json")), blob);
+        }
     }
 }
 
@@ -121,5 +168,18 @@ mod tests {
     fn float_formatting() {
         assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(f(0.5, 0), "0");
+    }
+
+    #[test]
+    fn report_order_is_append_order() {
+        let mut r = Report::new();
+        r.section("T");
+        r.line("hello");
+        r.paper_note("note");
+        r.dump_json("blob", &vec![1, 2]);
+        assert_eq!(r.text(), "\n=== T ===\nhello\n[paper] note\n");
+        assert_eq!(r.dumps().len(), 1);
+        assert_eq!(r.dumps()[0].0, "blob");
+        assert!(r.dumps()[0].1.trim_start().starts_with('['));
     }
 }

@@ -2,6 +2,7 @@
 
 use baselines::pd::PdSllm;
 use baselines::sllm::{Sllm, SllmConfig};
+use baselines::NeoPlus;
 use cluster::{ClusterSpec, RunMetrics, Simulation, WorldConfig};
 use hwmodel::{HardwareKind, ModelSpec};
 use slinfer::{Slinfer, SlinferConfig};
@@ -22,6 +23,9 @@ pub enum System {
     PdSllmCs,
     /// PD-disaggregated SLINFER (Table III).
     PdSlinfer,
+    /// NEO+-style KV/attention offload onto harvested host cores (Fig 29);
+    /// pair with [`baselines::NeoPlus::cluster`].
+    NeoPlus,
 }
 
 impl System {
@@ -45,6 +49,7 @@ impl System {
             System::Slinfer(_) => "SLINFER*".into(),
             System::PdSllmCs => "sllm+c+s(PD)".into(),
             System::PdSlinfer => "SLINFER(PD)".into(),
+            System::NeoPlus => "NEO+".into(),
         }
     }
 
@@ -100,6 +105,7 @@ impl System {
                 };
                 Simulation::new(cluster, models, cfg, Slinfer::new(scfg)).run(trace)
             }
+            System::NeoPlus => Simulation::new(cluster, models, cfg, NeoPlus::policy()).run(trace),
         }
     }
 }
@@ -152,31 +158,6 @@ impl SystemResult {
             cold_starts: m.cold_starts,
         }
     }
-}
-
-/// Reads the experiment seed from `--seed N` or the `SEED` env var
-/// (default 42).
-pub fn arg_seed() -> u64 {
-    let args: Vec<String> = std::env::args().collect();
-    for w in args.windows(2) {
-        if w[0] == "--seed" {
-            if let Ok(s) = w[1].parse() {
-                return s;
-            }
-        }
-    }
-    std::env::var("SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42)
-}
-
-/// True when `BENCH_QUICK=1` — experiments shrink their sweeps for smoke
-/// runs (CI) while keeping the full sweep the default.
-pub fn quick_mode() -> bool {
-    std::env::var("BENCH_QUICK")
-        .map(|v| v == "1")
-        .unwrap_or(false)
 }
 
 /// Default world config for experiments, seeded.

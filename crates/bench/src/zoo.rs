@@ -42,6 +42,16 @@ pub fn mixed(parts: &[(ModelSpec, usize)], n: usize) -> Vec<ModelSpec> {
     out
 }
 
+/// The 1:1:1 3B/7B/13B popularity mix the §III-C motivation figures host
+/// on four A100s.
+pub fn paper_mix() -> [(ModelSpec, usize); 3] {
+    [
+        (ModelSpec::llama3_2_3b(), 1),
+        (ModelSpec::llama2_7b(), 1),
+        (ModelSpec::llama2_13b(), 1),
+    ]
+}
+
 /// The paper's three size-class bases.
 pub fn size_bases() -> [(&'static str, ModelSpec); 3] {
     [

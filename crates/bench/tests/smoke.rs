@@ -1,25 +1,92 @@
-//! Smoke test for the figure binaries: build and run one cheap experiment
-//! end-to-end so the 26 figure binaries can't silently rot.
+//! Smoke coverage for the whole experiment suite.
 //!
-//! `CARGO_BIN_EXE_*` makes cargo build the binary before this test runs;
-//! every other figure binary shares the same `bench::runner`/`report`
-//! machinery, so one representative run catches harness-level breakage.
+//! The registry makes the 26 experiments enumerable, so instead of running
+//! one representative binary and hoping the rest share enough machinery,
+//! this suite runs *every* registered experiment in-process under
+//! `--quick --threads 2` and checks the report invariants. Subprocess
+//! tests keep the binary stubs and the strict CLI honest.
 
+use bench::cli::Cli;
+use bench::{registry, REGISTRY};
 use std::process::Command;
 
+fn quick_cli() -> Cli {
+    Cli {
+        seed: 7,
+        quick: true,
+        threads: 2,
+        json: false,
+    }
+}
+
+/// Every registered experiment runs under quick mode on 2 workers and
+/// produces a titled report plus at least one JSON blob named after the
+/// experiment.
 #[test]
-fn fig04_runs_end_to_end() {
+fn every_registered_experiment_runs_quick() {
+    let cli = quick_cli();
+    for exp in REGISTRY {
+        let report = registry::run_experiment(exp, &cli);
+        let text = report.text();
+        assert!(
+            text.starts_with("\n=== "),
+            "{}: report must open with a section header:\n{text}",
+            exp.name
+        );
+        // Every report renders at least one table (the separator row is
+        // the cheapest fingerprint). Paper notes are asserted on the
+        // subprocess runs: some experiments only annotate full sweeps.
+        assert!(
+            text.contains("\n---"),
+            "{}: missing rendered table:\n{text}",
+            exp.name
+        );
+        assert!(
+            report.dumps().iter().any(|(name, _)| name == exp.name),
+            "{}: missing JSON blob named after the experiment",
+            exp.name
+        );
+        for (_, blob) in report.dumps() {
+            let t = blob.trim_start();
+            assert!(
+                t.starts_with('[') || t.starts_with('{'),
+                "{}: JSON blob must be an array or object:\n{blob}",
+                exp.name
+            );
+        }
+    }
+}
+
+/// Quick-mode fig04 sweeps two model counts; the blob mirrors that.
+#[test]
+fn fig04_quick_blob_has_one_entry_per_point() {
+    let exp = bench::find("fig04_sllm_capacity").expect("registered");
+    let report = registry::run_experiment(exp, &quick_cli());
+    let blob = &report
+        .dumps()
+        .iter()
+        .find(|(n, _)| n == "fig04_sllm_capacity")
+        .expect("dumped")
+        .1;
+    assert_eq!(
+        top_level_entries(blob),
+        2,
+        "one entry per sweep point:\n{blob}"
+    );
+}
+
+/// The binary stub wires argv → CLI → registry → stdout + results/ dump.
+#[test]
+fn fig04_binary_runs_end_to_end() {
     let exe = env!("CARGO_BIN_EXE_fig04_sllm_capacity");
     // Unique per process so concurrent `cargo test` runs don't race on it.
     let tmp = std::env::temp_dir().join(format!("slinfer-smoke-fig04-{}", std::process::id()));
-    // Start from a clean scratch dir: dump_json is best-effort, so a stale
-    // results file from a previous run could otherwise mask a broken dump.
+    // Start from a clean scratch dir: the results dump is best-effort, so a
+    // stale file from a previous run could otherwise mask a broken dump.
     let _ = std::fs::remove_dir_all(&tmp);
     std::fs::create_dir_all(&tmp).expect("create smoke workdir");
     let out = Command::new(exe)
-        .args(["--seed", "7"])
-        .env("BENCH_QUICK", "1")
-        // Run in a scratch dir so the results/ dump doesn't pollute the repo.
+        .args(["--seed", "7", "--quick", "--threads", "2"])
         .current_dir(&tmp)
         .output()
         .expect("figure binary must launch");
@@ -30,30 +97,72 @@ fn fig04_runs_end_to_end() {
         out.status,
         String::from_utf8_lossy(&out.stderr)
     );
-    // The run produced its table and the paper annotation.
     assert!(
         stdout.contains("Fig 4"),
         "missing section header:\n{stdout}"
     );
-    assert!(
-        stdout.contains("SLO rate"),
-        "missing table header:\n{stdout}"
-    );
     assert!(stdout.contains("[paper]"), "missing paper note:\n{stdout}");
-    // And dumped machine-readable results.
     let json = tmp.join("results/fig04_sllm_capacity.json");
     let blob = std::fs::read_to_string(&json).expect("JSON results dumped");
-    assert!(
-        blob.trim_start().starts_with('['),
-        "JSON should be an array"
-    );
-    // Quick mode sweeps two model counts → two top-level entries,
-    // independent of how each entry is serialized.
+    assert_eq!(top_level_entries(&blob), 2, "one entry per sweep point");
+}
+
+/// `BENCH_QUICK=1` keeps working as a CI-compatible fallback for `--quick`.
+#[test]
+fn bench_quick_env_fallback_still_works() {
+    let exe = env!("CARGO_BIN_EXE_fig04_sllm_capacity");
+    let tmp = std::env::temp_dir().join(format!("slinfer-smoke-env-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).expect("create smoke workdir");
+    let out = Command::new(exe)
+        .args(["--seed", "7"])
+        .env("BENCH_QUICK", "1")
+        .current_dir(&tmp)
+        .output()
+        .expect("figure binary must launch");
+    assert!(out.status.success());
+    let blob = std::fs::read_to_string(tmp.join("results/fig04_sllm_capacity.json"))
+        .expect("JSON results dumped");
     assert_eq!(
         top_level_entries(&blob),
         2,
-        "one entry per sweep point:\n{blob}"
+        "env fallback must shrink the sweep"
     );
+}
+
+/// The old harness silently fell back to seed 42 on `--seed foo`; the
+/// unified CLI must reject it loudly instead.
+#[test]
+fn malformed_seed_is_a_hard_error() {
+    let exe = env!("CARGO_BIN_EXE_fig04_sllm_capacity");
+    let out = Command::new(exe)
+        .args(["--seed", "foo"])
+        .output()
+        .expect("binary must launch");
+    assert_eq!(out.status.code(), Some(2), "bad CLI must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--seed") && stderr.contains("foo"),
+        "error must name the flag and the bad value:\n{stderr}"
+    );
+}
+
+/// `bench list` enumerates the full registry; unknown names are errors.
+#[test]
+fn bench_runner_lists_the_registry() {
+    let exe = env!("CARGO_BIN_EXE_bench");
+    let out = Command::new(exe).arg("list").output().expect("launch");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), REGISTRY.len());
+    for exp in REGISTRY {
+        assert!(stdout.contains(exp.name), "missing {}", exp.name);
+    }
+    let bad = Command::new(exe)
+        .args(["run", "fig99_nope"])
+        .output()
+        .expect("launch");
+    assert_eq!(bad.status.code(), Some(2));
 }
 
 /// Counts the direct children of the outermost JSON array (separating

@@ -6,6 +6,13 @@
 //! difference in the output metrics is attributable to scheduling, exactly
 //! like the paper's "all systems use the same inference engines" fairness
 //! rule (§IX-A).
+//!
+//! A run is a pure function of `(cluster, models, cfg, trace)`: all
+//! randomness flows from `cfg.seed` and no global state is consulted, so
+//! the `bench` sweep driver can replay independent cells concurrently on
+//! worker threads and still collect byte-identical results in any order.
+//! Construction is cheap relative to a run (a `World` is vectors and an
+//! empty event heap), so workers build each simulation from scratch.
 
 use engine::instance::IterationKind;
 use engine::request::RunningRequest;

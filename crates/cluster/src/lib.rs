@@ -33,3 +33,24 @@ pub use metrics::{RequestRecord, RunMetrics};
 pub use node::{ClusterSpec, NodeId, NodeSpec};
 pub use policy::Policy;
 pub use world::{MemError, World, WorldConfig};
+
+// The bench sweep driver fans independent simulations out across worker
+// threads: each cell's Simulation (world + policy) is built and consumed
+// on one worker and only the RunMetrics travel back to the collector.
+// These checks keep that contract: a non-Send field (Rc, RefCell, raw
+// pointer) sneaking into the world or metrics would stop the whole figure
+// suite from parallelizing.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<RunMetrics>();
+    assert_send::<World>();
+    assert_send::<ClusterSpec>();
+    assert_send::<WorldConfig>();
+};
+
+/// Compile-time witness that a simulation over any `Send` policy can move
+/// to a worker thread.
+#[allow(dead_code)]
+fn simulation_is_send<P: Policy + Send>(s: Simulation<P>) -> impl Send {
+    s
+}

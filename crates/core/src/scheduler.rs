@@ -11,7 +11,7 @@
 //! scheduling (Eq. 1, Fig. 14); KV grants ride the watermark policy through
 //! the optimistic/pessimistic orchestrator.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use cluster::{MemError, NodeId, Policy, World};
 use engine::instance::{InstanceId, InstanceState, IterationKind};
@@ -47,8 +47,11 @@ pub struct Slinfer {
     timers: HashSet<RequestId>,
     /// When each slot's in-flight iteration ends (shadow start times).
     busy_until: HashMap<(u32, usize), SimTime>,
-    /// Approved scale ops waiting for their instance to be free.
-    wanted_scale: HashMap<InstanceId, u64>,
+    /// Approved scale ops waiting for their instance to be free. Ordered:
+    /// [`Self::try_issue_wanted`] iterates this map, and issue order must
+    /// not depend on hash randomness or replays stop being byte-identical
+    /// across processes.
+    wanted_scale: BTreeMap<InstanceId, u64>,
     /// Scale ops issued to the engine and still in flight (target grant).
     issued_scale: HashMap<InstanceId, u64>,
     /// Expected activation time of loading instances (for validation).
@@ -74,7 +77,7 @@ impl Slinfer {
             queue: Vec::new(),
             timers: HashSet::new(),
             busy_until: HashMap::new(),
-            wanted_scale: HashMap::new(),
+            wanted_scale: BTreeMap::new(),
             issued_scale: HashMap::new(),
             expected_active: HashMap::new(),
             prefill_insts: HashSet::new(),

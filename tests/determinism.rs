@@ -1,25 +1,38 @@
 //! Determinism regression suite: the simulator must be a pure function of
 //! (trace, seed). Two runs with the same root seed produce byte-identical
-//! `RunMetrics`; different seeds diverge.
+//! `RunMetrics`; different seeds diverge; and the parallel sweep driver
+//! must return exactly what a serial run returns.
 //!
 //! This property is what makes every figure binary reproducible and is
 //! load-bearing for debugging: any failure here means nondeterministic
 //! iteration order (e.g. hashing) or clock leakage crept into the stack.
+//! (PR 2 caught exactly that: scale-op issue order leaked HashMap
+//! randomness, so the same binary produced different SLINFER numbers in
+//! different processes.)
 
 use bench::runner::{world_cfg, System};
+use bench::sweep::{Scenario, Sweep};
 use bench::zoo;
-use cluster::RunMetrics;
+use cluster::{ClusterSpec, RunMetrics};
 use hwmodel::ModelSpec;
 use slinfer::SlinferConfig;
 use workload::serverless::TraceSpec;
 
-fn run_once(seed: u64) -> RunMetrics {
+/// A harder workload than the SLINFER smoke scenario: enough load on a
+/// small cluster that baselines queue, drop, and retry — the paths where
+/// iteration-order bugs hide.
+fn run_system(sys: &System, cluster: &ClusterSpec, seed: u64) -> RunMetrics {
     // Noise stays ON (the default): determinism must hold because noise is
     // drawn from the seeded stream, not because noise is disabled.
     let trace = TraceSpec::azure_like(8, 5).with_load_scale(0.5).generate();
     let models = zoo::replicas(&ModelSpec::llama2_7b(), 8);
+    sys.run(cluster, models, world_cfg(seed), &trace)
+}
+
+fn run_once(seed: u64) -> RunMetrics {
     let sys = System::Slinfer(SlinferConfig::default());
-    sys.run(&sys.cluster(1, 1, &models), models, world_cfg(seed), &trace)
+    let models = zoo::replicas(&ModelSpec::llama2_7b(), 8);
+    run_system(&sys, &sys.cluster(1, 1, &models), seed)
 }
 
 /// Byte-exact projection of everything a run measures. `Debug` for `f64`
@@ -93,4 +106,97 @@ fn different_seeds_diverge() {
         fingerprint(&mut b),
         "different world seeds should perturb the run"
     );
+}
+
+#[test]
+fn baseline_policies_replay_byte_identically() {
+    // The whole `sllm` family: exclusive GPUs, CPU-preferring, and the
+    // statically split variant (heterogeneous cluster form).
+    for sys in [System::Sllm, System::SllmC, System::SllmCs] {
+        let models = zoo::replicas(&ModelSpec::llama2_7b(), 8);
+        let cluster = sys.cluster(1, 1, &models);
+        let mut a = run_system(&sys, &cluster, 42);
+        let mut b = run_system(&sys, &cluster, 42);
+        assert_eq!(
+            fingerprint(&mut a),
+            fingerprint(&mut b),
+            "{} must replay byte-identically",
+            sys.name()
+        );
+    }
+}
+
+#[test]
+fn statically_shared_cluster_replays_byte_identically() {
+    // Half-node slots exercise the slot-share paths (concurrency limits,
+    // per-slot grants) that whole-node runs never touch.
+    let cluster = ClusterSpec::statically_shared(1, 2);
+    for sys in [System::SllmCs, System::Slinfer(SlinferConfig::default())] {
+        let mut a = run_system(&sys, &cluster, 42);
+        let mut b = run_system(&sys, &cluster, 42);
+        assert_eq!(
+            fingerprint(&mut a),
+            fingerprint(&mut b),
+            "{} on a statically shared cluster must replay byte-identically",
+            sys.name()
+        );
+    }
+}
+
+#[test]
+fn pd_baselines_replay_byte_identically() {
+    for sys in [System::PdSllmCs, System::PdSlinfer] {
+        let models = zoo::replicas(&ModelSpec::llama2_7b(), 8);
+        let cluster = sys.cluster(2, 2, &models);
+        let mut a = run_system(&sys, &cluster, 42);
+        let mut b = run_system(&sys, &cluster, 42);
+        assert_eq!(
+            fingerprint(&mut a),
+            fingerprint(&mut b),
+            "{} must replay byte-identically",
+            sys.name()
+        );
+    }
+}
+
+/// The (point × system × seed) grid of a small end-to-end sweep, run
+/// serially and on 4 workers: every cell must match bit-for-bit, in the
+/// same axis order. This is the property that makes `--threads N` safe for
+/// every figure binary.
+#[test]
+fn parallel_sweep_equals_serial_bit_for_bit() {
+    let build = || {
+        Sweep::new()
+            .points(vec![4u32, 8])
+            .systems(vec![
+                System::Sllm,
+                System::SllmCs,
+                System::Slinfer(SlinferConfig::default()),
+            ])
+            .seeds(vec![42, 43])
+            .scenario(|cx| {
+                let models = zoo::replicas(&ModelSpec::llama2_7b(), *cx.point as usize);
+                Scenario {
+                    cluster: cx.system.cluster(1, 1, &models),
+                    models,
+                    cfg: world_cfg(cx.seed),
+                    trace: TraceSpec::azure_like(*cx.point, 5)
+                        .with_load_scale(0.3)
+                        .generate(),
+                }
+            })
+    };
+    let mut serial = build().run(1);
+    let mut parallel = build().run(4);
+    for p in 0..2 {
+        for s in 0..3 {
+            for k in 0..2 {
+                assert_eq!(
+                    fingerprint(serial.metrics_mut(p, s, k)),
+                    fingerprint(parallel.metrics_mut(p, s, k)),
+                    "cell ({p},{s},{k}) diverged between serial and parallel runs"
+                );
+            }
+        }
+    }
 }
