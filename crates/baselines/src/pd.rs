@@ -48,6 +48,9 @@ impl PdSllm {
     fn free_slots(&self, w: &World, model: ModelId) -> Vec<(u8, NodeId, usize)> {
         let mut slots = Vec::new();
         for node in w.node_ids() {
+            if !w.node_schedulable(node) {
+                continue;
+            }
             let hw = w.node_hw(node);
             if !hw.can_serve(w.model_spec(model)) {
                 continue;
@@ -138,7 +141,7 @@ impl PdSllm {
     }
 
     fn enqueue(&mut self, w: &mut World, rr: RunningRequest) {
-        let deadline = rr.next_deadline(&w.slo());
+        let deadline = rr.next_deadline(&w.slo_for(&rr.req));
         if w.now() >= deadline {
             w.drop_request(&rr);
             return;
@@ -150,9 +153,8 @@ impl PdSllm {
     }
 
     fn retry_queue(&mut self, w: &mut World) {
-        let slo = w.slo();
         for rr in std::mem::take(&mut self.queue) {
-            if w.now() >= rr.next_deadline(&slo) {
+            if w.now() >= rr.next_deadline(&w.slo_for(&rr.req)) {
                 w.drop_request(&rr);
             } else if !self.try_place_prefill(w, &rr) {
                 self.queue.push(rr);
@@ -244,13 +246,13 @@ impl Policy for PdSllm {
             let Some(rr) = self.pending.remove(&key) else {
                 return;
             };
-            let slo = w.slo();
             match self.try_place_decode(w, rr) {
                 Ok(()) => {}
                 Err(rr) => {
                     // No decode capacity yet: back off briefly, give up when
                     // hopeless (well past the running deadline).
-                    let hopeless = w.now() > rr.next_deadline(&slo) + SimDuration::from_secs(10);
+                    let hopeless = w.now()
+                        > rr.next_deadline(&w.slo_for(&rr.req)) + SimDuration::from_secs(10);
                     if hopeless {
                         w.drop_request(&rr);
                     } else {
@@ -263,10 +265,9 @@ impl Policy for PdSllm {
         }
         let id = RequestId(payload);
         self.timers.remove(&id);
-        let slo = w.slo();
         let now = w.now();
         for rr in std::mem::take(&mut self.queue) {
-            if rr.req.id == id && now >= rr.next_deadline(&slo) {
+            if rr.req.id == id && now >= rr.next_deadline(&w.slo_for(&rr.req)) {
                 w.drop_request(&rr);
             } else {
                 self.queue.push(rr);
@@ -281,7 +282,7 @@ mod tests {
     use cluster::{ClusterSpec, Simulation, WorldConfig};
     use hwmodel::{ModelSpec, NoiseModel};
     use simcore::time::SimTime;
-    use workload::request::{Request, Trace};
+    use workload::request::{Request, SloClass, Trace};
 
     fn quiet() -> WorldConfig {
         WorldConfig {
@@ -301,6 +302,7 @@ mod tests {
                 arrival: SimTime::from_millis(ms),
                 input_len: inp,
                 output_len: out,
+                class: SloClass::default(),
             })
             .collect();
         Trace::new(requests, n_models, SimDuration::from_secs(60))

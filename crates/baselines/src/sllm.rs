@@ -80,6 +80,9 @@ impl Sllm {
     }
 
     fn node_usable(&self, w: &World, node: NodeId, model: workload::request::ModelId) -> bool {
+        if !w.node_schedulable(node) {
+            return false;
+        }
         let hw = w.node_hw(node);
         if hw.kind.is_cpu() && !self.cfg.use_cpu {
             return false;
@@ -102,6 +105,9 @@ impl Sllm {
     fn free_slots(&self, w: &World) -> Vec<(u8, NodeId, usize)> {
         let mut slots: Vec<(u8, NodeId, usize)> = Vec::new();
         for node in w.node_ids() {
+            if !w.node_schedulable(node) {
+                continue;
+            }
             let rank = if w.node_hw(node).kind.is_cpu() {
                 0u8
             } else {
@@ -136,6 +142,9 @@ impl Sllm {
             .into_iter()
             .filter_map(|id| {
                 let (node, _) = w.instance_placement(id)?;
+                if !w.node_schedulable(node) {
+                    return None;
+                }
                 let rank = if w.node_hw(node).kind.is_cpu() {
                     0u8
                 } else {
@@ -206,7 +215,7 @@ impl Sllm {
     }
 
     fn enqueue(&mut self, w: &mut World, rr: RunningRequest) {
-        let deadline = rr.next_deadline(&w.slo());
+        let deadline = rr.next_deadline(&w.slo_for(&rr.req));
         if w.now() >= deadline {
             w.drop_request(&rr);
             return;
@@ -235,13 +244,12 @@ impl Sllm {
         if self.queue.is_empty() {
             return;
         }
-        let slo = w.slo();
         // Built lazily: a pass that only admits to existing instances (or
         // only drops) never scans the cluster at all.
         let mut free: Option<Vec<(u8, NodeId, usize)>> = None;
         let mut full_models: HashSet<ModelId> = HashSet::new();
         for rr in std::mem::take(&mut self.queue) {
-            if w.now() >= rr.next_deadline(&slo) {
+            if w.now() >= rr.next_deadline(&w.slo_for(&rr.req)) {
                 w.drop_request(&rr);
             } else if full_models.contains(&rr.req.model) {
                 self.queue.push(rr);
@@ -318,14 +326,13 @@ impl Policy for Sllm {
         // the longest-headroom request back to the queue (vLLM's
         // preempt-and-recompute).
         let now = w.now();
-        let slo = w.slo();
         let victim = w.instance(inst).and_then(|i| {
             i.requests()
                 .iter()
                 .filter(|r| !matches!(r.phase, ReqPhase::Prefilling))
                 .max_by(|a, b| {
-                    a.headroom(now, &slo)
-                        .partial_cmp(&b.headroom(now, &slo))
+                    a.headroom(now, &w.slo_for(&a.req))
+                        .partial_cmp(&b.headroom(now, &w.slo_for(&b.req)))
                         .unwrap()
                 })
                 .map(|r| r.req.id)
@@ -356,12 +363,11 @@ impl Policy for Sllm {
     fn on_timer(&mut self, w: &mut World, payload: u64) {
         let id = RequestId(payload);
         self.timers.remove(&id);
-        let slo = w.slo();
         let now = w.now();
         // Drop in place (keeping FIFO order) instead of rebuilding the
         // whole queue for every expired timer.
         if let Some(pos) = self.queue.iter().position(|rr| rr.req.id == id) {
-            if now >= self.queue[pos].next_deadline(&slo) {
+            if now >= self.queue[pos].next_deadline(&w.slo_for(&self.queue[pos].req)) {
                 let rr = self.queue.remove(pos);
                 w.drop_request(&rr);
             }
@@ -392,7 +398,7 @@ mod tests {
     use cluster::{ClusterSpec, Simulation, WorldConfig};
     use hwmodel::{ModelSpec, NoiseModel};
     use simcore::time::{SimDuration, SimTime};
-    use workload::request::{ModelId, Request, Trace};
+    use workload::request::{ModelId, Request, SloClass, Trace};
 
     fn models(n: usize) -> Vec<ModelSpec> {
         (0..n).map(|i| ModelSpec::llama2_7b().replica(i)).collect()
@@ -416,6 +422,7 @@ mod tests {
                 arrival: SimTime::from_millis(ms),
                 input_len: inp,
                 output_len: out,
+                class: SloClass::default(),
             })
             .collect();
         Trace::new(requests, n_models, SimDuration::from_secs(60))

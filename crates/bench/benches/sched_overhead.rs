@@ -35,6 +35,7 @@ fn node_views(q: &Quantifier, instances: usize, batch: usize) -> Vec<InstView<'_
             reqs: (0..batch)
                 .map(|k| ShadowReq {
                     anchor: SimTime::from_secs((i + k) as u64 % 7),
+                    slo: Slo::paper(),
                     input_len: 1024,
                     tokens_done: 20 + k as u32,
                     prefill_len: 1024,
@@ -47,7 +48,6 @@ fn node_views(q: &Quantifier, instances: usize, batch: usize) -> Vec<InstView<'_
 
 fn bench_shadow_validation(c: &mut Criterion) {
     let q = quantifier();
-    let slo = Slo::paper();
     let mut group = c.benchmark_group("shadow_validation");
     for &instances in &[2usize, 4, 8] {
         group.bench_with_input(
@@ -58,20 +58,14 @@ fn bench_shadow_validation(c: &mut Criterion) {
                     let mut views = node_views(&q, instances, 8);
                     views[0].reqs.push(ShadowReq {
                         anchor: SimTime::from_secs(30),
+                        slo: Slo::paper(),
                         input_len: 1024,
                         tokens_done: 0,
                         prefill_len: 1024,
                         waiting: true,
                     });
                     let cand = views[0].reqs.len() - 1;
-                    black_box(validate(
-                        &mut views,
-                        0,
-                        cand,
-                        SimTime::from_secs(30),
-                        &slo,
-                        1.1,
-                    ))
+                    black_box(validate(&mut views, 0, cand, SimTime::from_secs(30), 1.1))
                 })
             },
         );

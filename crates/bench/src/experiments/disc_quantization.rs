@@ -23,14 +23,11 @@ pub fn run(cli: &Cli, r: &mut Report) {
             let (_, precision) = cx.point;
             let base = ModelSpec::codestral_22b().with_precision(*precision);
             let models = zoo::replicas(&base, n_models as usize);
-            Scenario {
-                cluster: cx.system.cluster(4, 6, &models),
-                models,
-                cfg: world_cfg(cx.seed),
-                trace: TraceSpec::azure_like(n_models, seed).generate(),
-            }
+            Scenario::new(cx.system.cluster(4, 6, &models), models)
+                .config(world_cfg(cx.seed))
+                .workload(TraceSpec::azure_like(n_models, seed).generate())
         })
-        .run(cli.worker_threads());
+        .run_cli(cli);
 
     r.section(&format!("§X — INT4 quantization, {n_models} 22B models"));
     let mut table = Table::new(&["precision", "GPU nodes used", "SLO rate", "cold starts"]);

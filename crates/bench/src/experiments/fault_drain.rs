@@ -1,0 +1,124 @@
+//! Node-drain / node-failure resilience sweep (scenario suite).
+//!
+//! Injects a lifecycle event into an otherwise-standard azure-like run via
+//! the `Scenario` environment axis: mid-trace, one GPU node either drains
+//! gracefully (instances evicted, requests rerouted) or fails hard
+//! (instances and in-flight iterations lost). The paper's fleets never
+//! churn; this sweep measures how much attainment each scheduler gives
+//! back when they do, and whether anything is lost outright.
+//!
+//! SLINFER reroutes parked scale-ops and queued requests off the retiring
+//! node (`Slinfer::on_node_event`); baselines get the default
+//! evict-and-requeue behavior.
+
+use crate::cli::Cli;
+use crate::report::{f, Report, Table};
+use crate::runner::{world_cfg, System, SystemResult};
+use crate::sweep::{Scenario, Sweep};
+use crate::zoo;
+use cluster::NodeId;
+use hwmodel::ModelSpec;
+use simcore::time::SimTime;
+use slinfer::SlinferConfig;
+use workload::serverless::TraceSpec;
+
+/// Fault arms of the sweep.
+#[derive(Clone, Copy, PartialEq)]
+enum Fault {
+    None,
+    Drain,
+    Fail,
+}
+
+impl Fault {
+    fn label(self) -> &'static str {
+        match self {
+            Fault::None => "baseline",
+            Fault::Drain => "drain",
+            Fault::Fail => "fail",
+        }
+    }
+}
+
+const N_CPU: usize = 2;
+
+pub fn run(cli: &Cli, r: &mut Report) {
+    let seed = cli.seed;
+    let n_models: u32 = if cli.quick { 12 } else { 32 };
+    let faults = vec![Fault::None, Fault::Drain, Fault::Fail];
+    // The event lands at 40% of the 30-minute window — deep enough that
+    // the victim node hosts warm instances.
+    let event_at = SimTime::from_secs(12 * 60);
+
+    let res = Sweep::new()
+        .points(faults)
+        .systems(vec![
+            System::SllmC,
+            System::Slinfer(SlinferConfig::default()),
+        ])
+        .seeds(vec![seed])
+        .scenario(|cx| {
+            let models = zoo::replicas(&ModelSpec::llama2_7b(), n_models as usize);
+            let sc = Scenario::new(cx.system.cluster(N_CPU, 2, &models), models)
+                .config(world_cfg(cx.seed))
+                .workload(TraceSpec::azure_like(n_models, seed).generate());
+            // The first GPU node sits right after the CPU block.
+            let victim = NodeId(N_CPU as u32);
+            match cx.point {
+                Fault::None => sc,
+                Fault::Drain => sc.drain_at(event_at, victim),
+                Fault::Fail => sc.fail_at(event_at, victim),
+            }
+        })
+        .run_cli(cli);
+
+    r.section(&format!(
+        "Fault resilience — {n_models} 7B models, GPU node retires mid-trace"
+    ));
+    let mut table = Table::new(&[
+        "fault",
+        "system",
+        "SLO-met",
+        "total",
+        "rate",
+        "dropped",
+        "migrated reqs",
+        "cold starts",
+    ]);
+    let mut results = Vec::new();
+    let mut baseline_met = vec![0usize; res.systems.len()];
+    for (pi, fault) in res.points.iter().enumerate() {
+        for (si, baseline) in baseline_met.iter_mut().enumerate() {
+            let m = res.metrics(pi, si, 0);
+            let label = format!("{}@{}", res.systems[si].name(), fault.label());
+            let sr = SystemResult::from_metrics(label, m);
+            if *fault == Fault::None {
+                *baseline = sr.slo_met;
+            }
+            table.row(&[
+                fault.label().to_string(),
+                res.systems[si].name(),
+                sr.slo_met.to_string(),
+                sr.total.to_string(),
+                f(sr.slo_rate, 3),
+                sr.dropped.to_string(),
+                m.migrated_requests().to_string(),
+                sr.cold_starts.to_string(),
+            ]);
+            results.push((fault.label(), sr));
+        }
+    }
+    r.table(&table);
+    for (si, baseline) in baseline_met.iter().enumerate() {
+        let fail_m = res.metrics(2, si, 0);
+        let retained = 100.0 * fail_m.slo_met() as f64 / (*baseline).max(1) as f64;
+        r.line(format!(
+            "{}: retains {:.0}% of baseline SLO-met through a hard GPU failure",
+            res.systems[si].name(),
+            retained
+        ));
+    }
+    r.paper_note("scenario suite: graceful drains should cost little; hard failures");
+    r.paper_note("lose in-flight work but every surviving request must re-place or drop");
+    r.dump_json("fault_drain", &results);
+}

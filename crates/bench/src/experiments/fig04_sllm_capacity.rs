@@ -26,14 +26,11 @@ pub fn run(cli: &Cli, r: &mut Report) {
         .seeds(vec![seed])
         .scenario(|cx| {
             let models = zoo::mixed(&parts, *cx.point as usize);
-            Scenario {
-                cluster: cx.system.cluster(0, 4, &models),
-                models,
-                cfg: world_cfg(cx.seed),
-                trace: TraceSpec::azure_like(*cx.point, seed).generate(),
-            }
+            Scenario::new(cx.system.cluster(0, 4, &models), models)
+                .config(world_cfg(cx.seed))
+                .workload(TraceSpec::azure_like(*cx.point, seed).generate())
         })
-        .run(cli.worker_threads());
+        .run_cli(cli);
 
     r.section("Fig 4 — sllm SLO rate vs number of LLMs (4 GPUs, 3B/7B/13B mix)");
     let mut table = Table::new(&["models", "SLO rate", "dropped", "total"]);

@@ -40,14 +40,11 @@ pub fn run(cli: &Cli, r: &mut Report) {
         .scenario(|cx| {
             let (_, base, n_models) = cx.point;
             let models = zoo::replicas(base, *n_models as usize);
-            Scenario {
-                cluster: cx.system.cluster(4, 4, &models),
-                models,
-                cfg: world_cfg(cx.seed),
-                trace: TraceSpec::azure_like(*n_models, seed).generate(),
-            }
+            Scenario::new(cx.system.cluster(4, 4, &models), models)
+                .config(world_cfg(cx.seed))
+                .workload(TraceSpec::azure_like(*n_models, seed).generate())
         })
-        .run(cli.worker_threads());
+        .run_cli(cli);
 
     let mut all_results = Vec::new();
     for (pi, (size_name, _, n_models)) in res.points.iter().enumerate() {

@@ -38,17 +38,17 @@ pub fn run(cli: &Cli, r: &mut Report) {
         .scenario(|cx| {
             let &(added, arm) = cx.point;
             let models = zoo::replicas(&ModelSpec::llama2_7b(), n_models as usize);
-            Scenario {
-                cluster: match arm {
+            Scenario::new(
+                match arm {
                     Arm::AddCpu => ClusterSpec::heterogeneous(added, 2),
                     Arm::AddGpu => ClusterSpec::heterogeneous(0, 2 + added),
                 },
                 models,
-                cfg: world_cfg(cx.seed),
-                trace: TraceSpec::azure_like(n_models, seed).generate(),
-            }
+            )
+            .config(world_cfg(cx.seed))
+            .workload(TraceSpec::azure_like(n_models, seed).generate())
         })
-        .run(cli.worker_threads());
+        .run_cli(cli);
 
     r.section(&format!(
         "Fig 24 — CPU scalability, {n_models} 7B models, base 2 GPUs"

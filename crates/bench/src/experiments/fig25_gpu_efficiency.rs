@@ -32,14 +32,11 @@ pub fn run(cli: &Cli, r: &mut Report) {
         .seeds(vec![seed])
         .scenario(|cx| {
             let models = zoo::mixed(&parts, *cx.point as usize);
-            Scenario {
-                cluster: cx.system.cluster(4, 4, &models),
-                models,
-                cfg: world_cfg(cx.seed),
-                trace: TraceSpec::azure_like(*cx.point, seed).generate(),
-            }
+            Scenario::new(cx.system.cluster(4, 4, &models), models)
+                .config(world_cfg(cx.seed))
+                .workload(TraceSpec::azure_like(*cx.point, seed).generate())
         })
-        .run(cli.worker_threads());
+        .run_cli(cli);
 
     r.section(&format!(
         "Fig 25 — GPU efficiency, {n_models} models (3B:7B:13B = 2:2:2)"

@@ -55,14 +55,11 @@ pub fn run(cli: &Cli, r: &mut Report) {
         .scenario(|cx| {
             let (_, ratio) = cx.point;
             let models = mix_models(ratio, n_models);
-            Scenario {
-                cluster: cx.system.cluster(4, 6, &models),
-                models,
-                cfg: world_cfg(cx.seed),
-                trace: TraceSpec::azure_like(n_models, seed).generate(),
-            }
+            Scenario::new(cx.system.cluster(4, 6, &models), models)
+                .config(world_cfg(cx.seed))
+                .workload(TraceSpec::azure_like(n_models, seed).generate())
         })
-        .run(cli.worker_threads());
+        .run_cli(cli);
 
     r.section(&format!(
         "Fig 26 — mixed deployment, {n_models} models, 4 CPU + 6 GPU"

@@ -26,14 +26,11 @@ pub fn run(cli: &Cli, r: &mut Report) {
         .seeds(vec![seed])
         .scenario(|cx| {
             let models = zoo::replicas(&ModelSpec::llama2_7b(), 64);
-            Scenario {
-                cluster: cx.system.cluster(4, 4, &models),
-                models,
-                cfg: world_cfg(cx.seed),
-                trace: BurstGptSpec::paper(*cx.point, seed).generate(),
-            }
+            Scenario::new(cx.system.cluster(4, 4, &models), models)
+                .config(world_cfg(cx.seed))
+                .workload(BurstGptSpec::paper(*cx.point, seed).generate())
         })
-        .run(cli.worker_threads());
+        .run_cli(cli);
 
     r.section("Fig 27 — BurstGPT load sweep (64 models, Pareto spread)");
     let mut table = Table::new(&[

@@ -53,14 +53,14 @@ pub fn run(cli: &Cli, r: &mut Report) {
                 // SLINFER: harvested cores as whole fractional CPU nodes.
                 _ => ClusterSpec::heterogeneous(0, 4).with_harvested_cpus(4, cores),
             };
-            Scenario {
+            Scenario::new(
                 cluster,
-                models: zoo::replicas(&ModelSpec::llama2_7b(), n_models as usize),
-                cfg: world_cfg(cx.seed),
-                trace: TraceSpec::azure_like(n_models, seed).generate(),
-            }
+                zoo::replicas(&ModelSpec::llama2_7b(), n_models as usize),
+            )
+            .config(world_cfg(cx.seed))
+            .workload(TraceSpec::azure_like(n_models, seed).generate())
         })
-        .run(cli.worker_threads());
+        .run_cli(cli);
 
     r.section(&format!(
         "Fig 29 — harvested cores, {n_models} 7B models, 4 GPUs"

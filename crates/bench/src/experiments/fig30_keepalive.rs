@@ -30,14 +30,11 @@ pub fn run(cli: &Cli, r: &mut Report) {
             let models = zoo::replicas(&ModelSpec::llama2_7b(), n_models as usize);
             let mut cfg = world_cfg(cx.seed);
             cfg.keep_alive = SimDuration::from_secs(*cx.point);
-            Scenario {
-                cluster: cx.system.cluster(4, 4, &models),
-                models,
-                cfg,
-                trace: TraceSpec::azure_like(n_models, seed).generate(),
-            }
+            Scenario::new(cx.system.cluster(4, 4, &models), models)
+                .config(cfg)
+                .workload(TraceSpec::azure_like(n_models, seed).generate())
         })
-        .run(cli.worker_threads());
+        .run_cli(cli);
 
     r.section(&format!("Fig 30 — keep-alive sweep, {n_models} 7B models"));
     let mut table = Table::new(&[

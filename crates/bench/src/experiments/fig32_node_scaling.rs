@@ -45,14 +45,11 @@ pub fn run(cli: &Cli, r: &mut Report) {
                 (Pt::Headline, 0) => (4, 4),
                 (Pt::Headline, _) => (2, 2),
             };
-            Scenario {
-                cluster: cx.system.cluster(n_cpu, n_gpu, &models),
-                models,
-                cfg: world_cfg(cx.seed),
-                trace: TraceSpec::azure_like(n_models, seed).generate(),
-            }
+            Scenario::new(cx.system.cluster(n_cpu, n_gpu, &models), models)
+                .config(world_cfg(cx.seed))
+                .workload(TraceSpec::azure_like(n_models, seed).generate())
         })
-        .run(cli.worker_threads());
+        .run_cli(cli);
 
     r.section(&format!("Fig 32 — node-count sweep, {n_models} 7B models"));
     let trace_len = TraceSpec::azure_like(n_models, seed).generate().len();

@@ -28,6 +28,7 @@ fn views(q: &Quantifier, instances: usize, batch: usize) -> Vec<InstView<'_>> {
             reqs: (0..batch)
                 .map(|k| ShadowReq {
                     anchor: SimTime::from_secs((i + k) as u64 % 7),
+                    slo: Slo::paper(),
                     input_len: 1024,
                     tokens_done: 20 + k as u32,
                     prefill_len: 1024,
@@ -62,13 +63,14 @@ pub fn run(_cli: &Cli, r: &mut Report) {
             let mut v = views(&q, nodes, 8);
             v[0].reqs.push(ShadowReq {
                 anchor: SimTime::from_secs(30),
+                slo: Slo::paper(),
                 input_len: 1024,
                 tokens_done: 0,
                 prefill_len: 1024,
                 waiting: true,
             });
             let cand = v[0].reqs.len() - 1;
-            std::hint::black_box(validate(&mut v, 0, cand, SimTime::from_secs(30), &slo, 1.1));
+            std::hint::black_box(validate(&mut v, 0, cand, SimTime::from_secs(30), 1.1));
         }
         let shadow_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
 

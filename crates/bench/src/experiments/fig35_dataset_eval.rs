@@ -29,16 +29,15 @@ pub fn run(cli: &Cli, r: &mut Report) {
         .seeds(vec![seed])
         .scenario(|cx| {
             let models = zoo::replicas(&ModelSpec::llama3_1_8b(), n_models as usize);
-            Scenario {
-                cluster: cx.system.cluster(4, 4, &models),
-                models,
-                cfg: world_cfg(cx.seed),
-                trace: TraceSpec::azure_like(n_models, seed)
-                    .with_dataset(*cx.point)
-                    .generate(),
-            }
+            Scenario::new(cx.system.cluster(4, 4, &models), models)
+                .config(world_cfg(cx.seed))
+                .workload(
+                    TraceSpec::azure_like(n_models, seed)
+                        .with_dataset(*cx.point)
+                        .generate(),
+                )
         })
-        .run(cli.worker_threads());
+        .run_cli(cli);
 
     r.section(&format!("Fig 35 — dataset sweep, {n_models} 8B models"));
     let mut table = Table::new(&[

@@ -1,4 +1,6 @@
-//! The 26 experiment implementations, one module per paper figure/table.
+//! The experiment implementations: one module per paper figure/table (26)
+//! plus the scenario suite (SLO-class mixes, fault injection, mixed
+//! arrival processes) built on the composable `cluster::Scenario` API.
 //!
 //! Each module exposes `run(&Cli, &mut Report)` and is registered in
 //! [`crate::registry::REGISTRY`]. Simulation experiments declare their grid
@@ -8,6 +10,7 @@
 
 pub mod abl_overestimate;
 pub mod disc_quantization;
+pub mod fault_drain;
 pub mod fig04_sllm_capacity;
 pub mod fig05_sllm_memutil;
 pub mod fig06_ttft_curves;
@@ -29,6 +32,8 @@ pub mod fig32_node_scaling;
 pub mod fig33_sched_overhead;
 pub mod fig34_datasets;
 pub mod fig35_dataset_eval;
+pub mod mixed_arrivals;
+pub mod slo_mix;
 pub mod tab1_xeon_gens;
 pub mod tab2_partition_limits;
 pub mod tab3_pd_disagg;

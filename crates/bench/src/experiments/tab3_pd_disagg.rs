@@ -31,14 +31,11 @@ pub fn run(cli: &Cli, r: &mut Report) {
         .seeds(vec![seed])
         .scenario(|cx| {
             let models = zoo::replicas(&ModelSpec::llama2_7b(), *cx.point as usize);
-            Scenario {
-                cluster: cx.system.cluster(4, 4, &models),
-                models,
-                cfg: world_cfg(cx.seed),
-                trace: TraceSpec::azure_like(*cx.point, seed).generate(),
-            }
+            Scenario::new(cx.system.cluster(4, 4, &models), models)
+                .config(world_cfg(cx.seed))
+                .workload(TraceSpec::azure_like(*cx.point, seed).generate())
         })
-        .run(cli.worker_threads());
+        .run_cli(cli);
 
     r.section("Table III — aggregated vs disaggregated PD");
     let mut table = Table::new(&[

@@ -7,17 +7,21 @@
 //! - [`cli`] — the unified `--seed`/`--quick`/`--threads`/`--json` command
 //!   line every binary accepts (with `SEED`/`BENCH_QUICK` env fallbacks).
 //! - [`sweep`] — the declarative (point × system × seed) [`sweep::Sweep`]
-//!   grid and its parallel, deterministic driver.
+//!   grid and its parallel, deterministic driver (progress/ETA on stderr
+//!   via [`sweep::Sweep::run_cli`]). Cells build a composable
+//!   [`cluster::Scenario`] (fleet × workload × environment) and hand it to
+//!   the system axis.
 //! - [`runner`] — the [`System`] enum (sllm / sllm+c / sllm+c+s / SLINFER /
-//!   PD variants / NEO+) with per-system cluster construction and a single
-//!   `run` entry point, so every experiment exercises every system through
-//!   identical machinery.
+//!   PD variants / NEO+) with per-system cluster construction and the
+//!   single [`runner::System::run_scenario`] entry point, so every
+//!   experiment exercises every system through identical machinery.
 //! - [`report`] — the [`Report`] sink experiments append to (tables,
 //!   prose, paper notes, JSON blobs); presentation is serial and ordered,
 //!   which keeps output byte-identical at any worker count.
 //! - [`registry`] — the experiment registry tooling enumerates, and the
 //!   shared binary entry point [`registry::main_for`].
-//! - [`experiments`] — the 26 experiment implementations.
+//! - [`experiments`] — the 26 paper experiments plus the scenario suite
+//!   (`slo_mix`, `fault_drain`, `mixed_arrivals`).
 //! - [`zoo`] — model-zoo builders (replica zoos, popularity mixes).
 
 pub mod cli;

@@ -152,6 +152,21 @@ pub const REGISTRY: &[Experiment] = &[
         title: "§X discussion — serving INT4-quantized 22B models",
         run: experiments::disc_quantization::run,
     },
+    Experiment {
+        name: "slo_mix",
+        title: "Scenario suite — SLO-class mix sweep (per-class attainment)",
+        run: experiments::slo_mix::run,
+    },
+    Experiment {
+        name: "fault_drain",
+        title: "Scenario suite — node drain/failure resilience",
+        run: experiments::fault_drain::run,
+    },
+    Experiment {
+        name: "mixed_arrivals",
+        title: "Scenario suite — mixed azure-like + BurstGPT arrivals",
+        run: experiments::mixed_arrivals::run,
+    },
 ];
 
 /// Looks an experiment up by name.
@@ -205,8 +220,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_all_26_experiments() {
-        assert_eq!(REGISTRY.len(), 26);
+    fn registry_has_all_experiments() {
+        // 26 paper figures/tables plus the 3 scenario-suite experiments.
+        assert_eq!(REGISTRY.len(), 29);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use baselines::pd::PdSllm;
 use baselines::sllm::{Sllm, SllmConfig};
 use baselines::NeoPlus;
-use cluster::{ClusterSpec, RunMetrics, Simulation, WorldConfig};
+use cluster::{ClusterSpec, RunMetrics, Scenario, WorldConfig};
 use hwmodel::{HardwareKind, ModelSpec};
 use slinfer::{Slinfer, SlinferConfig};
 use workload::request::Trace;
@@ -76,7 +76,58 @@ impl System {
         }
     }
 
-    /// Runs the system on `trace` over `cluster`.
+    /// Runs a composed [`Scenario`] under this system's policy — the single
+    /// run-entry point every experiment goes through. The scenario supplies
+    /// the fleet, workload (SLO-class segments), and environment (lifecycle
+    /// events); the system supplies the policy.
+    ///
+    /// ```
+    /// use bench::runner::world_cfg;
+    /// use bench::{Scenario, System};
+    /// use cluster::NodeId;
+    /// use simcore::time::SimTime;
+    /// use workload::request::Slo;
+    /// use workload::serverless::TraceSpec;
+    ///
+    /// let models = bench::zoo::replicas(&hwmodel::ModelSpec::llama2_7b(), 8);
+    /// let mut sc = Scenario::new(System::SllmC.cluster(1, 1, &models), models)
+    ///     .config(world_cfg(7));
+    /// // Workload axis: a standard segment plus a relaxed batch class.
+    /// let relaxed = sc.slo_class(Slo::relaxed());
+    /// let sc = sc
+    ///     .workload(TraceSpec::azure_like(8, 7).with_load_scale(0.2).generate())
+    ///     .classed_workload(
+    ///         TraceSpec::azure_like(8, 8).with_load_scale(0.2).generate(),
+    ///         relaxed,
+    ///     )
+    ///     // Environment axis: the GPU node drains mid-trace.
+    ///     .drain_at(SimTime::from_secs(600), NodeId(1));
+    /// // System axis: hand the composed run to a policy.
+    /// let m = System::SllmC.run_scenario(sc);
+    /// assert!(m.total() > 0);
+    /// assert_eq!(m.node_drains, 1);
+    /// assert_eq!(m.class_attainment().len(), 2);
+    /// ```
+    pub fn run_scenario(&self, sc: Scenario) -> RunMetrics {
+        match self {
+            System::Sllm => sc.run(Sllm::new(SllmConfig::sllm())),
+            System::SllmC => sc.run(Sllm::new(SllmConfig::sllm_c())),
+            System::SllmCs => sc.run(Sllm::new(SllmConfig::sllm_cs())),
+            System::Slinfer(scfg) => sc.run(Slinfer::new(scfg.clone())),
+            System::PdSllmCs => sc.run(PdSllm::new()),
+            System::PdSlinfer => {
+                let scfg = SlinferConfig {
+                    pd_disaggregate: true,
+                    ..SlinferConfig::default()
+                };
+                sc.run(Slinfer::new(scfg))
+            }
+            System::NeoPlus => sc.run(NeoPlus::policy()),
+        }
+    }
+
+    /// Runs the system on a plain single-segment, event-free workload
+    /// (convenience wrapper over [`System::run_scenario`]).
     pub fn run(
         &self,
         cluster: &ClusterSpec,
@@ -84,29 +135,11 @@ impl System {
         cfg: WorldConfig,
         trace: &Trace,
     ) -> RunMetrics {
-        match self {
-            System::Sllm => {
-                Simulation::new(cluster, models, cfg, Sllm::new(SllmConfig::sllm())).run(trace)
-            }
-            System::SllmC => {
-                Simulation::new(cluster, models, cfg, Sllm::new(SllmConfig::sllm_c())).run(trace)
-            }
-            System::SllmCs => {
-                Simulation::new(cluster, models, cfg, Sllm::new(SllmConfig::sllm_cs())).run(trace)
-            }
-            System::Slinfer(scfg) => {
-                Simulation::new(cluster, models, cfg, Slinfer::new(scfg.clone())).run(trace)
-            }
-            System::PdSllmCs => Simulation::new(cluster, models, cfg, PdSllm::new()).run(trace),
-            System::PdSlinfer => {
-                let scfg = SlinferConfig {
-                    pd_disaggregate: true,
-                    ..SlinferConfig::default()
-                };
-                Simulation::new(cluster, models, cfg, Slinfer::new(scfg)).run(trace)
-            }
-            System::NeoPlus => Simulation::new(cluster, models, cfg, NeoPlus::policy()).run(trace),
-        }
+        self.run_scenario(
+            Scenario::new(cluster.clone(), models)
+                .config(cfg)
+                .workload(trace.clone()),
+        )
     }
 }
 
@@ -140,11 +173,13 @@ pub struct SystemResult {
 }
 
 impl SystemResult {
-    /// Summarizes a run.
-    pub fn from_metrics(system: &System, m: &RunMetrics) -> SystemResult {
+    /// Summarizes a run under an arbitrary row label — callers that are not
+    /// a [`System`] (per-SLO-class rows, fault-variant labels) build rows
+    /// directly without cloning a `System`.
+    pub fn from_metrics(system: impl Into<String>, m: &RunMetrics) -> SystemResult {
         let mut ttft = m.ttft_summary();
         SystemResult {
-            system: system.name(),
+            system: system.into(),
             slo_met: m.slo_met(),
             total: m.total(),
             slo_rate: m.slo_rate(),

@@ -9,27 +9,17 @@
 //! order cells finished: every simulation is a pure function of its
 //! scenario, and presentation happens serially afterwards.
 
+use std::io::IsTerminal;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
-use cluster::{ClusterSpec, RunMetrics, WorldConfig};
-use hwmodel::ModelSpec;
-use workload::request::Trace;
+use cluster::RunMetrics;
 
+use crate::cli::Cli;
 use crate::runner::{System, SystemResult};
 
-/// Everything one grid cell needs to run: the cluster, the model registry,
-/// the world configuration, and the trace to replay.
-pub struct Scenario {
-    /// Cluster the system runs on.
-    pub cluster: ClusterSpec,
-    /// Model registry.
-    pub models: Vec<ModelSpec>,
-    /// World configuration (seed, SLO, noise, keep-alive, ...).
-    pub cfg: WorldConfig,
-    /// Request trace to replay.
-    pub trace: Trace,
-}
+pub use cluster::Scenario;
 
 /// One cell of the sweep grid, handed to the scenario closure.
 pub struct Cx<'a, P> {
@@ -64,14 +54,13 @@ type ScenarioFn<'a, P> = Box<dyn Fn(&Cx<'_, P>) -> Scenario + Sync + 'a>;
 ///     .seeds(vec![5])
 ///     .scenario(|cx| {
 ///         let models = zoo::replicas(&ModelSpec::llama2_7b(), *cx.point as usize);
-///         Scenario {
-///             cluster: cx.system.cluster(0, 1, &models),
-///             models,
-///             cfg: world_cfg(cx.seed),
-///             trace: TraceSpec::azure_like(*cx.point, cx.seed)
-///                 .with_load_scale(0.2)
-///                 .generate(),
-///         }
+///         Scenario::new(cx.system.cluster(0, 1, &models), models)
+///             .config(world_cfg(cx.seed))
+///             .workload(
+///                 TraceSpec::azure_like(*cx.point, cx.seed)
+///                     .with_load_scale(0.2)
+///                     .generate(),
+///             )
 ///     })
 ///     .run(2);
 /// assert_eq!(results.points.len(), 2);
@@ -82,6 +71,7 @@ pub struct Sweep<'a, P> {
     systems: Vec<System>,
     seeds: Vec<u64>,
     scenario: Option<ScenarioFn<'a, P>>,
+    progress: bool,
 }
 
 impl<'a, P> Default for Sweep<'a, P> {
@@ -91,6 +81,7 @@ impl<'a, P> Default for Sweep<'a, P> {
             systems: Vec::new(),
             seeds: Vec::new(),
             scenario: None,
+            progress: false,
         }
     }
 }
@@ -128,6 +119,23 @@ impl<'a, P: Sync> Sweep<'a, P> {
         self
     }
 
+    /// Enables the completed/total + ETA line on stderr while the grid
+    /// runs. [`Sweep::run_cli`] wires this to the environment; results are
+    /// unaffected either way (progress never touches stdout).
+    pub fn progress(mut self, enabled: bool) -> Self {
+        self.progress = enabled;
+        self
+    }
+
+    /// Runs the grid under the unified experiment CLI: worker count from
+    /// `--threads`, with a progress/ETA line on stderr when that stream is
+    /// a TTY — suppressed under `--json` piping and in CI (`CI` env set).
+    pub fn run_cli(self, cli: &Cli) -> SweepResults<P> {
+        let show = !cli.json && std::io::stderr().is_terminal() && std::env::var_os("CI").is_none();
+        let threads = cli.worker_threads();
+        self.progress(show).run(threads)
+    }
+
     /// Runs the grid on `threads` workers (1 = serial) and returns results
     /// in deterministic (point-major, then system, then seed) order.
     ///
@@ -155,11 +163,33 @@ impl<'a, P: Sync> Sweep<'a, P> {
                 seed_ix: k,
             };
             let sc = scenario(&cx);
-            cx.system.run(&sc.cluster, sc.models, sc.cfg, &sc.trace)
+            cx.system.run_scenario(sc)
+        };
+
+        let started = Instant::now();
+        let finished = AtomicUsize::new(0);
+        let tick = |_: &RunMetrics| {
+            if !self.progress {
+                return;
+            }
+            let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
+            let elapsed = started.elapsed().as_secs_f64();
+            let eta = elapsed / done as f64 * (cells - done) as f64;
+            if done == cells {
+                eprint!("\r\x1b[2K");
+            } else {
+                eprint!("\r{done}/{cells} cells  ETA {eta:.0}s ");
+            }
         };
 
         let metrics: Vec<RunMetrics> = if threads <= 1 {
-            (0..cells).map(run_cell).collect()
+            (0..cells)
+                .map(|i| {
+                    let m = run_cell(i);
+                    tick(&m);
+                    m
+                })
+                .collect()
         } else {
             // A work-stealing-free pool: workers claim the next cell index
             // and write into its slot. Axis order survives because slots,
@@ -175,6 +205,7 @@ impl<'a, P: Sync> Sweep<'a, P> {
                             break;
                         }
                         let m = run_cell(i);
+                        tick(&m);
                         *slots[i].lock().expect("sweep slot poisoned") = Some(m);
                     });
                 }
@@ -238,7 +269,7 @@ impl<P> SweepResults<P> {
     /// Headline-number summary of one cell.
     pub fn summary(&self, point: usize, system: usize, seed: usize) -> SystemResult {
         SystemResult::from_metrics(
-            &self.systems[system],
+            self.systems[system].name(),
             &self.metrics[self.ix(point, system, seed)],
         )
     }
@@ -263,14 +294,13 @@ mod tests {
             .seeds(vec![3, 4])
             .scenario(|cx| {
                 let models = zoo::replicas(&hwmodel::ModelSpec::llama3_2_3b(), *cx.point as usize);
-                Scenario {
-                    cluster: cx.system.cluster(1, 1, &models),
-                    models,
-                    cfg: world_cfg(cx.seed),
-                    trace: TraceSpec::azure_like(*cx.point, cx.seed)
-                        .with_load_scale(0.1)
-                        .generate(),
-                }
+                Scenario::new(cx.system.cluster(1, 1, &models), models)
+                    .config(world_cfg(cx.seed))
+                    .workload(
+                        TraceSpec::azure_like(*cx.point, cx.seed)
+                            .with_load_scale(0.1)
+                            .generate(),
+                    )
             })
     }
 

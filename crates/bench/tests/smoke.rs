@@ -1,7 +1,8 @@
 //! Smoke coverage for the whole experiment suite.
 //!
-//! The registry makes the 26 experiments enumerable, so instead of running
-//! one representative binary and hoping the rest share enough machinery,
+//! The registry makes the whole suite enumerable (26 paper experiments
+//! plus the scenario suite), so instead of running one representative
+//! binary and hoping the rest share enough machinery,
 //! this suite runs *every* registered experiment in-process under
 //! `--quick --threads 2` and checks the report invariants. Subprocess
 //! tests keep the binary stubs and the strict CLI honest.

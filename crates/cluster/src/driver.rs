@@ -23,7 +23,7 @@ use workload::request::Trace;
 use crate::metrics::RunMetrics;
 use crate::node::ClusterSpec;
 use crate::policy::Policy;
-use crate::world::{Event, World, WorldConfig};
+use crate::world::{ClusterEvent, Event, World, WorldConfig};
 
 /// A policy bound to a world, ready to replay a trace.
 pub struct Simulation<P: Policy> {
@@ -107,15 +107,20 @@ impl<P: Policy> Simulation<P> {
                 kind,
                 elapsed,
             } => {
+                // The instance may have been destroyed by a NodeFail while
+                // this iteration was in flight; its work is simply lost.
+                if w.instance(inst).is_none() {
+                    return;
+                }
                 let now = w.now();
-                let slo = w.slo();
                 match kind {
                     IterationKind::Prefill(req) => {
                         let (tokens_out, finished) = w
                             .instance_mut(inst)
-                            .expect("iteration on missing instance")
+                            .expect("checked above")
                             .finish_prefill(req, now, elapsed);
                         w.count_decode_tokens(inst, 1);
+                        let slo = w.slo_for_id(req);
                         w.metrics.on_token(req, tokens_out, now, &slo);
                         if let Some(rr) = finished {
                             w.outstanding = w.outstanding.saturating_sub(1);
@@ -127,10 +132,11 @@ impl<P: Policy> Simulation<P> {
                     IterationKind::Decode => {
                         let outcome = w
                             .instance_mut(inst)
-                            .expect("iteration on missing instance")
+                            .expect("checked above")
                             .finish_decode(now, elapsed);
                         w.count_decode_tokens(inst, outcome.produced.len() as u64);
                         for &(id, tokens_out, _) in &outcome.produced {
+                            let slo = w.slo_for_id(id);
                             w.metrics.on_token(id, tokens_out, now, &slo);
                         }
                         for rr in &outcome.finished {
@@ -144,10 +150,12 @@ impl<P: Policy> Simulation<P> {
                 }
                 w.schedule_keepalive(inst);
                 w.release_slot(inst);
+                self.sweep_draining(inst);
             }
             Event::LoadDone { inst, elapsed } => {
                 w.apply_load_done(inst, elapsed);
                 self.policy.on_load_done(w, inst);
+                self.sweep_draining(inst);
             }
             Event::ScaleDone {
                 inst,
@@ -157,6 +165,11 @@ impl<P: Policy> Simulation<P> {
             } => {
                 w.apply_scale_done(inst, from_bytes, to_bytes, elapsed);
                 self.policy.on_scale_done(w, inst);
+                self.sweep_draining(inst);
+            }
+            Event::Cluster(ev) => {
+                let displaced = w.apply_cluster_event(&ev);
+                self.policy.on_node_event(w, &ev, displaced);
             }
             Event::KeepAlive { inst, marker } => {
                 let still_idle = w
@@ -176,6 +189,23 @@ impl<P: Policy> Simulation<P> {
                     w.events.push(at, Event::Sample);
                 }
             }
+        }
+    }
+
+    /// If `inst` sits on a draining node and just went idle, unload it and
+    /// hand its requests back to the policy — the deferred half of a
+    /// [`ClusterEvent::NodeDrain`].
+    fn sweep_draining(&mut self, inst: engine::instance::InstanceId) {
+        let Some((node, _)) = self.world.instance_placement(inst) else {
+            return;
+        };
+        if self.world.node_health(node) != crate::world::NodeHealth::Draining {
+            return;
+        }
+        let displaced = self.world.drain_idle_instances(node);
+        if !displaced.is_empty() {
+            self.policy
+                .on_node_event(&mut self.world, &ClusterEvent::NodeDrain(node), displaced);
         }
     }
 
@@ -206,7 +236,7 @@ mod tests {
     use engine::instance::InstanceId;
     use hwmodel::NoiseModel;
     use simcore::time::SimDuration;
-    use workload::request::{ModelId, Request, RequestId};
+    use workload::request::{ModelId, Request, RequestId, SloClass};
 
     /// A one-node, one-model greedy policy used to exercise the driver: it
     /// creates a single instance on node 0 and runs everything FIFO.
@@ -259,6 +289,7 @@ mod tests {
                 arrival: SimTime::from_secs(i),
                 input_len: 256,
                 output_len: 5,
+                class: SloClass::default(),
             })
             .collect();
         Trace::new(reqs, 1, SimDuration::from_secs(n))
@@ -323,6 +354,7 @@ mod tests {
                 arrival: SimTime::from_millis(i),
                 input_len: 256,
                 output_len: 20,
+                class: SloClass::default(),
             })
             .collect();
         let trace = Trace::new(reqs, 1, SimDuration::from_secs(1));

@@ -16,7 +16,11 @@
 //! - [`policy`] — the [`Policy`] trait: the callback surface (arrivals,
 //!   slot-free, load/scale completions, keep-alive, timers) that SLINFER and
 //!   all baselines implement.
-//! - [`driver`] — [`Simulation`]: the deterministic event loop.
+//! - [`driver`] — [`Simulation`]: the deterministic event loop, including
+//!   cluster-lifecycle events (node drain/fail/join) and their policy hook.
+//! - [`scenario`] — [`Scenario`]: composable run construction over four
+//!   axes (fleet, SLO-classed workload segments, a timed [`ClusterEvent`]
+//!   schedule, and the policy the run is handed to).
 //! - [`metrics`] — [`RunMetrics`]: per-request SLO records, time-weighted
 //!   node usage, memory/batch samples, and the summary queries the
 //!   experiment harness prints (SLO-met requests, TTFT CDF, decode speed
@@ -26,13 +30,15 @@ pub mod driver;
 pub mod metrics;
 pub mod node;
 pub mod policy;
+pub mod scenario;
 pub mod world;
 
 pub use driver::Simulation;
 pub use metrics::{RequestRecord, RunMetrics};
 pub use node::{ClusterSpec, NodeId, NodeSpec};
 pub use policy::Policy;
-pub use world::{MemError, World, WorldConfig};
+pub use scenario::Scenario;
+pub use world::{ClusterEvent, MemError, NodeHealth, World, WorldConfig};
 
 // The bench sweep driver fans independent simulations out across worker
 // threads: each cell's Simulation (world + policy) is built and consumed

@@ -10,7 +10,7 @@ use hwmodel::HardwareKind;
 use serde::{Deserialize, Serialize};
 use simcore::stats::{Summary, TimeWeighted};
 use simcore::time::{SimDuration, SimTime};
-use workload::request::{ModelId, Request, RequestId, Slo};
+use workload::request::{ModelId, Request, RequestId, Slo, SloClass};
 
 /// Outcome record of one request.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -25,6 +25,8 @@ pub struct RequestRecord {
     pub input_len: u32,
     /// Expected completion tokens.
     pub output_len: u32,
+    /// Service class the request is held to (class 0 = run default).
+    pub class: SloClass,
     /// When the first output token was produced.
     pub first_token: Option<SimTime>,
     /// When the last output token was produced.
@@ -51,6 +53,7 @@ impl RequestRecord {
             arrival: req.arrival,
             input_len: req.input_len,
             output_len: req.output_len,
+            class: req.class,
             first_token: None,
             completed: None,
             dropped: false,
@@ -133,6 +136,12 @@ pub struct RunMetrics {
     pub dropped: u64,
     /// Shadow validations performed (accepted + rejected), policy-reported.
     pub shadow_validations: u64,
+    /// Node drains that started (scenario environment axis).
+    pub node_drains: u64,
+    /// Node failures injected.
+    pub node_failures: u64,
+    /// Nodes that joined mid-run.
+    pub node_joins: u64,
     /// Final simulated time.
     pub end_time: SimTime,
 }
@@ -281,12 +290,73 @@ impl RunMetrics {
     pub fn migrated_requests(&self) -> usize {
         self.records.iter().filter(|r| r.migrations > 0).count()
     }
+
+    // ------------------------------------------------------------------
+    // Per-SLO-class attainment (scenario workload axis)
+    // ------------------------------------------------------------------
+
+    /// The service classes present in this run, ascending (single-class
+    /// runs report just `SloClass::DEFAULT`).
+    pub fn classes(&self) -> Vec<SloClass> {
+        let mut cs: Vec<SloClass> = self.records.iter().map(|r| r.class).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        if cs.is_empty() {
+            cs.push(SloClass::DEFAULT);
+        }
+        cs
+    }
+
+    /// SLO-met and total request counts of one class.
+    pub fn class_counts(&self, class: SloClass) -> (usize, usize) {
+        let mut met = 0;
+        let mut total = 0;
+        for r in &self.records {
+            if r.class == class {
+                total += 1;
+                met += usize::from(r.slo_met());
+            }
+        }
+        (met, total)
+    }
+
+    /// SLO attainment rate of one class in `[0, 1]` (1.0 when the class is
+    /// absent, matching [`Self::slo_rate`] on an empty run).
+    pub fn class_slo_rate(&self, class: SloClass) -> f64 {
+        let (met, total) = self.class_counts(class);
+        if total == 0 {
+            1.0
+        } else {
+            met as f64 / total as f64
+        }
+    }
+
+    /// Attainment of every class present, ascending by class: the per-class
+    /// breakdown reported alongside the aggregate [`Self::slo_rate`].
+    pub fn class_attainment(&self) -> Vec<(SloClass, usize, usize)> {
+        self.classes()
+            .into_iter()
+            .map(|c| {
+                let (met, total) = self.class_counts(c);
+                (c, met, total)
+            })
+            .collect()
+    }
+
+    /// TTFT samples (seconds) of one class's responding requests.
+    pub fn class_ttft_summary(&self, class: SloClass) -> Summary {
+        self.records
+            .iter()
+            .filter(|r| r.class == class)
+            .filter_map(|r| r.ttft().map(|d| d.as_secs_f64()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use workload::request::Request;
+    use workload::request::{Request, SloClass};
 
     fn requests(n: u64) -> Vec<Request> {
         (0..n)
@@ -296,6 +366,7 @@ mod tests {
                 arrival: SimTime::from_secs(i),
                 input_len: 1024,
                 output_len: 2,
+                class: SloClass::default(),
             })
             .collect()
     }

@@ -11,7 +11,7 @@ use engine::request::RunningRequest;
 use workload::request::RequestId;
 
 use crate::node::NodeId;
-use crate::world::World;
+use crate::world::{ClusterEvent, World};
 
 /// A serving system under test.
 pub trait Policy {
@@ -59,4 +59,19 @@ pub trait Policy {
 
     /// A timer set via [`World::set_timer`] fired.
     fn on_timer(&mut self, _w: &mut World, _payload: u64) {}
+
+    /// A cluster-lifecycle event was applied (node drain/fail/join).
+    /// `displaced` holds the requests evicted from unloaded or lost
+    /// instances, already reset for migration (they must re-prefill).
+    ///
+    /// The default re-offers every displaced request through
+    /// [`Policy::on_arrival`], which gives baselines a sane
+    /// evict-and-requeue behavior without policy-specific state; policies
+    /// with internal placement state (parked scale-ops, per-node budgets)
+    /// should override this, clean up, and then re-place.
+    fn on_node_event(&mut self, w: &mut World, _ev: &ClusterEvent, displaced: Vec<RunningRequest>) {
+        for rr in displaced {
+            self.on_arrival(w, rr);
+        }
+    }
 }

@@ -26,13 +26,18 @@ use simcore::time::{SimDuration, SimTime};
 use workload::request::{ModelId, RequestId, Slo};
 
 use crate::metrics::RunMetrics;
-use crate::node::{ClusterSpec, NodeId};
+use crate::node::{ClusterSpec, NodeId, NodeSpec};
+use workload::request::{Request, SloClass};
 
 /// Tunable run parameters shared by every policy.
 #[derive(Debug, Clone)]
 pub struct WorldConfig {
-    /// Request SLOs (§IX-A formula by default).
+    /// Request SLOs (§IX-A formula by default). This is SLO class 0.
     pub slo: Slo,
+    /// SLOs of the additional service classes: class `k ≥ 1` resolves to
+    /// `class_slos[k - 1]`. Empty in every single-class run, in which case
+    /// all requests are held to [`WorldConfig::slo`].
+    pub class_slos: Vec<Slo>,
     /// Keep-alive threshold before idle instances are reclaimed (1 s).
     pub keep_alive: SimDuration,
     /// Execution-time jitter.
@@ -53,6 +58,7 @@ impl Default for WorldConfig {
     fn default() -> Self {
         WorldConfig {
             slo: Slo::paper(),
+            class_slos: Vec::new(),
             keep_alive: SimDuration::from_secs(1),
             noise: NoiseModel::default(),
             seed: 0,
@@ -79,6 +85,8 @@ pub enum MemError {
     BelowLiveSet,
     /// The node's hardware cannot serve this model (§IV-A2 limits).
     Unservable,
+    /// The node is draining or down and accepts no new instances.
+    NodeUnavailable(NodeId),
 }
 
 impl std::fmt::Display for MemError {
@@ -95,6 +103,9 @@ impl std::fmt::Display for MemError {
             ),
             MemError::BelowLiveSet => write!(f, "cannot shrink KV below live blocks"),
             MemError::Unservable => write!(f, "hardware cannot serve this model"),
+            MemError::NodeUnavailable(node) => {
+                write!(f, "node {} is draining or down", node.0)
+            }
         }
     }
 }
@@ -106,6 +117,39 @@ impl std::error::Error for MemError {}
 pub enum StartError {
     /// The KV grant cannot hold the prompt of the request to prefill.
     KvExhausted(RequestId),
+}
+
+/// Lifecycle state of a node.
+///
+/// Scheduling is only allowed on [`NodeHealth::Up`] nodes; a draining node
+/// keeps running its in-flight iterations but accepts no new instances, and
+/// a down node has lost everything it hosted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Serving normally.
+    Up,
+    /// Being emptied for maintenance: existing iterations finish, new
+    /// placements are refused, hosted requests are rerouted.
+    Draining,
+    /// Failed or drained away: hosts nothing and accepts nothing.
+    Down,
+}
+
+/// A timed cluster-lifecycle event, injected through the simulation event
+/// loop by [`crate::scenario::Scenario`] (or mid-run by tests via
+/// [`World::push_cluster_event`]).
+#[derive(Debug, Clone)]
+pub enum ClusterEvent {
+    /// Gracefully empty a node: no new placements; idle instances unload
+    /// immediately and their queued requests are handed back to the policy;
+    /// busy instances are swept up as their iterations finish.
+    NodeDrain(NodeId),
+    /// Hard-fail a node: every hosted instance is lost instantly (weights,
+    /// KV, in-flight iterations); surviving requests are handed back to the
+    /// policy to re-place — they re-prefill elsewhere, like any migration.
+    NodeFail(NodeId),
+    /// A new node joins the fleet and becomes schedulable at once.
+    NodeJoin(NodeSpec),
 }
 
 /// Events processed by the driver.
@@ -137,6 +181,8 @@ pub(crate) enum Event {
     Timer(u64),
     /// Periodic metrics sample.
     Sample,
+    /// A scheduled cluster-lifecycle event fires.
+    Cluster(ClusterEvent),
 }
 
 struct NodeState {
@@ -144,6 +190,7 @@ struct NodeState {
     slot_shares: Vec<f64>,
     slot_busy: Vec<bool>,
     committed: u64,
+    health: NodeHealth,
 }
 
 /// An instance plus its placement.
@@ -191,6 +238,7 @@ impl World {
                 slot_shares: n.slot_shares.clone(),
                 slot_busy: vec![false; n.slot_shares.len()],
                 committed: 0,
+                health: NodeHealth::Up,
             })
             .collect();
         let rng = SimRng::new(cfg.seed).split(0xC1A5);
@@ -224,9 +272,43 @@ impl World {
         self.clock = t;
     }
 
-    /// The run's SLO.
+    /// The run's default SLO (class 0).
     pub fn slo(&self) -> Slo {
         self.cfg.slo
+    }
+
+    /// The SLO a service class is held to. Unregistered classes fall back
+    /// to the default, so a trace tagged for a richer scenario still runs
+    /// under a plain config.
+    pub fn slo_of(&self, class: SloClass) -> Slo {
+        if class.0 == 0 {
+            return self.cfg.slo;
+        }
+        self.cfg
+            .class_slos
+            .get(class.0 as usize - 1)
+            .copied()
+            .unwrap_or(self.cfg.slo)
+    }
+
+    /// The SLO of one request (via its class tag).
+    pub fn slo_for(&self, req: &Request) -> Slo {
+        self.slo_of(req.class)
+    }
+
+    /// The SLO of a request identified by id (via its metrics record).
+    pub fn slo_for_id(&self, id: RequestId) -> Slo {
+        self.slo_of(self.metrics.records[id.0 as usize].class)
+    }
+
+    /// Lifecycle state of a node.
+    pub fn node_health(&self, node: NodeId) -> NodeHealth {
+        self.nodes[node.0 as usize].health
+    }
+
+    /// True while a node accepts new instances (healthy, not draining).
+    pub fn node_schedulable(&self, node: NodeId) -> bool {
+        self.nodes[node.0 as usize].health == NodeHealth::Up
     }
 
     /// Number of nodes.
@@ -389,6 +471,9 @@ impl World {
         slot: usize,
         kv_grant_bytes: u64,
     ) -> Result<InstanceId, MemError> {
+        if !self.node_schedulable(node) {
+            return Err(MemError::NodeUnavailable(node));
+        }
         let spec = self.model_spec(model).clone();
         if !self.node_hw(node).can_serve(&spec) {
             return Err(MemError::Unservable);
@@ -612,6 +697,94 @@ impl World {
     /// Marks the record of a cold-start-triggering request.
     pub fn note_cold_start_request(&mut self, id: RequestId) {
         self.metrics.record_mut(id).cold_start = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Cluster lifecycle (drain / fail / join)
+    // ------------------------------------------------------------------
+
+    /// Schedules a cluster-lifecycle event at absolute simulated time `at`.
+    /// [`crate::scenario::Scenario`] uses this for its environment axis;
+    /// tests may call it directly before `Simulation::run`.
+    pub fn push_cluster_event(&mut self, at: SimTime, ev: ClusterEvent) {
+        self.events.push(at, Event::Cluster(ev));
+    }
+
+    /// Applies a lifecycle event and returns the requests it displaced
+    /// (drained from unloaded instances, or surviving a node failure). The
+    /// driver hands these to [`crate::policy::Policy::on_node_event`] for
+    /// re-placement; each displaced request restarts as a migration
+    /// (it re-prefills its full context elsewhere).
+    pub(crate) fn apply_cluster_event(&mut self, ev: &ClusterEvent) -> Vec<RunningRequest> {
+        match ev {
+            ClusterEvent::NodeDrain(node) => {
+                if self.nodes[node.0 as usize].health == NodeHealth::Up {
+                    self.nodes[node.0 as usize].health = NodeHealth::Draining;
+                    self.metrics.node_drains += 1;
+                }
+                self.drain_idle_instances(*node)
+            }
+            ClusterEvent::NodeFail(node) => {
+                if self.nodes[node.0 as usize].health != NodeHealth::Down {
+                    self.nodes[node.0 as usize].health = NodeHealth::Down;
+                    self.metrics.node_failures += 1;
+                }
+                let n = &mut self.nodes[node.0 as usize];
+                n.committed = 0;
+                for b in &mut n.slot_busy {
+                    *b = false;
+                }
+                // Everything hosted is gone; salvage the request states.
+                let lost: Vec<InstanceId> = self.instances_on_node(*node);
+                let now = self.clock;
+                let mut displaced = Vec::new();
+                for inst in lost {
+                    let mut h = self.instances.remove(&inst).expect("listed");
+                    let moved = h.inst.drain_for_preemption(now);
+                    let ids: Vec<RequestId> = moved.iter().map(|r| r.req.id).collect();
+                    self.note_migration(&ids);
+                    self.metrics.instance_lifetime_s += now.since(h.inst.created_at).as_secs_f64();
+                    displaced.extend(moved);
+                }
+                displaced
+            }
+            ClusterEvent::NodeJoin(spec) => {
+                spec.validate().expect("invalid joining node");
+                self.nodes.push(NodeState {
+                    hw: spec.hw.clone(),
+                    slot_shares: spec.slot_shares.clone(),
+                    slot_busy: vec![false; spec.slot_shares.len()],
+                    committed: 0,
+                    health: NodeHealth::Up,
+                });
+                self.metrics.node_joins += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Unloads every instance on `node` that is not mid-iteration or
+    /// mid-rescale, returning the requests they were holding. Used when a
+    /// drain starts and again by the driver as busy instances finish their
+    /// in-flight iterations on a draining node.
+    pub(crate) fn drain_idle_instances(&mut self, node: NodeId) -> Vec<RunningRequest> {
+        if self.nodes[node.0 as usize].health != NodeHealth::Draining {
+            return Vec::new();
+        }
+        let now = self.clock;
+        let mut displaced = Vec::new();
+        for inst in self.instances_on_node(node) {
+            let h = self.instances.get_mut(&inst).expect("listed");
+            if h.inst.busy || h.inst.scaling {
+                continue; // swept up when the iteration/rescale completes
+            }
+            let moved = h.inst.drain_for_preemption(now);
+            let ids: Vec<RequestId> = moved.iter().map(|r| r.req.id).collect();
+            self.note_migration(&ids);
+            displaced.extend(moved);
+            self.unload_instance(inst);
+        }
+        displaced
     }
 
     // ------------------------------------------------------------------

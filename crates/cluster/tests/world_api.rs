@@ -7,7 +7,7 @@ use engine::instance::InstanceId;
 use engine::request::RunningRequest;
 use hwmodel::{HardwareKind, ModelSpec, NoiseModel};
 use simcore::time::SimTime;
-use workload::request::{ModelId, Request, RequestId};
+use workload::request::{ModelId, Request, RequestId, SloClass};
 
 const GB: u64 = 1_000_000_000;
 
@@ -30,6 +30,7 @@ fn rr(id: u64, model: u32) -> RunningRequest {
         arrival: SimTime::ZERO,
         input_len: 256,
         output_len: 8,
+        class: SloClass::default(),
     })
 }
 
@@ -181,6 +182,7 @@ fn drop_request_resolves_once() {
         arrival: SimTime::ZERO,
         input_len: 16,
         output_len: 1,
+        class: SloClass::default(),
     }]);
     let mut r0 = r;
     r0.req.id = RequestId(0);

@@ -88,7 +88,7 @@ mod tests {
     use engine::request::RunningRequest;
     use hwmodel::ModelSpec;
     use simcore::time::SimTime;
-    use workload::request::{Request, RequestId};
+    use workload::request::{Request, RequestId, SloClass};
 
     const GB: u64 = 1_000_000_000;
 
@@ -112,6 +112,7 @@ mod tests {
                     arrival: SimTime::ZERO,
                     input_len: 128,
                     output_len: 8,
+                    class: SloClass::default(),
                 }),
             );
         }

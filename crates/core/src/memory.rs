@@ -208,6 +208,30 @@ impl MemoryPlanner {
     pub fn has_reservation(&self, n: NodeId, inst: InstanceId) -> bool {
         self.node(n).reservations.iter().any(|p| p.inst == inst)
     }
+
+    /// Grows the budget table to cover nodes that joined after
+    /// construction; `capacities` is the full per-node capacity list (the
+    /// existing prefix is left untouched).
+    pub fn ensure_nodes(&mut self, capacities: impl IntoIterator<Item = u64>) {
+        for (i, capacity) in capacities.into_iter().enumerate() {
+            if i >= self.nodes.len() {
+                self.nodes.push(NodeBudget {
+                    capacity,
+                    ..Default::default()
+                });
+            }
+        }
+    }
+
+    /// Marks a node unusable (drain or failure): its budget capacity and
+    /// optimistic commitments drop to zero and every parked reservation is
+    /// discarded, so no further growth is ever approved there. Idempotent.
+    pub fn retire_node(&mut self, n: NodeId) {
+        let b = self.node_mut(n);
+        b.capacity = 0;
+        b.optimistic = 0;
+        b.reservations.clear();
+    }
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use cluster::{MemError, NodeId, Policy, World};
+use cluster::{ClusterEvent, MemError, NodeId, Policy, World};
 use engine::instance::{InstanceId, InstanceState, IterationKind};
 use engine::request::{ReqPhase, RunningRequest};
 use simcore::time::{SimDuration, SimTime};
@@ -116,6 +116,9 @@ impl Slinfer {
     }
 
     fn node_allowed(&self, w: &World, node: NodeId, model: ModelId) -> bool {
+        if !w.node_schedulable(node) {
+            return false;
+        }
         let hw = w.node_hw(node);
         if !hw.can_serve(w.model_spec(model)) {
             return false;
@@ -148,7 +151,7 @@ impl Slinfer {
         let share = w.slot_share(node, 0);
         let spec = w.model_spec(model);
         let q = self.quant.get(spec, &hw, share).expect("just profiled");
-        let slo = w.slo();
+        let slo = w.slo_for(&rr.req);
         let over = self.cfg.overestimate;
         let prefill_ok =
             q.prefill_s(rr.prefill_len()) * over <= slo.ttft(rr.req.input_len).as_secs_f64();
@@ -182,7 +185,6 @@ impl Slinfer {
         let hw = w.node_hw(node).clone();
         let share = w.slot_share(node, slot);
         let start = self.shadow_start(w, node, slot, target);
-        let slo = w.slo();
         // Candidate's grace: admitted-during-load requests get the load
         // duration; approximate with expected activation for loading targets.
         let cand_anchor = match self.expected_active.get(&target) {
@@ -210,6 +212,7 @@ impl Slinfer {
                     }
                     ShadowReq {
                         anchor,
+                        slo: w.slo_for(&r.req),
                         input_len: r.req.input_len,
                         tokens_done: r.tokens_out,
                         prefill_len: r.prefill_len(),
@@ -221,6 +224,7 @@ impl Slinfer {
                 target_ix = k;
                 reqs.push(ShadowReq {
                     anchor: cand_anchor,
+                    slo: w.slo_for(&rr.req),
                     input_len: rr.req.input_len,
                     tokens_done: rr.tokens_out,
                     prefill_len: rr.prefill_len(),
@@ -231,14 +235,7 @@ impl Slinfer {
         }
         let cand_ix = views[target_ix].reqs.len() - 1;
         w.note_shadow_validation();
-        validate(
-            &mut views,
-            target_ix,
-            cand_ix,
-            start,
-            &slo,
-            self.cfg.overestimate,
-        ) == Verdict::Pass
+        validate(&mut views, target_ix, cand_ix, start, self.cfg.overestimate) == Verdict::Pass
     }
 
     /// Eq. 2 requirement if `rr` joined `inst`.
@@ -603,7 +600,6 @@ impl Slinfer {
         self.ensure_profiles(w, node, &models);
         let hw = w.node_hw(node).clone();
         let share = w.slot_share(node, slot);
-        let slo = w.slo();
         let mut start = w.now();
         if let Some(&b) = self.busy_until.get(&(node.0, slot)) {
             start = start.max(b);
@@ -628,6 +624,7 @@ impl Slinfer {
                     }
                     ShadowReq {
                         anchor,
+                        slo: w.slo_for(&r.req),
                         input_len: r.req.input_len,
                         tokens_done: r.tokens_out,
                         prefill_len: r.prefill_len(),
@@ -643,6 +640,7 @@ impl Slinfer {
             quant: q_new,
             reqs: vec![ShadowReq {
                 anchor: act.max(rr.req.arrival + rr.grace),
+                slo: w.slo_for(&rr.req),
                 input_len: rr.req.input_len,
                 tokens_done: rr.tokens_out,
                 prefill_len: rr.prefill_len(),
@@ -651,14 +649,7 @@ impl Slinfer {
         });
         let target = views.len() - 1;
         w.note_shadow_validation();
-        validate(
-            &mut views,
-            target,
-            0,
-            start.max(act),
-            &slo,
-            self.cfg.overestimate,
-        ) == Verdict::Pass
+        validate(&mut views, target, 0, start.max(act), self.cfg.overestimate) == Verdict::Pass
     }
 
     /// PD mode: lands a prefilled request on a decode instance (§IX-G).
@@ -693,7 +684,7 @@ impl Slinfer {
     }
 
     fn enqueue(&mut self, w: &mut World, rr: RunningRequest) {
-        let deadline = rr.next_deadline(&w.slo());
+        let deadline = rr.next_deadline(&w.slo_for(&rr.req));
         if w.now() >= deadline {
             w.drop_request(&rr);
             return;
@@ -709,9 +700,8 @@ impl Slinfer {
             return;
         }
         let pending = std::mem::take(&mut self.queue);
-        let slo = w.slo();
         for rr in pending {
-            if w.now() >= rr.next_deadline(&slo) {
+            if w.now() >= rr.next_deadline(&w.slo_for(&rr.req)) {
                 w.drop_request(&rr);
             } else if !self.try_place(w, &rr, true) {
                 self.queue.push(rr);
@@ -743,7 +733,6 @@ impl Slinfer {
     /// the instance queue rather than the global one). Loading instances
     /// are skipped — their requests have a pending cold-start grace.
     fn shed_expired(&mut self, w: &mut World, node: NodeId, slot: usize) {
-        let slo = w.slo();
         let now = w.now();
         let mut expired: Vec<(InstanceId, RequestId)> = Vec::new();
         for inst in w.instances_on_slot(node, slot) {
@@ -752,7 +741,9 @@ impl Slinfer {
                 continue;
             }
             for r in i.requests() {
-                if matches!(r.phase, ReqPhase::Waiting) && r.headroom(now, &slo) < -0.5 {
+                if matches!(r.phase, ReqPhase::Waiting)
+                    && r.headroom(now, &w.slo_for(&r.req)) < -0.5
+                {
                     expired.push((inst, r.req.id));
                 }
             }
@@ -784,7 +775,6 @@ impl Policy for Slinfer {
         self.ensure_init(w);
         self.try_issue_wanted(w, node);
         self.shed_expired(w, node, slot);
-        let slo = w.slo();
         let now = w.now();
         let mut banned: HashSet<RequestId> = HashSet::new();
         // Token-level scheduling loop (Fig. 14): run the most urgent item.
@@ -799,6 +789,7 @@ impl Policy for Slinfer {
                     continue;
                 }
                 for r in i.requests() {
+                    let slo = w.slo_for(&r.req);
                     let item = match r.phase {
                         ReqPhase::Waiting if !banned.contains(&r.req.id) => {
                             (r.headroom(now, &slo), IterationKind::Prefill(r.req.id))
@@ -891,14 +882,13 @@ impl Policy for Slinfer {
         }
         // Evict the longest-headroom request.
         let now = w.now();
-        let slo = w.slo();
         let victim_req = w.instance(inst).and_then(|i| {
             i.requests()
                 .iter()
                 .filter(|r| !matches!(r.phase, ReqPhase::Prefilling))
                 .max_by(|a, b| {
-                    a.headroom(now, &slo)
-                        .partial_cmp(&b.headroom(now, &slo))
+                    a.headroom(now, &w.slo_for(&a.req))
+                        .partial_cmp(&b.headroom(now, &w.slo_for(&b.req)))
                         .unwrap()
                 })
                 .map(|r| r.req.id)
@@ -931,6 +921,66 @@ impl Policy for Slinfer {
         self.retry_queue(w);
     }
 
+    fn on_node_event(&mut self, w: &mut World, ev: &ClusterEvent, displaced: Vec<RunningRequest>) {
+        self.ensure_init(w);
+        match ev {
+            ClusterEvent::NodeJoin(_) => {
+                // The planner's budget table must cover the newcomer before
+                // any placement considers it.
+                let caps: Vec<u64> = w.node_ids().map(|n| w.node_hw(n).mem_bytes).collect();
+                self.planner().ensure_nodes(caps);
+            }
+            ClusterEvent::NodeDrain(node) | ClusterEvent::NodeFail(node) => {
+                // No further growth is approved on the node; parked
+                // reservations die with the budget (their instances are
+                // being evicted or are already gone).
+                self.planner().retire_node(*node);
+                // Reroute parked scale-ops: drop every op pinned to the
+                // retiring node or to an instance that no longer exists.
+                let gone = |w: &World, i: InstanceId| {
+                    w.instance_placement(i)
+                        .map(|(n, _)| n == *node)
+                        .unwrap_or(true)
+                };
+                let stale: Vec<InstanceId> = self
+                    .wanted_scale
+                    .keys()
+                    .copied()
+                    .filter(|&i| gone(w, i))
+                    .collect();
+                for i in stale {
+                    self.wanted_scale.remove(&i);
+                }
+                let issued_stale: Vec<InstanceId> = self
+                    .issued_scale
+                    .keys()
+                    .copied()
+                    .filter(|&i| gone(w, i))
+                    .collect();
+                for i in issued_stale {
+                    self.issued_scale.remove(&i);
+                }
+                self.expected_active.retain(|&i, _| !gone(w, i));
+                self.prefill_insts.retain(|&i| !gone(w, i));
+                if matches!(ev, ClusterEvent::NodeFail(_)) {
+                    // In-flight iterations died with the node.
+                    for slot in 0..w.slot_count(*node) {
+                        self.busy_until.remove(&(node.0, slot));
+                    }
+                }
+            }
+        }
+        // Re-place what the event displaced, then drain the global queue —
+        // a join may have opened capacity, a drain may force queued work
+        // onto other nodes.
+        for rr in displaced {
+            if !self.try_place(w, &rr, true) {
+                self.enqueue(w, rr);
+            }
+        }
+        self.retry_queue(w);
+    }
+
     fn on_timer(&mut self, w: &mut World, payload: u64) {
         if payload == TAG_SWEEP {
             // Periodic liveness sweep: shed expired work, re-check parked
@@ -955,11 +1005,11 @@ impl Policy for Slinfer {
             let Some(rr) = self.pending_handoff.remove(&key) else {
                 return;
             };
-            let slo = w.slo();
             match self.place_decode(w, rr) {
                 Ok(()) => {}
                 Err(rr) => {
-                    if w.now() > rr.next_deadline(&slo) + SimDuration::from_secs(10) {
+                    if w.now() > rr.next_deadline(&w.slo_for(&rr.req)) + SimDuration::from_secs(10)
+                    {
                         w.drop_request(&rr);
                     } else {
                         self.pending_handoff.insert(key, rr);
@@ -971,11 +1021,10 @@ impl Policy for Slinfer {
         }
         let id = RequestId(payload);
         self.timers.remove(&id);
-        let slo = w.slo();
         let now = w.now();
         let mut kept = Vec::with_capacity(self.queue.len());
         for rr in std::mem::take(&mut self.queue) {
-            if rr.req.id == id && now >= rr.next_deadline(&slo) {
+            if rr.req.id == id && now >= rr.next_deadline(&w.slo_for(&rr.req)) {
                 w.drop_request(&rr);
             } else {
                 kept.push(rr);
@@ -990,7 +1039,7 @@ mod tests {
     use super::*;
     use cluster::{ClusterSpec, Simulation, WorldConfig};
     use hwmodel::{ModelSpec, NoiseModel};
-    use workload::request::{Request, Trace};
+    use workload::request::{Request, SloClass, Trace};
 
     fn models(n: usize) -> Vec<ModelSpec> {
         (0..n).map(|i| ModelSpec::llama2_7b().replica(i)).collect()
@@ -1015,6 +1064,7 @@ mod tests {
                 arrival: SimTime::from_millis(ms),
                 input_len: inp,
                 output_len: out,
+                class: SloClass::default(),
             })
             .collect();
         Trace::new(requests, n_models, SimDuration::from_secs(60))

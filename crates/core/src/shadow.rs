@@ -25,6 +25,9 @@ use crate::quantify::Quantifier;
 pub struct ShadowReq {
     /// SLO anchor: arrival + cold-start grace.
     pub anchor: SimTime,
+    /// The SLO this request's class is held to (per-request, so one view
+    /// can mix interactive and relaxed service classes).
+    pub slo: Slo,
     /// Prompt length (for the TTFT budget).
     pub input_len: u32,
     /// Tokens already produced.
@@ -37,8 +40,9 @@ pub struct ShadowReq {
 }
 
 impl ShadowReq {
-    fn deadline_s(&self, slo: &Slo) -> f64 {
-        slo.token_deadline(self.anchor, self.input_len, self.tokens_done)
+    fn deadline_s(&self) -> f64 {
+        self.slo
+            .token_deadline(self.anchor, self.input_len, self.tokens_done)
             .as_secs_f64()
     }
 }
@@ -99,9 +103,14 @@ pub fn validate(
     target: usize,
     candidate_ix: usize,
     start: SimTime,
-    slo: &Slo,
     over: f64,
 ) -> Verdict {
+    // Case 3 is judged against the tightest TPOT among the co-located
+    // requests (identical to the run SLO in single-class runs).
+    let tpot_bound = views
+        .iter()
+        .flat_map(|v| v.reqs.iter().map(|r| r.slo.tpot_s))
+        .fold(f64::INFINITY, f64::min);
     // Case 3 first: steady-state aggregate decode cycle with the candidate
     // eventually decoding.
     let mut aggregate = 0.0;
@@ -127,7 +136,7 @@ pub fn validate(
             aggregate += v.quant.decode_s(bs, avg.max(1)) * over;
         }
     }
-    if aggregate > slo.tpot_s {
+    if aggregate > tpot_bound {
         return Verdict::AggregateOverload;
     }
 
@@ -144,7 +153,7 @@ pub fn validate(
         for (vi, v) in views.iter().enumerate() {
             let mut decode_urgency: Option<f64> = None;
             for (ri, r) in v.reqs.iter().enumerate() {
-                let h = r.deadline_s(slo) - t;
+                let h = r.deadline_s() - t;
                 if r.waiting {
                     if best.is_none_or(|(bh, _, _)| h < bh) {
                         best = Some((h, vi, Some(ri)));
@@ -168,7 +177,7 @@ pub fn validate(
                 t += views[vi].quant.prefill_s(len.max(1)) * over;
                 let is_candidate = vi == target && ri == candidate_ix;
                 let r = &mut views[vi].reqs[ri];
-                if r.deadline_s(slo) < t {
+                if r.deadline_s() < t {
                     return if is_candidate {
                         Verdict::CandidateLate
                     } else {
@@ -185,7 +194,7 @@ pub fn validate(
                 let (bs, avg) = views[vi].batch();
                 t += views[vi].quant.decode_s(bs, avg.max(1)) * over;
                 for r in views[vi].reqs.iter_mut().filter(|r| !r.waiting) {
-                    if r.deadline_s(slo) < t {
+                    if r.deadline_s() < t {
                         return Verdict::NeighborLate;
                     }
                     r.tokens_done += 1;
@@ -233,6 +242,7 @@ mod tests {
     fn req(anchor_s: u64, input: u32, done: u32, waiting: bool) -> ShadowReq {
         ShadowReq {
             anchor: SimTime::from_secs(anchor_s),
+            slo: Slo::paper(),
             input_len: input,
             tokens_done: done,
             prefill_len: input + done,
@@ -248,7 +258,7 @@ mod tests {
             quant: &q,
             reqs: vec![req(10, 1024, 0, true)],
         }];
-        let v = validate(&mut views, 0, 0, SimTime::from_secs(10), &Slo::paper(), 1.1);
+        let v = validate(&mut views, 0, 0, SimTime::from_secs(10), 1.1);
         assert_eq!(v, Verdict::Pass);
     }
 
@@ -262,14 +272,7 @@ mod tests {
         reqs.push(req(10, 4096, 0, true));
         let cand = reqs.len() - 1;
         let mut views = vec![InstView { quant: &q, reqs }];
-        let v = validate(
-            &mut views,
-            0,
-            cand,
-            SimTime::from_secs(10),
-            &Slo::paper(),
-            1.1,
-        );
+        let v = validate(&mut views, 0, cand, SimTime::from_secs(10), 1.1);
         assert!(
             matches!(v, Verdict::CandidateLate | Verdict::NeighborLate),
             "{v:?}"
@@ -292,6 +295,7 @@ mod tests {
             let mut reqs: Vec<ShadowReq> = (0..16).map(|_| req(0, 2048, 65, false)).collect();
             reqs.push(ShadowReq {
                 anchor: SimTime::from_secs(20),
+                slo: Slo::paper(),
                 input_len: cand_input,
                 tokens_done: 0,
                 prefill_len: cand_input,
@@ -299,13 +303,12 @@ mod tests {
             });
             reqs
         };
-        let slo = Slo::paper();
         // Big prefill: rejected.
         let mut views = vec![InstView {
             quant: &q,
             reqs: mk_views(4096),
         }];
-        let v = validate(&mut views, 0, 16, SimTime::from_secs(20), &slo, 1.1);
+        let v = validate(&mut views, 0, 16, SimTime::from_secs(20), 1.1);
         assert!(
             matches!(v, Verdict::NeighborLate | Verdict::CandidateLate),
             "{v:?}"
@@ -315,7 +318,7 @@ mod tests {
             quant: &q,
             reqs: mk_views(128),
         }];
-        let v = validate(&mut views, 0, 16, SimTime::from_secs(20), &slo, 1.1);
+        let v = validate(&mut views, 0, 16, SimTime::from_secs(20), 1.1);
         assert_eq!(v, Verdict::Pass);
     }
 
@@ -338,14 +341,7 @@ mod tests {
             },
         ];
         let cand = 16;
-        let v = validate(
-            &mut views,
-            0,
-            cand,
-            SimTime::from_secs(20),
-            &Slo::paper(),
-            1.1,
-        );
+        let v = validate(&mut views, 0, cand, SimTime::from_secs(20), 1.1);
         assert_eq!(v, Verdict::AggregateOverload);
     }
 
@@ -359,14 +355,7 @@ mod tests {
         reqs.push(req(10, 4096, 0, true));
         let cand = reqs.len() - 1;
         let mut views = vec![InstView { quant: &q, reqs }];
-        let v = validate(
-            &mut views,
-            0,
-            cand,
-            SimTime::from_secs(10),
-            &Slo::paper(),
-            1.1,
-        );
+        let v = validate(&mut views, 0, cand, SimTime::from_secs(10), 1.1);
         assert_eq!(v, Verdict::Pass);
     }
 
@@ -381,14 +370,13 @@ mod tests {
                 reqs: vec![req(10, 2048, 0, true), req(10, 2048, 0, true)],
             }]
         };
-        let slo = Slo::paper();
         let mut a = build();
         assert_eq!(
-            validate(&mut a, 0, 1, SimTime::from_secs(10), &slo, 1.0),
+            validate(&mut a, 0, 1, SimTime::from_secs(10), 1.0),
             Verdict::Pass
         );
         let mut b = build();
-        let v = validate(&mut b, 0, 1, SimTime::from_secs(10), &slo, 2.5);
+        let v = validate(&mut b, 0, 1, SimTime::from_secs(10), 2.5);
         assert_ne!(v, Verdict::Pass);
     }
 }

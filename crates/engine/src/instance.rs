@@ -470,7 +470,7 @@ impl Instance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use workload::request::Request;
+    use workload::request::{Request, SloClass};
 
     fn spec() -> ModelSpec {
         ModelSpec::llama2_7b()
@@ -495,6 +495,7 @@ mod tests {
             arrival: SimTime::ZERO,
             input_len: input,
             output_len: output,
+            class: SloClass::default(),
         })
     }
 

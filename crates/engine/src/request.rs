@@ -101,7 +101,7 @@ impl RunningRequest {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use workload::request::{ModelId, RequestId};
+    use workload::request::{ModelId, RequestId, SloClass};
 
     fn req(input: u32, output: u32) -> RunningRequest {
         RunningRequest::new(Request {
@@ -110,6 +110,7 @@ mod tests {
             arrival: SimTime::from_secs(100),
             input_len: input,
             output_len: output,
+            class: SloClass::default(),
         })
     }
 

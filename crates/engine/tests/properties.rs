@@ -8,7 +8,7 @@ use engine::instance::{Instance, InstanceId};
 use engine::request::RunningRequest;
 use hwmodel::ModelSpec;
 use simcore::time::{SimDuration, SimTime};
-use workload::request::{ModelId, Request, RequestId};
+use workload::request::{ModelId, Request, RequestId, SloClass};
 
 #[derive(Debug, Clone)]
 enum PoolOp {
@@ -89,6 +89,7 @@ proptest! {
                 arrival: SimTime::ZERO,
                 input_len: input,
                 output_len: output,
+                class: SloClass::default(),
             }));
         }
         // Serve: prefill everything, then decode until empty.
@@ -141,6 +142,7 @@ proptest! {
                 arrival: SimTime::ZERO,
                 input_len: 256,
                 output_len: 32,
+                class: SloClass::default(),
             }));
         }
         let victim = RequestId((migrate_ix % n) as u64);
@@ -178,6 +180,7 @@ proptest! {
                 arrival: SimTime::ZERO,
                 input_len: input,
                 output_len: 8,
+                class: SloClass::default(),
             }));
             let next = inst.kv_required_bytes(avg, lmin);
             prop_assert!(next >= last, "Eq.2 must grow with admissions");

@@ -14,7 +14,7 @@ use simcore::rng::SimRng;
 use simcore::time::{SimDuration, SimTime};
 
 use crate::datasets::Dataset;
-use crate::request::{ModelId, Request, RequestId, Trace};
+use crate::request::{ModelId, Request, RequestId, SloClass, Trace};
 
 /// Parameters of one BurstGPT-like segment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -84,6 +84,7 @@ impl BurstGptSpec {
                 arrival: SimTime::from_secs_f64(t),
                 input_len,
                 output_len,
+                class: SloClass::default(),
             });
         }
         Trace::new(requests, self.n_models, self.duration)

@@ -16,6 +16,24 @@ pub struct ModelId(pub u32);
 )]
 pub struct RequestId(pub u64);
 
+/// Identifies one service class of a run's SLO-class table.
+///
+/// Class `0` is always the run's default SLO (`WorldConfig::slo`, the
+/// paper's `Slo::paper()` in every stock experiment); further classes are
+/// registered through `cluster::Scenario::slo_class` and resolved by the
+/// world at token-accounting time. Requests carry their class, so one run
+/// can mix interactive and relaxed traffic and still attribute attainment
+/// per class.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SloClass(pub u16);
+
+impl SloClass {
+    /// The default class (the run-wide SLO).
+    pub const DEFAULT: SloClass = SloClass(0);
+}
+
 /// One inference request: which model, when it arrived, and its token
 /// lengths. The output length is pre-drawn by the generator but is hidden
 /// from schedulers until tokens are actually produced (the paper's memory
@@ -32,6 +50,8 @@ pub struct Request {
     pub input_len: u32,
     /// Ground-truth completion length in tokens (schedulers must not peek).
     pub output_len: u32,
+    /// Service class this request is held to (class 0 = the run default).
+    pub class: SloClass,
 }
 
 /// Service-level objectives, following §IX-A:
@@ -71,6 +91,17 @@ impl Slo {
         Slo {
             tpot_s: 0.10,
             ..Slo::default()
+        }
+    }
+
+    /// A relaxed batch-style SLO: doubled TTFT window and 0.5 s TPOT, for
+    /// throughput-oriented traffic in SLO-class mixes.
+    pub fn relaxed() -> Self {
+        Slo {
+            ttft_floor_s: 1.0,
+            ttft_cap_s: 16.0,
+            ttft_tokens_per_s: 256.0,
+            tpot_s: 0.5,
         }
     }
 
@@ -146,6 +177,44 @@ impl Trace {
         }
     }
 
+    /// Tags every request with `class` (used by scenario builders to bind a
+    /// whole workload segment to one SLO class).
+    pub fn with_class(mut self, class: SloClass) -> Trace {
+        for r in &mut self.requests {
+            r.class = class;
+        }
+        self
+    }
+
+    /// Interleaves several workload segments into one trace: requests merge
+    /// by arrival time (stable — ties keep segment order) and are renumbered
+    /// densely so [`RequestId`]s index the merged request list. Per-request
+    /// [`SloClass`] tags survive the merge.
+    ///
+    /// A single segment passes through untouched, so building a run through
+    /// a one-segment scenario replays exactly the segment's own trace.
+    pub fn merge(segments: Vec<Trace>) -> Trace {
+        if segments.len() == 1 {
+            return segments.into_iter().next().expect("one segment");
+        }
+        let n_models = segments.iter().map(|t| t.n_models).max().unwrap_or(0);
+        let duration = segments
+            .iter()
+            .map(|t| t.duration)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let mut requests: Vec<Request> = segments.into_iter().flat_map(|t| t.requests).collect();
+        requests.sort_by_key(|r| r.arrival);
+        for (i, r) in requests.iter_mut().enumerate() {
+            r.id = RequestId(i as u64);
+        }
+        Trace {
+            requests,
+            n_models,
+            duration,
+        }
+    }
+
     /// Restricts the trace to requests arriving before `cutoff`.
     pub fn truncated(&self, cutoff: SimTime) -> Trace {
         Trace {
@@ -197,6 +266,7 @@ mod tests {
             arrival: SimTime::from_secs(t),
             input_len: 10,
             output_len: 10,
+            class: SloClass::default(),
         };
         let t = Trace::new(
             vec![mk(2, 5), mk(1, 1), mk(3, 3)],
@@ -215,6 +285,7 @@ mod tests {
             arrival: SimTime::from_secs(t),
             input_len: 10,
             output_len: 10,
+            class: SloClass::default(),
         };
         let t = Trace::new(
             (0..120).map(|i| mk(i, i)).collect(),

@@ -19,7 +19,7 @@ use simcore::rng::SimRng;
 use simcore::time::{SimDuration, SimTime};
 
 use crate::datasets::Dataset;
-use crate::request::{ModelId, Request, RequestId, Trace};
+use crate::request::{ModelId, Request, RequestId, SloClass, Trace};
 
 /// Parameters of one synthetic serverless trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -163,6 +163,7 @@ fn push_request(
         arrival: SimTime::from_secs_f64(at_s),
         input_len,
         output_len,
+        class: SloClass::default(),
     });
 }
 

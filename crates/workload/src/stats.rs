@@ -180,7 +180,7 @@ pub fn rpm_cdf_table(stats: &TraceStats, thresholds: &[f64]) -> BTreeMap<String,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::{Request, RequestId};
+    use crate::request::{Request, RequestId, SloClass};
     use simcore::time::{SimDuration, SimTime};
 
     fn mk_trace() -> Trace {
@@ -193,6 +193,7 @@ mod tests {
                 arrival: SimTime::from_secs(i),
                 input_len: 100,
                 output_len: 10,
+                class: SloClass::default(),
             });
         }
         for (j, t) in [(5u64, 100u64), (6, 500)] {
@@ -202,6 +203,7 @@ mod tests {
                 arrival: SimTime::from_secs(t),
                 input_len: 100,
                 output_len: 10,
+                class: SloClass::default(),
             });
         }
         Trace::new(reqs, 2, SimDuration::from_secs(600))

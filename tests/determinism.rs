@@ -13,9 +13,11 @@
 use bench::runner::{world_cfg, System};
 use bench::sweep::{Scenario, Sweep};
 use bench::zoo;
-use cluster::{ClusterSpec, RunMetrics};
+use cluster::{ClusterSpec, NodeId, RunMetrics};
 use hwmodel::ModelSpec;
+use simcore::time::SimTime;
 use slinfer::SlinferConfig;
+use workload::request::Slo;
 use workload::serverless::TraceSpec;
 
 /// A harder workload than the SLINFER smoke scenario: enough load on a
@@ -159,6 +161,112 @@ fn pd_baselines_replay_byte_identically() {
     }
 }
 
+/// An SLO-class-mix scenario: two azure-like segments interleaved, one
+/// under the paper SLO and one under a relaxed class. New policy state
+/// introduced for classes must keep same-seed replays byte-identical.
+fn run_slo_mix(sys: &System, seed: u64) -> RunMetrics {
+    let models = zoo::replicas(&ModelSpec::llama2_7b(), 8);
+    let mut sc = Scenario::new(sys.cluster(1, 1, &models), models).config(world_cfg(seed));
+    let relaxed = sc.slo_class(Slo::relaxed());
+    let sc = sc
+        .workload(TraceSpec::azure_like(8, 5).with_load_scale(0.3).generate())
+        .classed_workload(
+            TraceSpec::azure_like(8, 6).with_load_scale(0.3).generate(),
+            relaxed,
+        );
+    sys.run_scenario(sc)
+}
+
+/// A churn scenario: one node drains mid-trace, another fails later. The
+/// displaced-request handling (eviction order, re-placement, planner
+/// cleanup) must not depend on hash-iteration order.
+fn run_churn(sys: &System, seed: u64) -> RunMetrics {
+    let models = zoo::replicas(&ModelSpec::llama2_7b(), 8);
+    let sc = Scenario::new(sys.cluster(2, 2, &models), models)
+        .config(world_cfg(seed))
+        .workload(TraceSpec::azure_like(8, 5).with_load_scale(0.5).generate())
+        .drain_at(SimTime::from_secs(300), NodeId(0))
+        .fail_at(SimTime::from_secs(600), NodeId(2));
+    sys.run_scenario(sc)
+}
+
+#[test]
+fn slo_mix_runs_replay_byte_identically() {
+    for sys in [System::SllmC, System::Slinfer(SlinferConfig::default())] {
+        let mut a = run_slo_mix(&sys, 42);
+        let mut b = run_slo_mix(&sys, 42);
+        assert_eq!(
+            fingerprint(&mut a),
+            fingerprint(&mut b),
+            "{} SLO-mix scenario must replay byte-identically",
+            sys.name()
+        );
+        assert!(a.classes().len() == 2, "both classes must be present");
+    }
+}
+
+#[test]
+fn churn_runs_replay_byte_identically() {
+    for sys in [
+        System::Sllm,
+        System::SllmC,
+        System::Slinfer(SlinferConfig::default()),
+    ] {
+        let mut a = run_churn(&sys, 42);
+        let mut b = run_churn(&sys, 42);
+        assert_eq!(
+            fingerprint(&mut a),
+            fingerprint(&mut b),
+            "{} drain/fail scenario must replay byte-identically",
+            sys.name()
+        );
+        assert_eq!(a.node_drains, 1);
+        assert_eq!(a.node_failures, 1);
+    }
+}
+
+/// The scenario axes fan out across sweep workers exactly like plain runs:
+/// a mixed-class, fault-injected grid must be bit-equal serial vs parallel.
+#[test]
+fn scenario_sweep_parallel_equals_serial() {
+    let build = || {
+        Sweep::new()
+            .points(vec![false, true])
+            .systems(vec![
+                System::SllmC,
+                System::Slinfer(SlinferConfig::default()),
+            ])
+            .seeds(vec![42])
+            .scenario(|cx| {
+                let models = zoo::replicas(&ModelSpec::llama2_7b(), 8);
+                let mut sc = Scenario::new(cx.system.cluster(1, 2, &models), models)
+                    .config(world_cfg(cx.seed));
+                let relaxed = sc.slo_class(Slo::relaxed());
+                let mut sc = sc
+                    .workload(TraceSpec::azure_like(8, 5).with_load_scale(0.3).generate())
+                    .classed_workload(
+                        TraceSpec::azure_like(8, 6).with_load_scale(0.2).generate(),
+                        relaxed,
+                    );
+                if *cx.point {
+                    sc = sc.fail_at(SimTime::from_secs(400), NodeId(1));
+                }
+                sc
+            })
+    };
+    let mut serial = build().run(1);
+    let mut parallel = build().run(4);
+    for p in 0..2 {
+        for s in 0..2 {
+            assert_eq!(
+                fingerprint(serial.metrics_mut(p, s, 0)),
+                fingerprint(parallel.metrics_mut(p, s, 0)),
+                "scenario cell ({p},{s}) diverged between serial and parallel runs"
+            );
+        }
+    }
+}
+
 /// The (point × system × seed) grid of a small end-to-end sweep, run
 /// serially and on 4 workers: every cell must match bit-for-bit, in the
 /// same axis order. This is the property that makes `--threads N` safe for
@@ -176,14 +284,13 @@ fn parallel_sweep_equals_serial_bit_for_bit() {
             .seeds(vec![42, 43])
             .scenario(|cx| {
                 let models = zoo::replicas(&ModelSpec::llama2_7b(), *cx.point as usize);
-                Scenario {
-                    cluster: cx.system.cluster(1, 1, &models),
-                    models,
-                    cfg: world_cfg(cx.seed),
-                    trace: TraceSpec::azure_like(*cx.point, 5)
-                        .with_load_scale(0.3)
-                        .generate(),
-                }
+                Scenario::new(cx.system.cluster(1, 1, &models), models)
+                    .config(world_cfg(cx.seed))
+                    .workload(
+                        TraceSpec::azure_like(*cx.point, 5)
+                            .with_load_scale(0.3)
+                            .generate(),
+                    )
             })
     };
     let mut serial = build().run(1);

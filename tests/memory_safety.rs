@@ -3,11 +3,11 @@
 
 use bench::runner::{world_cfg, System};
 use bench::zoo;
-use cluster::{ClusterSpec, NodeId, Simulation, World, WorldConfig};
+use cluster::{ClusterSpec, NodeId, Scenario, Simulation, World, WorldConfig};
 use hwmodel::{ModelSpec, NoiseModel};
 use simcore::time::SimTime;
 use slinfer::{Slinfer, SlinferConfig};
-use workload::request::{ModelId, Request, RequestId};
+use workload::request::{ModelId, Request, RequestId, SloClass};
 use workload::serverless::TraceSpec;
 
 fn quiet(seed: u64) -> WorldConfig {
@@ -86,6 +86,7 @@ fn kv_underestimation_recovers_via_eviction_or_scaling() {
             arrival: SimTime::from_millis(i * 200),
             input_len: 2048,
             output_len: 1500, // far above the 256-token prior
+            class: SloClass::default(),
         })
         .collect();
     let trace = workload::Trace::new(reqs, 2, simcore::time::SimDuration::from_secs(60));
@@ -110,6 +111,60 @@ fn kv_underestimation_recovers_via_eviction_or_scaling() {
 }
 
 #[test]
+fn high_pressure_overload_with_node_failure_converges() {
+    // The ROADMAP's memory-subsystem stress scenario: a model zoo far
+    // beyond cluster capacity (24 × 7B ≈ 17 weights' worth of node memory
+    // on 1 CPU + 1 GPU) under a 4×-load azure-like burst, with the GPU node
+    // hard-failing mid-burst. The reservation station and consolidator
+    // must keep interacting soundly under this churn:
+    //
+    // - the run converges (no stalled request keeps the event loop pinned
+    //   to the drain-grace hard stop),
+    // - every request resolves (completed or dropped),
+    // - the optimistic/pessimistic split never lets an op overflow a node
+    //   (zero OOM incidents), even while failure-displaced requests are
+    //   re-placed against budgets that just lost a whole node.
+    let n_models = 24u32;
+    let trace = TraceSpec::azure_like(n_models, 11)
+        .with_load_scale(4.0)
+        .generate()
+        .truncated(SimTime::from_secs(420));
+    let models = zoo::replicas(&ModelSpec::llama2_7b(), n_models as usize);
+    let sys = System::Slinfer(SlinferConfig::default());
+    let sc = Scenario::new(sys.cluster(1, 1, &models), models)
+        .config(quiet(11))
+        .workload(trace.clone())
+        .fail_at(SimTime::from_secs(120), NodeId(1));
+    let m = sys.run_scenario(sc);
+
+    assert_eq!(m.node_failures, 1);
+    assert_eq!(
+        m.oom_incidents, 0,
+        "orchestrator must stay sound through failure-induced churn"
+    );
+    for r in &m.records {
+        assert!(
+            r.completed.is_some() || r.dropped,
+            "request {:?} stalled under pressure",
+            r.id
+        );
+    }
+    // Convergence: the loop must go quiet well before the drain-grace
+    // hard stop (last arrival + 900 s) — a stalled request would pin it.
+    let last_arrival = trace.requests.last().unwrap().arrival;
+    let hard_stop = last_arrival + simcore::time::SimDuration::from_secs(900);
+    assert!(
+        m.end_time < hard_stop,
+        "run should converge before the hard stop: ended {:?} vs {:?}",
+        m.end_time,
+        hard_stop
+    );
+    // The overloaded remnant (one CPU node) must still do useful work.
+    assert!(m.slo_met() > 0, "some requests must still be served");
+    assert!(m.dropped > 0, "overload must shed load, not queue forever");
+}
+
+#[test]
 fn admit_during_scale_does_not_deadlock() {
     // A burst into one instance while its grant is mid-flux exercises the
     // coalescing path (wanted-target bumping).
@@ -120,6 +175,7 @@ fn admit_during_scale_does_not_deadlock() {
             arrival: SimTime::from_millis(i * 50),
             input_len: 1024,
             output_len: 64,
+            class: SloClass::default(),
         })
         .collect();
     let trace = workload::Trace::new(reqs, 1, simcore::time::SimDuration::from_secs(60));

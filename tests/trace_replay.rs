@@ -11,7 +11,7 @@ use cluster::{ClusterSpec, Simulation, WorldConfig};
 use hwmodel::{ModelSpec, NoiseModel};
 use simcore::time::{SimDuration, SimTime};
 use slinfer::{Slinfer, SlinferConfig};
-use workload::request::{ModelId, Request, RequestId, Trace};
+use workload::request::{ModelId, Request, RequestId, SloClass, Trace};
 
 fn arb_request(n_models: u32) -> impl Strategy<Value = (u64, u32, u32, u32)> {
     // (arrival_ms ≤ 60 s, model, input 16–4096, output 1–256)
@@ -27,6 +27,7 @@ fn build_trace(raw: Vec<(u64, u32, u32, u32)>, n_models: u32) -> Trace {
             arrival: SimTime::from_millis(ms),
             input_len: inp,
             output_len: out,
+            class: SloClass::default(),
         })
         .collect();
     let mut trace = Trace::new(reqs, n_models, SimDuration::from_secs(60));
