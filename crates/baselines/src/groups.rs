@@ -1,0 +1,53 @@
+//! Shared slot-group claiming for the exclusive-allocation baselines.
+//!
+//! Both `sllm` and the PD variant launch tensor-parallel instances the
+//! same way: scan the idle-slot list for `tp` idle slots of one node,
+//! grant the group its slots' exclusive memory share, create the
+//! instance. One implementation, so the grant formula and the run scan
+//! cannot drift between the two policies.
+
+use cluster::{NodeId, World};
+use engine::instance::InstanceId;
+use workload::request::ModelId;
+
+/// Scans a `(rank, node, slot)`-sorted idle-slot list for `tp` idle slots
+/// of one node that `usable` accepts, creates the TP instance with the
+/// group's memory budget (`tp` slot shares of the node, capped by its
+/// free bytes), and returns the instance plus the claimed range of
+/// `free` — callers maintaining the list across a retry pass drain that
+/// range. Sortedness makes one node's idle slots contiguous, so the scan
+/// is a single pass over runs.
+pub fn claim_slot_group(
+    w: &mut World,
+    model: ModelId,
+    free: &[(u8, NodeId, usize)],
+    tp: usize,
+    usable: impl Fn(&World, NodeId) -> bool,
+) -> Option<(InstanceId, std::ops::Range<usize>)> {
+    let spec = w.model_spec(model).clone();
+    let mut i = 0;
+    while i < free.len() {
+        let node = free[i].1;
+        let mut j = i;
+        while j < free.len() && free[j].1 == node {
+            j += 1;
+        }
+        if j - i >= tp && usable(w, node) {
+            let slots: Vec<usize> = free[i..i + tp].iter().map(|&(_, _, s)| s).collect();
+            let slot_mem = w.node_hw(node).mem_bytes / w.slot_count(node) as u64;
+            let grant = (slot_mem * tp as u64)
+                .saturating_sub(spec.weights_bytes())
+                .min(
+                    w.node_available_bytes(node)
+                        .saturating_sub(spec.weights_bytes()),
+                );
+            if grant > 0 {
+                if let Ok(inst) = w.create_instance_group(model, node, &slots, grant) {
+                    return Some((inst, i..i + tp));
+                }
+            }
+        }
+        i = j;
+    }
+    None
+}

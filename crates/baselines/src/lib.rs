@@ -9,6 +9,9 @@
 //!   - `sllm+c`: additionally serves on AMX CPU nodes, preferring them.
 //!   - `sllm+c+s`: additionally time-shares every node between two
 //!     half-resource slots with the paper's reduced concurrency limits.
+//! - [`groups`] — shared tensor-parallel slot-group claiming for the
+//!   exclusive-allocation baselines (one scan/grant implementation for
+//!   `sllm` and PD).
 //! - [`limits`] — the §IX-A concurrency-limit tables: (59, 15, 6) CPU /
 //!   (160, 32, 16) GPU for full nodes and (23, 4, 6) / (71, 12, 4) for
 //!   half nodes, with a profile-derived fallback for other model sizes.
@@ -19,6 +22,7 @@
 //!   dedicated prefill instances hand requests to decode instances over a
 //!   100 Gbps link (Table III).
 
+pub mod groups;
 pub mod limits;
 pub mod neo;
 pub mod pd;

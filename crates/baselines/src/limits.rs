@@ -43,6 +43,13 @@ impl SizeClass {
 /// `share == 1.0` selects the full-node table, `0.5` the half-node table;
 /// anything else (and all `Large` models) uses the profile-derived bound.
 pub fn concurrency_limit(model: &ModelSpec, hw: &HardwareSpec, share: f64, slo: &Slo) -> u32 {
+    // Tensor-parallel deployments never match the tabled single-device
+    // profiles — their share is a slot *group* — so they always use the
+    // profile-derived bound, whose TPOT solver charges the model's
+    // all-reduce overhead via `max_batch_under_tpot`.
+    if model.tp_degree > 1 {
+        return profiled_limit(model, hw, share, slo);
+    }
     let class = SizeClass::of(model);
     let table = match (hw.kind, half_or_full(share)) {
         (HardwareKind::Gpu, Some(true)) => Some([160u32, 32, 16]),
@@ -137,6 +144,18 @@ mod tests {
             (14..=18).contains(&got13),
             "13B GPU fallback {got13} (table 16)"
         );
+    }
+
+    #[test]
+    fn tp_deployments_bypass_the_single_device_tables() {
+        let slo = Slo::paper();
+        let gang = HardwareSpec::a100_80g().ganged(4);
+        let m13_tp2 = ModelSpec::llama2_13b().with_tp(2);
+        // Half the gang = two devices; the profile-derived bound applies,
+        // not the half-node table entry (4).
+        let lim = concurrency_limit(&m13_tp2, &gang, 0.5, &slo);
+        assert_eq!(lim, profiled_limit(&m13_tp2, &gang, 0.5, &slo));
+        assert!(lim > 4, "two A100s hold far more than a half-A100: {lim}");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! finds this *hurts* in serverless settings: prefill instances idle 93% of
 //! their lifetime, doubling cold starts and node usage (Table III).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use cluster::{NodeId, Policy, World};
 use engine::instance::{InstanceId, IterationKind};
@@ -24,11 +24,14 @@ use crate::limits::concurrency_limit;
 const TAG_HANDOFF: u64 = 1 << 63;
 
 /// Disaggregated `sllm+c+s`. See module docs.
+///
+/// Ordered containers only (`Vec`/`BTreeSet`/`BTreeMap`): hash-randomized
+/// iteration order must never reach placement decisions.
 pub struct PdSllm {
     queue: Vec<RunningRequest>,
-    timers: HashSet<RequestId>,
-    prefill_insts: HashSet<InstanceId>,
-    pending: HashMap<u64, RunningRequest>,
+    timers: BTreeSet<RequestId>,
+    prefill_insts: BTreeSet<InstanceId>,
+    pending: BTreeMap<u64, RunningRequest>,
     /// Concurrent prefills a prefill instance accepts before scale-out.
     prefill_depth: u32,
 }
@@ -38,9 +41,9 @@ impl PdSllm {
     pub fn new() -> Self {
         PdSllm {
             queue: Vec::new(),
-            timers: HashSet::new(),
-            prefill_insts: HashSet::new(),
-            pending: HashMap::new(),
+            timers: BTreeSet::new(),
+            prefill_insts: BTreeSet::new(),
+            pending: BTreeMap::new(),
             prefill_depth: 2,
         }
     }
@@ -67,8 +70,15 @@ impl PdSllm {
     }
 
     fn create_on_free_slot(&mut self, w: &mut World, model: ModelId) -> Option<InstanceId> {
-        for (_, node, slot) in self.free_slots(w, model) {
-            let spec = w.model_spec(model).clone();
+        let spec = w.model_spec(model).clone();
+        let tp = spec.tp_degree.max(1) as usize;
+        let free = self.free_slots(w, model);
+        if tp > 1 {
+            // `free_slots` already filtered schedulability and servability.
+            return crate::groups::claim_slot_group(w, model, &free, tp, |_, _| true)
+                .map(|(inst, _)| inst);
+        }
+        for (_, node, slot) in free {
             let slot_mem = w.node_hw(node).mem_bytes / w.slot_count(node) as u64;
             let grant = slot_mem.saturating_sub(spec.weights_bytes()).min(
                 w.node_available_bytes(node)
@@ -114,13 +124,14 @@ impl PdSllm {
             if self.prefill_insts.contains(&inst) {
                 continue;
             }
-            let Some((node, slot)) = w.instance_placement(inst) else {
+            let Some((node, _)) = w.instance_placement(inst) else {
                 continue;
             };
+            // A TP instance owns its whole slot group's compute share.
             let limit = concurrency_limit(
                 w.model_spec(model),
                 w.node_hw(node),
-                w.slot_share(node, slot),
+                w.instance_share(inst),
                 &w.slo(),
             );
             let live = w.instance(inst).map(|i| i.live_count()).unwrap_or(u32::MAX);
@@ -185,6 +196,9 @@ impl Policy for PdSllm {
             let Some(i) = w.instance(inst) else { continue };
             if !i.has_work() {
                 continue;
+            }
+            if w.instance_group_busy(inst) {
+                continue; // another slot of the TP group is still running
             }
             let kind = if self.prefill_insts.contains(&inst) {
                 match i

@@ -15,7 +15,7 @@
 //! expires. Instances run vLLM-style continuous batching: pending prefills
 //! are scheduled eagerly (FIFO), decodes otherwise.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use cluster::{NodeId, Policy, World};
 use engine::instance::{InstanceId, IterationKind};
@@ -63,10 +63,14 @@ impl SllmConfig {
 }
 
 /// The ServerlessLLM-style policy. See module docs.
+///
+/// Policy state is kept in ordered containers (`Vec` in arrival order,
+/// `BTreeSet`) so no iteration can leak hash-randomized order into
+/// placement decisions across processes.
 pub struct Sllm {
     cfg: SllmConfig,
     queue: Vec<RunningRequest>,
-    timers: HashSet<RequestId>,
+    timers: BTreeSet<RequestId>,
 }
 
 impl Sllm {
@@ -75,7 +79,7 @@ impl Sllm {
         Sllm {
             cfg,
             queue: Vec::new(),
-            timers: HashSet::new(),
+            timers: BTreeSet::new(),
         }
     }
 
@@ -91,11 +95,12 @@ impl Sllm {
     }
 
     fn instance_limit(&self, w: &World, inst: InstanceId) -> u32 {
-        let Some((node, slot)) = w.instance_placement(inst) else {
+        let Some((node, _)) = w.instance_placement(inst) else {
             return 0;
         };
         let hw = w.node_hw(node);
-        let share = w.slot_share(node, slot);
+        // A TP instance owns its whole slot group's compute share.
+        let share = w.instance_share(inst);
         let model = w.instance(inst).expect("placed").model;
         concurrency_limit(w.model_spec(model), hw, share, &w.slo())
     }
@@ -175,6 +180,10 @@ impl Sllm {
         free: &mut Vec<(u8, NodeId, usize)>,
     ) -> bool {
         let model = rr.req.model;
+        let tp = w.model_spec(model).tp_degree.max(1) as usize;
+        if tp > 1 {
+            return self.try_create_group(w, rr, free, tp);
+        }
         // A new instance on an idle slot, CPUs first.
         for fi in 0..free.len() {
             let (_, node, slot) = free[fi];
@@ -214,6 +223,34 @@ impl Sllm {
         false
     }
 
+    /// Launches a tensor-parallel instance on `tp` idle slots of one node,
+    /// consuming the claimed slots from `free`. The group exclusively owns
+    /// its slots' memory shares, mirroring the single-slot rule.
+    fn try_create_group(
+        &mut self,
+        w: &mut World,
+        rr: &RunningRequest,
+        free: &mut Vec<(u8, NodeId, usize)>,
+        tp: usize,
+    ) -> bool {
+        let model = rr.req.model;
+        let use_cpu = self.cfg.use_cpu;
+        let claimed = crate::groups::claim_slot_group(w, model, free, tp, |w, node| {
+            let hw = w.node_hw(node);
+            w.node_schedulable(node)
+                && (!hw.kind.is_cpu() || use_cpu)
+                && hw.can_serve(w.model_spec(model))
+        });
+        match claimed {
+            Some((inst, range)) => {
+                w.admit(inst, rr.clone());
+                free.drain(range);
+                true
+            }
+            None => false,
+        }
+    }
+
     fn enqueue(&mut self, w: &mut World, rr: RunningRequest) {
         let deadline = rr.next_deadline(&w.slo_for(&rr.req));
         if w.now() >= deadline {
@@ -247,7 +284,7 @@ impl Sllm {
         // Built lazily: a pass that only admits to existing instances (or
         // only drops) never scans the cluster at all.
         let mut free: Option<Vec<(u8, NodeId, usize)>> = None;
-        let mut full_models: HashSet<ModelId> = HashSet::new();
+        let mut full_models: BTreeSet<ModelId> = BTreeSet::new();
         for rr in std::mem::take(&mut self.queue) {
             if w.now() >= rr.next_deadline(&w.slo_for(&rr.req)) {
                 w.drop_request(&rr);
@@ -286,6 +323,9 @@ impl Policy for Sllm {
             if !i.has_work() {
                 continue;
             }
+            if w.instance_group_busy(inst) {
+                continue; // another slot of the TP group is still running
+            }
             let next_prefill = i
                 .requests()
                 .iter()
@@ -298,6 +338,7 @@ impl Policy for Sllm {
             };
             match w.start_iteration(inst, kind) {
                 Ok(_) => return,
+                Err(cluster::world::StartError::GroupBusy) => continue,
                 Err(cluster::world::StartError::KvExhausted(_)) => {
                     // The grant is static; fall back to decoding so running
                     // sequences drain and free blocks.
@@ -507,6 +548,36 @@ mod tests {
             m.cold_starts
         );
         assert!(m.slo_rate() > 0.9, "slo {}", m.slo_rate());
+    }
+
+    #[test]
+    fn tp_instance_claims_an_exclusive_slot_group() {
+        use cluster::NodeSpec;
+        use hwmodel::HardwareSpec;
+        // One 4-GPU server; two TP=2 models. Each instance claims a 2-slot
+        // group exclusively, so both fit side by side.
+        let trace = mk_trace(vec![(0, 0, 256, 8), (100, 1, 256, 8)]);
+        let cluster = ClusterSpec {
+            nodes: vec![NodeSpec::multi_accel(HardwareSpec::a100_80g(), 4)],
+        };
+        let ms: Vec<ModelSpec> = (0..2)
+            .map(|i| ModelSpec::llama2_13b().with_tp(2).replica(i))
+            .collect();
+        let sim = Simulation::new(&cluster, ms, quiet(), Sllm::new(SllmConfig::sllm()));
+        let m = sim.run(&trace);
+        assert_eq!(m.slo_met(), 2, "two TP=2 groups share the 4-slot node");
+        assert_eq!(m.cold_starts, 2);
+        // A third TP=2 model has no free group left and must queue/drop.
+        let trace3 = mk_trace(vec![(0, 0, 256, 8), (50, 1, 256, 8), (100, 2, 256, 8)]);
+        let ms3: Vec<ModelSpec> = (0..3)
+            .map(|i| ModelSpec::llama2_13b().with_tp(2).replica(i))
+            .collect();
+        let cluster3 = ClusterSpec {
+            nodes: vec![NodeSpec::multi_accel(HardwareSpec::a100_80g(), 4)],
+        };
+        let m3 =
+            Simulation::new(&cluster3, ms3, quiet(), Sllm::new(SllmConfig::sllm())).run(&trace3);
+        assert!(m3.slo_met() <= 2, "no third group exists on a 4-slot node");
     }
 
     #[test]

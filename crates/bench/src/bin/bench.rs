@@ -45,9 +45,18 @@ fn main() {
         }
         Some("all") => {
             let cli = parse_opts(args);
+            // One process runs every experiment: memoize identical sweep
+            // cells so later experiments skip work earlier ones already
+            // did (results are byte-identical either way).
+            bench::memo::enable();
             for e in REGISTRY {
                 registry::present(&registry::run_experiment(e, &cli), &cli);
             }
+            let reused = bench::memo::hits();
+            if reused > 0 {
+                eprintln!("bench all: {reused} sweep cell(s) served from the per-cell cache");
+            }
+            bench::memo::disable();
         }
         Some("run") => {
             let name = args

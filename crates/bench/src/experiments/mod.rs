@@ -37,3 +37,4 @@ pub mod slo_mix;
 pub mod tab1_xeon_gens;
 pub mod tab2_partition_limits;
 pub mod tab3_pd_disagg;
+pub mod tp_scaling;

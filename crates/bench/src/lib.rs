@@ -18,6 +18,9 @@
 //! - [`report`] — the [`Report`] sink experiments append to (tables,
 //!   prose, paper notes, JSON blobs); presentation is serial and ordered,
 //!   which keeps output byte-identical at any worker count.
+//! - [`memo`] — per-cell memoization for `bench all`: identical
+//!   (point × system × seed) cells an earlier experiment in the same
+//!   invocation already ran are served from cache, byte-identically.
 //! - [`registry`] — the experiment registry tooling enumerates, and the
 //!   shared binary entry point [`registry::main_for`].
 //! - [`experiments`] — the 26 paper experiments plus the scenario suite
@@ -26,6 +29,7 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod memo;
 pub mod registry;
 pub mod report;
 pub mod runner;

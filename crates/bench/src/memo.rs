@@ -1,0 +1,166 @@
+//! Per-cell memoization for multi-experiment invocations.
+//!
+//! `bench all` runs every registered experiment in one process, and several
+//! experiments sweep overlapping (point × system × seed) cells — the same
+//! fleet, model zoo, config, workload, and policy. A simulation is a pure
+//! function of those inputs, so rerunning an identical cell can only
+//! reproduce the identical [`RunMetrics`]. When enabled (the `bench all`
+//! multi-runner turns it on), the sweep driver consults this cache before
+//! running a cell and stores the result afterwards; a hit returns a clone,
+//! which presents byte-identically to a fresh run.
+//!
+//! The key is an FNV-1a hash over the *complete* cell inputs — cluster
+//! spec, model registry, world config (seed, SLO classes, noise, …),
+//! environment event schedule, merged trace, and the system's debug
+//! identity (which includes policy configuration) — via their `Debug`
+//! representations. Anything that can perturb a run is part of one of
+//! those, so equal keys imply equal runs. Disabled by default: single
+//! experiments pay neither the hashing nor the retained memory.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use cluster::{RunMetrics, Scenario};
+
+use crate::runner::System;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE: Mutex<Option<HashMap<u64, RunMetrics>>> = Mutex::new(None);
+
+/// Turns memoization on with a fresh cache (the `bench all` entry point).
+pub fn enable() {
+    *CACHE.lock().expect("memo cache poisoned") = Some(HashMap::new());
+    HITS.store(0, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns memoization off and drops the cache.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+    *CACHE.lock().expect("memo cache poisoned") = None;
+}
+
+/// True while a multi-experiment invocation is caching cells.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Cells served from cache since [`enable`].
+pub fn hits() -> u64 {
+    HITS.load(Ordering::Relaxed)
+}
+
+/// The cache key of one sweep cell: every input the simulation is a pure
+/// function of, hashed stably (FNV-1a — no per-process hash randomness).
+pub fn cell_key(sc: &Scenario, sys: &System) -> u64 {
+    let mut h = Fnv::new();
+    h.write(format!("{:?}", sc.cluster()).as_bytes());
+    h.write(format!("{:?}", sc.models()).as_bytes());
+    h.write(format!("{:?}", sc.cfg()).as_bytes());
+    h.write(format!("{:?}", sc.events()).as_bytes());
+    h.write(format!("{:?}", sc.merged_trace().requests).as_bytes());
+    h.write(format!("{sys:?}").as_bytes());
+    h.finish()
+}
+
+/// Returns the cached metrics for `key`, if an identical cell already ran.
+pub fn lookup(key: u64) -> Option<RunMetrics> {
+    let guard = CACHE.lock().expect("memo cache poisoned");
+    let m = guard.as_ref()?.get(&key).cloned();
+    if m.is_some() {
+        HITS.fetch_add(1, Ordering::Relaxed);
+    }
+    m
+}
+
+/// Stores a finished cell's metrics under `key`.
+pub fn store(key: u64, metrics: &RunMetrics) {
+    let mut guard = CACHE.lock().expect("memo cache poisoned");
+    if let Some(cache) = guard.as_mut() {
+        cache.entry(key).or_insert_with(|| metrics.clone());
+    }
+}
+
+/// FNV-1a, 64-bit: stable across processes and platforms.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::world_cfg;
+    use crate::zoo;
+    use hwmodel::ModelSpec;
+    use workload::serverless::TraceSpec;
+
+    fn scenario(seed: u64, load: f64) -> Scenario {
+        let models = zoo::replicas(&ModelSpec::llama3_2_3b(), 2);
+        Scenario::new(System::Sllm.cluster(0, 1, &models), models)
+            .config(world_cfg(seed))
+            .workload(
+                TraceSpec::azure_like(2, seed)
+                    .with_load_scale(load)
+                    .generate(),
+            )
+    }
+
+    #[test]
+    fn keys_separate_every_axis() {
+        let base = cell_key(&scenario(1, 0.1), &System::Sllm);
+        assert_eq!(base, cell_key(&scenario(1, 0.1), &System::Sllm));
+        assert_ne!(base, cell_key(&scenario(2, 0.1), &System::Sllm));
+        assert_ne!(base, cell_key(&scenario(1, 0.2), &System::Sllm));
+        assert_ne!(base, cell_key(&scenario(1, 0.1), &System::SllmC));
+        // Policy configuration is part of the system identity.
+        let a = cell_key(
+            &scenario(1, 0.1),
+            &System::Slinfer(slinfer::SlinferConfig::default()),
+        );
+        let b = cell_key(
+            &scenario(1, 0.1),
+            &System::Slinfer(slinfer::SlinferConfig {
+                enable_cpu: false,
+                ..slinfer::SlinferConfig::default()
+            }),
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cached_cells_present_byte_identically() {
+        enable();
+        let key = cell_key(&scenario(3, 0.1), &System::Sllm);
+        assert!(lookup(key).is_none());
+        let fresh = System::Sllm.run_scenario(scenario(3, 0.1));
+        store(key, &fresh);
+        let hit = lookup(key).expect("stored");
+        assert_eq!(
+            format!(
+                "{:?}|{:?}|{}",
+                fresh.records, fresh.usage_timeline, fresh.dropped
+            ),
+            format!("{:?}|{:?}|{}", hit.records, hit.usage_timeline, hit.dropped),
+        );
+        assert!(hits() >= 1);
+        disable();
+        assert!(lookup(key).is_none(), "disable drops the cache");
+    }
+}

@@ -167,6 +167,11 @@ pub const REGISTRY: &[Experiment] = &[
         title: "Scenario suite — mixed azure-like + BurstGPT arrivals",
         run: experiments::mixed_arrivals::run,
     },
+    Experiment {
+        name: "tp_scaling",
+        title: "Scenario suite — tensor-parallel degree × model size × load",
+        run: experiments::tp_scaling::run,
+    },
 ];
 
 /// Looks an experiment up by name.
@@ -221,8 +226,8 @@ mod tests {
 
     #[test]
     fn registry_has_all_experiments() {
-        // 26 paper figures/tables plus the 3 scenario-suite experiments.
-        assert_eq!(REGISTRY.len(), 29);
+        // 26 paper figures/tables plus the 4 scenario-suite experiments.
+        assert_eq!(REGISTRY.len(), 30);
     }
 
     #[test]

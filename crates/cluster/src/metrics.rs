@@ -89,7 +89,10 @@ pub struct UsageSample {
 }
 
 /// All measurements from one simulation run.
-#[derive(Debug, Default)]
+///
+/// `Clone` so the bench harness can memoize identical sweep cells: a
+/// cached clone presents byte-identically to a fresh run.
+#[derive(Debug, Default, Clone)]
 pub struct RunMetrics {
     /// Per-request outcomes, indexed by `RequestId.0`.
     pub records: Vec<RequestRecord>,

@@ -45,6 +45,22 @@ impl NodeSpec {
         }
     }
 
+    /// A node built from `n` identical accelerators (a multi-GPU server):
+    /// the aggregate hardware envelope ([`HardwareSpec::ganged`]) with one
+    /// equal-share slot per device, so a tensor-parallel instance of degree
+    /// `k ≤ n` can claim a `k`-slot group while single-device instances
+    /// keep using one slot each.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn multi_accel(hw: HardwareSpec, n: usize) -> Self {
+        assert!(n > 0, "a node needs at least one accelerator");
+        NodeSpec {
+            hw: hw.ganged(n as u32),
+            slot_shares: vec![1.0 / n as f64; n],
+        }
+    }
+
     /// Validates the slot configuration.
     pub fn validate(&self) -> Result<(), String> {
         if self.slot_shares.is_empty() {
@@ -163,6 +179,17 @@ mod tests {
         // Zero harvested cores adds nothing.
         let c0 = ClusterSpec::heterogeneous(0, 4).with_harvested_cpus(4, 0);
         assert_eq!(c0.nodes.len(), 4);
+    }
+
+    #[test]
+    fn multi_accel_nodes_gang_hardware_per_slot() {
+        let n = NodeSpec::multi_accel(HardwareSpec::a100_80g(), 4);
+        assert!(n.validate().is_ok());
+        assert_eq!(n.slot_shares, vec![0.25; 4]);
+        assert_eq!(n.hw.mem_bytes, 4 * 80 * 1_000_000_000);
+        // One slot's share of the gang is exactly one device.
+        let one = HardwareSpec::a100_80g();
+        assert!((n.hw.prefill_tflops * 0.25 - one.prefill_tflops).abs() < 1e-9);
     }
 
     #[test]

@@ -117,6 +117,11 @@ impl std::error::Error for MemError {}
 pub enum StartError {
     /// The KV grant cannot hold the prompt of the request to prefill.
     KvExhausted(RequestId),
+    /// Another slot of the instance's tensor-parallel group is still
+    /// running an iteration; the caller should skip this instance until a
+    /// later slot-free poke. Single-slot instances never hit this — the
+    /// driver only pokes free slots.
+    GroupBusy,
 }
 
 /// Lifecycle state of a node.
@@ -199,8 +204,18 @@ pub struct Hosted {
     pub inst: Instance,
     /// Node it resides on.
     pub node: NodeId,
-    /// Slot it is bound to.
-    pub slot: usize,
+    /// The full slot group this instance spans, ascending. One entry for
+    /// plain instances; `tp` entries for tensor-parallel placements, all
+    /// on [`Hosted::node`]. Iterations occupy every slot of the group.
+    pub slots: Vec<usize>,
+}
+
+impl Hosted {
+    /// Primary slot (the first of the group) — the single-slot address
+    /// legacy queries use.
+    pub fn slot(&self) -> usize {
+        self.slots[0]
+    }
 }
 
 /// The live cluster state. See module docs.
@@ -382,9 +397,57 @@ impl World {
         self.instances.get_mut(&id).map(|h| &mut h.inst)
     }
 
-    /// Placement of an instance.
+    /// Placement of an instance: its node and *primary* slot. Use
+    /// [`World::instance_slots`] for the full tensor-parallel group.
     pub fn instance_placement(&self, id: InstanceId) -> Option<(NodeId, usize)> {
-        self.instances.get(&id).map(|h| (h.node, h.slot))
+        self.instances.get(&id).map(|h| (h.node, h.slot()))
+    }
+
+    /// The full slot group an instance spans (ascending; length 1 for
+    /// plain instances, `tp` for tensor-parallel placements).
+    pub fn instance_slots(&self, id: InstanceId) -> Option<&[usize]> {
+        self.instances.get(&id).map(|h| h.slots.as_slice())
+    }
+
+    /// Aggregate compute share of an instance's slot group — what the
+    /// performance model sees (a TP instance's group share plus its
+    /// interconnect discount replaces the single slot share).
+    pub fn instance_share(&self, id: InstanceId) -> f64 {
+        let h = &self.instances[&id];
+        h.slots
+            .iter()
+            .map(|&s| self.nodes[h.node.0 as usize].slot_shares[s])
+            .sum()
+    }
+
+    /// True while any slot of the instance's group runs an iteration.
+    /// Policies skip group-busy instances when reacting to a slot-free
+    /// poke — another slot of the group may still be occupied.
+    pub fn instance_group_busy(&self, id: InstanceId) -> bool {
+        let h = &self.instances[&id];
+        h.slots
+            .iter()
+            .any(|&s| self.nodes[h.node.0 as usize].slot_busy[s])
+    }
+
+    /// Picks a `k`-slot group on `node` for a new instance, or `None` if
+    /// the node has fewer than `k` slots: the least-populated slots win
+    /// (ties by index), so instances spread across a multi-accelerator
+    /// node before they stack — single-device instances included. On
+    /// single-slot nodes this degenerates to slot 0, the only placement
+    /// the stock experiments ever see. Deterministic by construction.
+    pub fn slot_group_for(&self, node: NodeId, k: usize) -> Option<Vec<usize>> {
+        let n_slots = self.nodes[node.0 as usize].slot_shares.len();
+        if k == 0 || k > n_slots {
+            return None;
+        }
+        let mut ranked: Vec<(usize, usize)> = (0..n_slots)
+            .map(|s| (self.instances_on_slot(node, s).len(), s))
+            .collect();
+        ranked.sort();
+        let mut group: Vec<usize> = ranked.into_iter().take(k).map(|(_, s)| s).collect();
+        group.sort_unstable();
+        Some(group)
     }
 
     /// All instance ids (ascending).
@@ -401,11 +464,12 @@ impl World {
             .collect()
     }
 
-    /// Instances bound to a specific slot.
+    /// Instances whose slot group includes `slot` (a tensor-parallel
+    /// instance appears on every slot it spans).
     pub fn instances_on_slot(&self, node: NodeId, slot: usize) -> Vec<InstanceId> {
         self.instances
             .iter()
-            .filter(|(_, h)| h.node == node && h.slot == slot)
+            .filter(|(_, h)| h.node == node && h.slots.contains(&slot))
             .map(|(&id, _)| id)
             .collect()
     }
@@ -429,20 +493,33 @@ impl World {
         &self.perf
     }
 
-    /// Noiseless prefill estimate for an instance's placement.
+    /// Noiseless prefill estimate for an instance's placement (group share
+    /// and tensor-parallel overhead included).
     pub fn estimate_prefill_s(&self, inst: InstanceId, len: u32) -> f64 {
+        let share = self.instance_share(inst);
         let h = &self.instances[&inst];
-        let share = self.slot_share(h.node, h.slot);
-        self.perf
-            .prefill_time(&h.inst.spec, self.node_hw(h.node), len.max(1), share)
+        self.perf.prefill_time_tp(
+            &h.inst.spec,
+            self.node_hw(h.node),
+            len.max(1),
+            share,
+            h.inst.tp,
+        )
     }
 
-    /// Noiseless decode estimate for an instance's placement.
+    /// Noiseless decode estimate for an instance's placement (group share
+    /// and tensor-parallel overhead included).
     pub fn estimate_decode_s(&self, inst: InstanceId, batch: u32, total_ctx: u64) -> f64 {
+        let share = self.instance_share(inst);
         let h = &self.instances[&inst];
-        let share = self.slot_share(h.node, h.slot);
-        self.perf
-            .decode_time(&h.inst.spec, self.node_hw(h.node), batch, total_ctx, share)
+        self.perf.decode_time_tp(
+            &h.inst.spec,
+            self.node_hw(h.node),
+            batch,
+            total_ctx,
+            share,
+            h.inst.tp,
+        )
     }
 
     /// Cold-start duration estimate for a model on a node.
@@ -463,7 +540,7 @@ impl World {
 
     /// Creates an instance of `model` on `(node, slot)` with an initial KV
     /// grant, committing `weights + grant` bytes and starting the cold-start
-    /// load.
+    /// load. Single-slot shorthand for [`World::create_instance_group`].
     pub fn create_instance(
         &mut self,
         model: ModelId,
@@ -471,10 +548,46 @@ impl World {
         slot: usize,
         kv_grant_bytes: u64,
     ) -> Result<InstanceId, MemError> {
+        self.create_instance_group(model, node, &[slot], kv_grant_bytes)
+    }
+
+    /// Creates an instance of `model` spanning the slot group `slots` of
+    /// one node (a tensor-parallel placement when `slots.len() > 1`). The
+    /// grant and weight bytes commit against the node's single ledger —
+    /// the group shards one footprint, it does not multiply it.
+    ///
+    /// # Panics
+    /// Panics if `slots` is empty, out of range, or holds duplicates, or
+    /// if its length does not match the model's deployed TP degree.
+    pub fn create_instance_group(
+        &mut self,
+        model: ModelId,
+        node: NodeId,
+        slots: &[usize],
+        kv_grant_bytes: u64,
+    ) -> Result<InstanceId, MemError> {
         if !self.node_schedulable(node) {
             return Err(MemError::NodeUnavailable(node));
         }
         let spec = self.model_spec(model).clone();
+        assert!(!slots.is_empty(), "an instance needs at least one slot");
+        assert_eq!(
+            slots.len() as u32,
+            spec.tp_degree.max(1),
+            "slot group size must match the model's TP degree"
+        );
+        let mut slots: Vec<usize> = slots.to_vec();
+        slots.sort_unstable();
+        let n_slots = self.slot_count(node);
+        assert!(
+            slots.iter().all(|&s| s < n_slots),
+            "slot out of range for node {}",
+            node.0
+        );
+        assert!(
+            slots.windows(2).all(|w| w[0] != w[1]),
+            "slot group holds duplicate slots"
+        );
         if !self.node_hw(node).can_serve(&spec) {
             return Err(MemError::Unservable);
         }
@@ -492,7 +605,7 @@ impl World {
         let id = InstanceId(self.next_instance);
         self.next_instance += 1;
         let inst = Instance::new(id, model, spec, kv_grant_bytes, self.clock);
-        self.instances.insert(id, Hosted { inst, node, slot });
+        self.instances.insert(id, Hosted { inst, node, slots });
         let base = self.estimate_load_s(model, node);
         let dur = SimDuration::from_secs_f64(self.cfg.noise.apply(base, &mut self.rng));
         self.metrics.cold_starts += 1;
@@ -513,9 +626,12 @@ impl World {
     /// Panics if the instance does not exist.
     pub fn admit(&mut self, inst: InstanceId, rr: RunningRequest) {
         let h = self.instances.get_mut(&inst).expect("unknown instance");
-        let (node, slot) = (h.node, h.slot);
+        let node = h.node;
+        let group = h.slots.clone();
         h.inst.admit(rr);
-        self.wake.push((node, slot));
+        for s in group {
+            self.wake.push((node, s));
+        }
     }
 
     /// Admits a request that finished prefill elsewhere (PD disaggregation,
@@ -532,45 +648,56 @@ impl World {
             // live usage past an in-flight shrink target.
             return false;
         }
-        let (node, slot) = (h.node, h.slot);
+        let node = h.node;
+        let group = h.slots.clone();
         if h.inst.admit_decoding(rr) {
-            self.wake.push((node, slot));
+            for s in group {
+                self.wake.push((node, s));
+            }
             true
         } else {
             false
         }
     }
 
-    /// Starts an iteration on an instance. Returns its (noisy) duration.
+    /// Starts an iteration on an instance, occupying its whole slot group.
+    /// Returns its (noisy) duration, or [`StartError::GroupBusy`] if
+    /// another slot of a tensor-parallel group is still running.
     ///
     /// # Panics
-    /// Panics if the instance's slot is busy, the instance has no such work,
-    /// or it is loading/scaling.
+    /// Panics if the instance has no such work or is loading/scaling.
     pub fn start_iteration(
         &mut self,
         inst: InstanceId,
         kind: IterationKind,
     ) -> Result<SimDuration, StartError> {
-        let (node, slot) = self.instance_placement(inst).expect("unknown instance");
-        assert!(!self.slot_busy(node, slot), "slot already busy");
-        let share = self.slot_share(node, slot);
+        let (node, _) = self.instance_placement(inst).expect("unknown instance");
+        if self.instance_group_busy(inst) {
+            return Err(StartError::GroupBusy);
+        }
+        let share = self.instance_share(inst);
         let hw = self.nodes[node.0 as usize].hw.clone();
         let h = self.instances.get_mut(&inst).expect("unknown instance");
+        let tp = h.inst.tp;
         let base = match kind {
             IterationKind::Prefill(req) => {
                 let len = match h.inst.begin_prefill(req) {
                     Some(len) => len,
                     None => return Err(StartError::KvExhausted(req)),
                 };
-                self.perf.prefill_time(&h.inst.spec, &hw, len, share)
+                self.perf.prefill_time_tp(&h.inst.spec, &hw, len, share, tp)
             }
             IterationKind::Decode => {
                 let (bs, ctx) = h.inst.begin_decode();
-                self.perf.decode_time(&h.inst.spec, &hw, bs, ctx, share)
+                self.perf
+                    .decode_time_tp(&h.inst.spec, &hw, bs, ctx, share, tp)
             }
         };
         let dur = SimDuration::from_secs_f64(self.cfg.noise.apply(base, &mut self.rng));
-        self.nodes[node.0 as usize].slot_busy[slot] = true;
+        let group = self.instances[&inst].slots.clone();
+        for &s in &group {
+            self.nodes[node.0 as usize].slot_busy[s] = true;
+        }
         self.events.push(
             self.clock + dur,
             Event::IterationDone {
@@ -644,7 +771,9 @@ impl World {
         let node = &mut self.nodes[h.node.0 as usize];
         node.committed = node.committed.saturating_sub(freed);
         self.metrics.instance_lifetime_s += self.clock.since(h.inst.created_at).as_secs_f64();
-        self.wake.push((h.node, h.slot));
+        for &s in &h.slots {
+            self.wake.push((h.node, s));
+        }
     }
 
     /// Schedules a policy timer.
@@ -792,9 +921,13 @@ impl World {
     // ------------------------------------------------------------------
 
     pub(crate) fn release_slot(&mut self, inst: InstanceId) {
-        if let Some((node, slot)) = self.instance_placement(inst) {
-            self.nodes[node.0 as usize].slot_busy[slot] = false;
-            self.wake.push((node, slot));
+        if let Some(h) = self.instances.get(&inst) {
+            let node = h.node;
+            let group = h.slots.clone();
+            for &s in &group {
+                self.nodes[node.0 as usize].slot_busy[s] = false;
+                self.wake.push((node, s));
+            }
         }
     }
 
@@ -821,7 +954,7 @@ impl World {
         let ok = h.inst.apply_kv_resize(final_to, elapsed);
         debug_assert!(ok, "resize below live set slipped through");
         let node = h.node;
-        let slot = h.slot;
+        let group = h.slots.clone();
         if final_to < from_bytes {
             let delta = from_bytes - final_to;
             let n = &mut self.nodes[node.0 as usize];
@@ -829,7 +962,9 @@ impl World {
         }
         self.metrics.scale_ops += 1;
         self.metrics.scale_blocked_s += elapsed.as_secs_f64();
-        self.wake.push((node, slot));
+        for s in group {
+            self.wake.push((node, s));
+        }
     }
 
     pub(crate) fn apply_load_done(&mut self, inst: InstanceId, elapsed: SimDuration) {
@@ -844,8 +979,10 @@ impl World {
                 }
             }
             let node = h.node;
-            let slot = h.slot;
-            self.wake.push((node, slot));
+            let group = h.slots.clone();
+            for s in group {
+                self.wake.push((node, s));
+            }
         }
         for (id, grace) in graced {
             let rec = self.metrics.record_mut(id);

@@ -11,7 +11,7 @@
 //! estimation error is honest (the paper reports 5.9% TTFT / 3.9% TPOT mean
 //! relative deviation).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hwmodel::{HardwareSpec, ModelSpec, NoiseModel, PerfOracle};
 use simcore::rng::SimRng;
@@ -58,10 +58,15 @@ impl Quantifier {
         batches.push(max_batch.max(1));
         batches.dedup();
 
+        // Tensor-parallel deployments are sampled with their collective
+        // overhead folded in (the quantifier times whole iterations on the
+        // deployed topology); degree-1 models hit the identical code path
+        // as before, sample for sample.
+        let tp = model.tp_degree.max(1);
         let prefill = lengths
             .iter()
             .map(|&len| {
-                let t = oracle.prefill_time(model, hw, len, share);
+                let t = oracle.prefill_time_tp(model, hw, len, share, tp);
                 (len, noise.apply(t, rng))
             })
             .collect();
@@ -71,7 +76,8 @@ impl Quantifier {
                 lengths
                     .iter()
                     .map(|&len| {
-                        let t = oracle.decode_time(model, hw, bs, bs as u64 * len as u64, share);
+                        let t =
+                            oracle.decode_time_tp(model, hw, bs, bs as u64 * len as u64, share, tp);
                         noise.apply(t, rng)
                     })
                     .collect()
@@ -169,10 +175,13 @@ fn frac(x0: f64, x1: f64, x: f64) -> f64 {
     }
 }
 
-/// Lazily-profiled quantifiers keyed by `(model name, hardware name)`.
+/// Lazily-profiled quantifiers keyed by `(model name, hardware name,
+/// share, TP degree)`. A `BTreeMap` (not `HashMap`) so no future iteration
+/// over the set can leak hash-randomized order into policy behaviour —
+/// the same bug class PR 2's parked-scale-op map hit.
 #[derive(Debug, Default)]
 pub struct QuantifierSet {
-    map: HashMap<(String, String), Quantifier>,
+    map: BTreeMap<(String, String), Quantifier>,
     rng: Option<SimRng>,
 }
 
@@ -180,13 +189,16 @@ impl QuantifierSet {
     /// Creates an empty set whose profiling draws come from `seed`.
     pub fn new(seed: u64) -> Self {
         QuantifierSet {
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             rng: Some(SimRng::new(seed).split(0x9A17)),
         }
     }
 
     fn key(model: &ModelSpec, hw: &HardwareSpec, share: f64) -> (String, String) {
-        (model.name.clone(), format!("{}@{share:.3}", hw.name))
+        (
+            model.name.clone(),
+            format!("{}@{share:.3}@tp{}", hw.name, model.tp_degree.max(1)),
+        )
     }
 
     /// Returns the profile for `(model, hw, share)`, profiling on first use.
@@ -334,6 +346,27 @@ mod tests {
         assert!(q.decode_s(32, 1024) > q.decode_s(4, 1024));
         assert!(q.decode_s(8, 4000) > q.decode_s(8, 500));
         assert_eq!(q.decode_s(0, 1024), 0.0);
+    }
+
+    #[test]
+    fn tp_profiles_fold_in_the_interconnect() {
+        let oracle = AnalyticPerf::new();
+        let noise = NoiseModel::off();
+        let hw = HardwareSpec::a100_80g().ganged(4);
+        let base = ModelSpec::llama2_13b();
+        let tp2 = base.clone().with_tp(2);
+        let mut rng = SimRng::new(3);
+        let q1 = Quantifier::profile(&base, &hw, 0.5, &oracle, &noise, &mut rng, 256);
+        let mut rng = SimRng::new(3);
+        let q2 = Quantifier::profile(&tp2, &hw, 0.5, &oracle, &noise, &mut rng, 256);
+        // Same compute share, but TP=2 pays the all-reduce term.
+        assert!(q2.prefill_s(2048) > q1.prefill_s(2048));
+        assert!(q2.decode_s(16, 1024) > q1.decode_s(16, 1024));
+        // Distinct cache entries: the degree is part of the profile key.
+        let mut set = QuantifierSet::new(1);
+        set.get_or_profile(&base, &hw, 0.5, &oracle, &noise);
+        set.get_or_profile(&tp2, &hw, 0.5, &oracle, &noise);
+        assert_eq!(set.len(), 2);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! scheduling (Eq. 1, Fig. 14); KV grants ride the watermark policy through
 //! the optimistic/pessimistic orchestrator.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use cluster::{ClusterEvent, MemError, NodeId, Policy, World};
 use engine::instance::{InstanceId, InstanceState, IterationKind};
@@ -35,31 +35,40 @@ const TAG_SWEEP: u64 = 1 << 62;
 const SWEEP_PERIOD: SimDuration = SimDuration::from_millis(500);
 
 /// The SLINFER serving policy.
+///
+/// Every collection of policy state is ordered (`BTreeMap`/`BTreeSet`, or
+/// a `Vec` in arrival order) — never a hash map. PR 2 caught scale-op
+/// issue order leaking `HashMap` hash randomness into results, making the
+/// same binary diverge across processes; the node-event sweeps over
+/// `wanted_scale`/`issued_scale` and any future iteration over the maps
+/// below would be the same bug class, so the whole struct is audited to
+/// ordered containers and `tests/determinism.rs` pins a cross-process
+/// fingerprint for the node-event path.
 pub struct Slinfer {
     cfg: SlinferConfig,
     quant: QuantifierSet,
     planner: Option<MemoryPlanner>,
     /// Per-model historical output lengths: (sum, count).
-    avg_out: HashMap<u32, (f64, u64)>,
+    avg_out: BTreeMap<u32, (f64, u64)>,
     /// Requests awaiting placement, with their drop deadlines.
     queue: Vec<RunningRequest>,
     /// Requests that already have a drop timer registered.
-    timers: HashSet<RequestId>,
+    timers: BTreeSet<RequestId>,
     /// When each slot's in-flight iteration ends (shadow start times).
-    busy_until: HashMap<(u32, usize), SimTime>,
+    busy_until: BTreeMap<(u32, usize), SimTime>,
     /// Approved scale ops waiting for their instance to be free. Ordered:
     /// [`Self::try_issue_wanted`] iterates this map, and issue order must
     /// not depend on hash randomness or replays stop being byte-identical
     /// across processes.
     wanted_scale: BTreeMap<InstanceId, u64>,
     /// Scale ops issued to the engine and still in flight (target grant).
-    issued_scale: HashMap<InstanceId, u64>,
+    issued_scale: BTreeMap<InstanceId, u64>,
     /// Expected activation time of loading instances (for validation).
-    expected_active: HashMap<InstanceId, SimTime>,
+    expected_active: BTreeMap<InstanceId, SimTime>,
     /// PD mode: instances dedicated to prefill (§IX-G).
-    prefill_insts: HashSet<InstanceId>,
+    prefill_insts: BTreeSet<InstanceId>,
     /// PD mode: requests in flight between prefill and decode instances.
-    pending_handoff: HashMap<u64, RunningRequest>,
+    pending_handoff: BTreeMap<u64, RunningRequest>,
 }
 
 impl Slinfer {
@@ -73,15 +82,15 @@ impl Slinfer {
             cfg,
             quant: QuantifierSet::new(0x51F3),
             planner: None,
-            avg_out: HashMap::new(),
+            avg_out: BTreeMap::new(),
             queue: Vec::new(),
-            timers: HashSet::new(),
-            busy_until: HashMap::new(),
+            timers: BTreeSet::new(),
+            busy_until: BTreeMap::new(),
             wanted_scale: BTreeMap::new(),
-            issued_scale: HashMap::new(),
-            expected_active: HashMap::new(),
-            prefill_insts: HashSet::new(),
-            pending_handoff: HashMap::new(),
+            issued_scale: BTreeMap::new(),
+            expected_active: BTreeMap::new(),
+            prefill_insts: BTreeSet::new(),
+            pending_handoff: BTreeMap::new(),
         }
     }
 
@@ -120,20 +129,47 @@ impl Slinfer {
             return false;
         }
         let hw = w.node_hw(node);
-        if !hw.can_serve(w.model_spec(model)) {
+        let spec = w.model_spec(model);
+        if !hw.can_serve(spec) {
             return false;
         }
         if hw.kind.is_cpu() && !self.cfg.enable_cpu {
             return false;
         }
+        // A tensor-parallel deployment needs its whole slot group on one
+        // node; smaller nodes can never host it.
+        if w.slot_count(node) < spec.tp_degree.max(1) as usize {
+            return false;
+        }
         true
     }
 
-    fn ensure_profiles(&mut self, w: &World, node: NodeId, models: &[ModelId]) {
+    /// The compute share a *new* instance of `model` would own on `node`:
+    /// its prospective slot group's summed share
+    /// ([`World::slot_group_for`] picks the least-populated slots).
+    fn prospective_share(w: &World, node: NodeId, model: ModelId) -> Option<f64> {
+        let tp = w.model_spec(model).tp_degree.max(1) as usize;
+        let group = w.slot_group_for(node, tp)?;
+        Some(group.iter().map(|&s| w.slot_share(node, s)).sum())
+    }
+
+    /// Profiles one `(model spec, node hardware, share)` combination; the
+    /// spec's TP degree is folded into the profile by the quantifier.
+    fn ensure_profile(&mut self, w: &World, node: NodeId, model: ModelId, share: f64) {
         let hw = w.node_hw(node).clone();
-        let share = w.slot_share(node, 0);
-        for &m in models {
-            let spec = w.model_spec(m).clone();
+        let spec = w.model_spec(model).clone();
+        self.quant
+            .get_or_profile(&spec, &hw, share, w.perf(), &w.cfg.noise);
+    }
+
+    /// Profiles every listed instance at its own placement share (TP
+    /// groups own more compute than their node's single-slot share).
+    fn ensure_instance_profiles(&mut self, w: &World, node: NodeId, ids: &[InstanceId]) {
+        let hw = w.node_hw(node).clone();
+        for &id in ids {
+            let Some(i) = w.instance(id) else { continue };
+            let spec = i.spec.clone();
+            let share = w.instance_share(id);
             self.quant
                 .get_or_profile(&spec, &hw, share, w.perf(), &w.cfg.noise);
         }
@@ -147,8 +183,10 @@ impl Slinfer {
             return true;
         }
         let model = rr.req.model;
-        self.ensure_profiles(w, node, &[model]);
-        let share = w.slot_share(node, 0);
+        let Some(share) = Self::prospective_share(w, node, model) else {
+            return false;
+        };
+        self.ensure_profile(w, node, model, share);
         let spec = w.model_spec(model);
         let q = self.quant.get(spec, &hw, share).expect("just profiled");
         let slo = w.slo_for(&rr.req);
@@ -162,8 +200,14 @@ impl Slinfer {
 
     fn shadow_start(&self, w: &World, node: NodeId, slot: usize, target: InstanceId) -> SimTime {
         let mut start = w.now();
-        if let Some(&b) = self.busy_until.get(&(node.0, slot)) {
-            start = start.max(b);
+        let group: Vec<usize> = w
+            .instance_slots(target)
+            .map(|s| s.to_vec())
+            .unwrap_or_else(|| vec![slot]);
+        for s in group {
+            if let Some(&b) = self.busy_until.get(&(node.0, s)) {
+                start = start.max(b);
+            }
         }
         if let Some(&act) = self.expected_active.get(&target) {
             start = start.max(act);
@@ -171,19 +215,32 @@ impl Slinfer {
         start
     }
 
+    /// The instances contending any slot of `slots` on `node`, deduped and
+    /// ascending — the co-tenant set shadow validation replays. A TP group
+    /// can overlap different neighbours on different slots, so a
+    /// single-slot scan would miss contenders.
+    fn colocated(w: &World, node: NodeId, slots: &[usize]) -> Vec<InstanceId> {
+        let mut ids: Vec<InstanceId> = slots
+            .iter()
+            .flat_map(|&s| w.instances_on_slot(node, s))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
     /// Shadow-validates admitting `rr` to `target` (§VI-C).
     fn shadow_check(&mut self, w: &mut World, target: InstanceId, rr: &RunningRequest) -> bool {
         let Some((node, slot)) = w.instance_placement(target) else {
             return false;
         };
-        let ids = w.instances_on_slot(node, slot);
-        let models: Vec<ModelId> = ids
-            .iter()
-            .filter_map(|&i| w.instance(i).map(|x| x.model))
-            .collect();
-        self.ensure_profiles(w, node, &models);
+        let target_slots: Vec<usize> = w
+            .instance_slots(target)
+            .map(|s| s.to_vec())
+            .unwrap_or_else(|| vec![slot]);
+        let ids = Self::colocated(w, node, &target_slots);
+        self.ensure_instance_profiles(w, node, &ids);
         let hw = w.node_hw(node).clone();
-        let share = w.slot_share(node, slot);
         let start = self.shadow_start(w, node, slot, target);
         // Candidate's grace: admitted-during-load requests get the load
         // duration; approximate with expected activation for loading targets.
@@ -197,7 +254,7 @@ impl Slinfer {
             let inst = w.instance(id).expect("listed");
             let q = self
                 .quant
-                .get(&inst.spec, &hw, share)
+                .get(&inst.spec, &hw, w.instance_share(id))
                 .expect("profiled above");
             // Requests admitted during a cold start have not received their
             // grace yet; anchor them at the expected activation instead.
@@ -553,9 +610,15 @@ impl Slinfer {
             options.push((kind_rank, avail - needed, node));
         }
         options.sort();
+        let tp = spec.tp_degree.max(1) as usize;
         for (_, _, node) in options {
+            // The slot group this instance would claim (the least-loaded
+            // slot for plain models, a k-slot group for TP deployments).
+            let Some(group) = w.slot_group_for(node, tp) else {
+                continue;
+            };
             // Validate the newcomer against the node's existing tenants.
-            if !self.shadow_check_new(w, node, rr) {
+            if !self.shadow_check_new(w, node, &group, rr) {
                 continue;
             }
             let effective_grant = if self.cfg.enable_sharing {
@@ -565,7 +628,7 @@ impl Slinfer {
                 w.node_available_bytes(node)
                     .saturating_sub(spec.weights_bytes())
             };
-            match w.create_instance(model, node, 0, effective_grant) {
+            match w.create_instance_group(model, node, &group, effective_grant) {
                 Ok(inst) => {
                     self.planner()
                         .commit(node, spec.weights_bytes() + effective_grant);
@@ -587,22 +650,25 @@ impl Slinfer {
         false
     }
 
-    /// Shadow validation for a brand-new instance on `node` holding only the
-    /// candidate.
-    fn shadow_check_new(&mut self, w: &mut World, node: NodeId, rr: &RunningRequest) -> bool {
-        let slot = 0usize;
-        let ids = w.instances_on_slot(node, slot);
-        let mut models: Vec<ModelId> = ids
-            .iter()
-            .filter_map(|&i| w.instance(i).map(|x| x.model))
-            .collect();
-        models.push(rr.req.model);
-        self.ensure_profiles(w, node, &models);
+    /// Shadow validation for a brand-new instance claiming `group` on
+    /// `node`, holding only the candidate.
+    fn shadow_check_new(
+        &mut self,
+        w: &mut World,
+        node: NodeId,
+        group: &[usize],
+        rr: &RunningRequest,
+    ) -> bool {
+        let ids = Self::colocated(w, node, group);
+        self.ensure_instance_profiles(w, node, &ids);
+        let cand_share: f64 = group.iter().map(|&s| w.slot_share(node, s)).sum();
+        self.ensure_profile(w, node, rr.req.model, cand_share);
         let hw = w.node_hw(node).clone();
-        let share = w.slot_share(node, slot);
         let mut start = w.now();
-        if let Some(&b) = self.busy_until.get(&(node.0, slot)) {
-            start = start.max(b);
+        for &s in group {
+            if let Some(&b) = self.busy_until.get(&(node.0, s)) {
+                start = start.max(b);
+            }
         }
         // Cold start shifts the candidate's anchor by the load time (grace).
         let act = w.now() + SimDuration::from_secs_f64(w.estimate_load_s(rr.req.model, node));
@@ -611,7 +677,7 @@ impl Slinfer {
             let inst = w.instance(id).expect("listed");
             let q = self
                 .quant
-                .get(&inst.spec, &hw, share)
+                .get(&inst.spec, &hw, w.instance_share(id))
                 .expect("profiled above");
             let pending_act = self.expected_active.get(&id).copied();
             let reqs: Vec<ShadowReq> = inst
@@ -635,7 +701,10 @@ impl Slinfer {
             views.push(InstView { quant: q, reqs });
         }
         let spec = w.model_spec(rr.req.model);
-        let q_new = self.quant.get(spec, &hw, share).expect("profiled above");
+        let q_new = self
+            .quant
+            .get(spec, &hw, cand_share)
+            .expect("profiled above");
         views.push(InstView {
             quant: q_new,
             reqs: vec![ShadowReq {
@@ -776,7 +845,7 @@ impl Policy for Slinfer {
         self.try_issue_wanted(w, node);
         self.shed_expired(w, node, slot);
         let now = w.now();
-        let mut banned: HashSet<RequestId> = HashSet::new();
+        let mut banned: BTreeSet<RequestId> = BTreeSet::new();
         // Token-level scheduling loop (Fig. 14): run the most urgent item.
         for _ in 0..64 {
             if w.slot_busy(node, slot) {
@@ -786,6 +855,11 @@ impl Policy for Slinfer {
             for inst in w.instances_on_slot(node, slot) {
                 let Some(i) = w.instance(inst) else { continue };
                 if !i.has_work() {
+                    continue;
+                }
+                // A TP instance is only startable when its *whole* slot
+                // group is free, not just the slot that woke us.
+                if w.instance_group_busy(inst) {
                     continue;
                 }
                 for r in i.requests() {
@@ -805,9 +879,15 @@ impl Policy for Slinfer {
             let Some((_, inst, kind)) = best else { return };
             match w.start_iteration(inst, kind) {
                 Ok(dur) => {
-                    self.busy_until.insert((node.0, slot), now + dur);
+                    // The whole slot group is occupied until the iteration
+                    // completes; shadow starts must see every slot busy.
+                    let group: Vec<usize> = w.instance_slots(inst).expect("just started").to_vec();
+                    for s in group {
+                        self.busy_until.insert((node.0, s), now + dur);
+                    }
                     return;
                 }
+                Err(cluster::world::StartError::GroupBusy) => return,
                 Err(cluster::world::StartError::KvExhausted(req)) => {
                     banned.insert(req);
                     // The grant is short: plan an immediate scale-up on top
@@ -1276,6 +1356,53 @@ mod tests {
             agg.cold_starts
         );
         assert!(pd.slo_met() <= agg.slo_met());
+    }
+
+    #[test]
+    fn tp_model_serves_on_a_multi_accel_node() {
+        use cluster::NodeSpec;
+        use hwmodel::HardwareSpec;
+        // One 4-GPU server; a 13B model deployed at TP=2 must claim a
+        // 2-slot group and serve within SLO.
+        let trace = mk_trace(vec![(0, 0, 1024, 8), (200, 0, 1024, 8)]);
+        let cluster = ClusterSpec {
+            nodes: vec![NodeSpec::multi_accel(HardwareSpec::a100_80g(), 4)],
+        };
+        let mut ms = vec![ModelSpec::llama2_13b().with_tp(2)];
+        ms[0].name = "13B-TP2".into();
+        let sim = Simulation::new(
+            &cluster,
+            ms,
+            quiet_cfg(),
+            Slinfer::new(SlinferConfig::default()),
+        );
+        let m = sim.run(&trace);
+        assert_eq!(m.slo_met(), 2, "TP group placement must serve in SLO");
+        assert!(m.gpu_decode_tokens > 0);
+        assert_eq!(m.cold_starts, 1, "one TP instance absorbs both requests");
+        assert_eq!(m.oom_incidents, 0);
+    }
+
+    #[test]
+    fn tp_too_wide_for_every_node_is_dropped() {
+        use cluster::NodeSpec;
+        use hwmodel::HardwareSpec;
+        // TP=4 cannot fit a 2-slot node: no placement exists, so the
+        // request must drop at its TTFT deadline instead of panicking.
+        let trace = mk_trace(vec![(0, 0, 512, 8)]);
+        let cluster = ClusterSpec {
+            nodes: vec![NodeSpec::multi_accel(HardwareSpec::a100_80g(), 2)],
+        };
+        let ms = vec![ModelSpec::llama2_7b().with_tp(4)];
+        let sim = Simulation::new(
+            &cluster,
+            ms,
+            quiet_cfg(),
+            Slinfer::new(SlinferConfig::default()),
+        );
+        let m = sim.run(&trace);
+        assert_eq!(m.slo_met(), 0);
+        assert_eq!(m.dropped, 1);
     }
 
     #[test]

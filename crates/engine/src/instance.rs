@@ -60,6 +60,10 @@ pub struct Instance {
     pub model: ModelId,
     /// Model shape/precision (sizing, performance).
     pub spec: ModelSpec,
+    /// Tensor-parallel degree: how many node slots this instance spans
+    /// (mirrors `spec.tp_degree`; 1 for plain single-slot instances). The
+    /// cluster layer claims the matching slot group at placement time.
+    pub tp: u32,
     /// Lifecycle state.
     pub state: InstanceState,
     /// Live requests in all phases (finished ones are removed).
@@ -98,10 +102,12 @@ impl Instance {
         now: SimTime,
     ) -> Self {
         let pool = BlockPool::new(spec.kv_bytes_per_token(), kv_grant_bytes);
+        let tp = spec.tp_degree.max(1);
         Instance {
             id,
             model,
             spec,
+            tp,
             state: InstanceState::Loading,
             requests: Vec::new(),
             pool,
@@ -655,5 +661,21 @@ mod tests {
         let i = inst(8);
         let expect = i.spec.weights_bytes() + 8 * 1_000_000_000;
         assert_eq!(i.footprint_bytes(), expect);
+    }
+
+    #[test]
+    fn tp_degree_mirrors_spec() {
+        assert_eq!(inst(8).tp, 1);
+        let i = Instance::new(
+            InstanceId(9),
+            ModelId(0),
+            spec().with_tp(4),
+            1_000_000_000,
+            SimTime::ZERO,
+        );
+        assert_eq!(i.tp, 4);
+        // The footprint is the whole group's: weights are sharded across
+        // the slots but the node ledger accounts the total.
+        assert_eq!(i.footprint_bytes(), i.spec.weights_bytes() + 1_000_000_000);
     }
 }

@@ -72,6 +72,15 @@ pub struct HardwareSpec {
     /// Physical cores (CPU) or SM-share granularity; used for harvested-core
     /// scaling in §IX-I3.
     pub cores: u32,
+    /// Effective inter-accelerator interconnect bandwidth within a node
+    /// (NVLink between GPUs, UPI between CPU sockets), GB/s per device.
+    /// Drives the tensor-parallel all-reduce volume term; irrelevant for
+    /// single-slot instances.
+    pub link_bw_gbps: f64,
+    /// Latency of one inter-accelerator collective hop, seconds. Dominates
+    /// the tensor-parallel decode overhead, where per-token volume is tiny
+    /// but every layer still synchronizes twice.
+    pub link_latency_s: f64,
 }
 
 impl HardwareSpec {
@@ -90,6 +99,10 @@ impl HardwareSpec {
             kv_down_s_per_gb: 0.01625,
             kv_copy_s_per_gb: 0.0025,
             cores: 108,
+            // NVLink 3: 600 GB/s aggregate per GPU, ~1/3 effective for
+            // ring all-reduce traffic; ~10 µs per collective hop.
+            link_bw_gbps: 200.0,
+            link_latency_s: 1.0e-5,
         }
     }
 
@@ -108,6 +121,9 @@ impl HardwareSpec {
             kv_down_s_per_gb: 0.008,
             kv_copy_s_per_gb: 0.002,
             cores: 32,
+            // UPI cross-socket links are far slower than NVLink.
+            link_bw_gbps: 40.0,
+            link_latency_s: 2.0e-6,
         }
     }
 
@@ -127,6 +143,35 @@ impl HardwareSpec {
             kv_down_s_per_gb: 0.008,
             kv_copy_s_per_gb: 0.002,
             cores: 32,
+            link_bw_gbps: 30.0,
+            link_latency_s: 2.0e-6,
+        }
+    }
+
+    /// An `n`-accelerator aggregate of this node type: a multi-GPU server
+    /// (or multi-socket CPU host) whose serving memory, compute, memory
+    /// bandwidth, and weight-loading bandwidth all scale `n`× — each device
+    /// keeps its own HBM and loads its weight shard in parallel. The
+    /// interconnect envelope (`link_bw_gbps`, `link_latency_s`) is
+    /// per-device and does not scale.
+    ///
+    /// Pair with [`crate::ModelSpec::with_tp`] and a node split into `n`
+    /// equal slots so tensor-parallel instances can claim `k ≤ n` devices.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn ganged(&self, n: u32) -> HardwareSpec {
+        assert!(n > 0, "a gang needs at least one accelerator");
+        HardwareSpec {
+            name: format!("{}x{n}", self.name),
+            mem_bytes: self.mem_bytes * n as u64,
+            prefill_tflops: self.prefill_tflops * n as f64,
+            attn_tflops: self.attn_tflops * n as f64,
+            decode_tflops: self.decode_tflops * n as f64,
+            mem_bw_gbps: self.mem_bw_gbps * n as f64,
+            load_bw_gbps: self.load_bw_gbps * n as f64,
+            cores: self.cores * n,
+            ..self.clone()
         }
     }
 
@@ -202,6 +247,30 @@ mod tests {
     #[should_panic(expected = "share must be in (0,1]")]
     fn fraction_rejects_zero() {
         HardwareSpec::a100_80g().fraction(0.0);
+    }
+
+    #[test]
+    fn ganged_scales_everything_but_the_links() {
+        let one = HardwareSpec::a100_80g();
+        let four = one.ganged(4);
+        assert_eq!(four.mem_bytes, 4 * one.mem_bytes);
+        assert!((four.prefill_tflops - 4.0 * one.prefill_tflops).abs() < 1e-9);
+        assert!((four.mem_bw_gbps - 4.0 * one.mem_bw_gbps).abs() < 1e-9);
+        assert!((four.load_bw_gbps - 4.0 * one.load_bw_gbps).abs() < 1e-9);
+        assert_eq!(four.cores, 4 * one.cores);
+        // The interconnect is per-device: a bigger gang is not a faster link.
+        assert_eq!(four.link_bw_gbps, one.link_bw_gbps);
+        assert_eq!(four.link_latency_s, one.link_latency_s);
+        assert_eq!(four.kind, one.kind);
+        // A quarter-share slot of the gang is exactly one device's compute.
+        let slot = four.fraction(0.25);
+        assert!((slot.prefill_tflops - one.prefill_tflops).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one accelerator")]
+    fn ganged_rejects_zero() {
+        HardwareSpec::a100_80g().ganged(0);
     }
 
     #[test]

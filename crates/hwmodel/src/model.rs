@@ -55,6 +55,12 @@ pub struct ModelSpec {
     pub max_context: u32,
     /// Weight precision.
     pub precision: Precision,
+    /// Tensor-parallel degree this deployment is served at: the number of
+    /// node slots (accelerators) one instance claims. 1 (the default)
+    /// means a single-device instance; `k > 1` shards the weights across
+    /// `k` devices of one node and pays the inter-device all-reduce
+    /// overhead modeled by `AnalyticPerf::tp_comm_time`.
+    pub tp_degree: u32,
 }
 
 impl ModelSpec {
@@ -69,6 +75,7 @@ impl ModelSpec {
             hidden: 3072,
             max_context: 8192,
             precision: Precision::Fp16,
+            tp_degree: 1,
         }
     }
 
@@ -83,6 +90,7 @@ impl ModelSpec {
             hidden: 4096,
             max_context: 4096,
             precision: Precision::Fp16,
+            tp_degree: 1,
         }
     }
 
@@ -97,6 +105,7 @@ impl ModelSpec {
             hidden: 4096,
             max_context: 32_768,
             precision: Precision::Fp16,
+            tp_degree: 1,
         }
     }
 
@@ -111,6 +120,7 @@ impl ModelSpec {
             hidden: 5120,
             max_context: 4096,
             precision: Precision::Fp16,
+            tp_degree: 1,
         }
     }
 
@@ -125,6 +135,7 @@ impl ModelSpec {
             hidden: 6144,
             max_context: 8192,
             precision: Precision::Fp16,
+            tp_degree: 1,
         }
     }
 
@@ -139,12 +150,26 @@ impl ModelSpec {
             hidden: 8192,
             max_context: 4096,
             precision: Precision::Fp16,
+            tp_degree: 1,
         }
     }
 
     /// Returns this spec converted to the given precision.
     pub fn with_precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
+        self
+    }
+
+    /// Returns this spec deployed at tensor-parallel degree `tp`: one
+    /// instance claims `tp` slots (accelerators) of a node and pays the
+    /// per-iteration all-reduce overhead. Degree 1 is the plain
+    /// single-device deployment.
+    ///
+    /// # Panics
+    /// Panics if `tp` is zero.
+    pub fn with_tp(mut self, tp: u32) -> Self {
+        assert!(tp > 0, "tensor-parallel degree must be at least 1");
+        self.tp_degree = tp;
         self
     }
 
@@ -218,5 +243,22 @@ mod tests {
         let r = base.replica(5);
         assert_ne!(r.name, base.name);
         assert_eq!(r.weights_bytes(), base.weights_bytes());
+    }
+
+    #[test]
+    fn tp_degree_defaults_to_one_and_survives_replication() {
+        let base = ModelSpec::llama2_13b();
+        assert_eq!(base.tp_degree, 1);
+        let tp2 = base.with_tp(2);
+        assert_eq!(tp2.tp_degree, 2);
+        assert_eq!(tp2.replica(3).tp_degree, 2);
+        // TP shards compute; the total weight/KV footprint is unchanged.
+        assert_eq!(tp2.weights_bytes(), ModelSpec::llama2_13b().weights_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_tp_rejected() {
+        let _ = ModelSpec::llama2_7b().with_tp(0);
     }
 }

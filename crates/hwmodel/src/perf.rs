@@ -44,6 +44,35 @@ pub trait PerfOracle {
         total_ctx_tokens: u64,
         share: f64,
     ) -> f64;
+
+    /// [`PerfOracle::prefill_time`] for a tensor-parallel instance of
+    /// degree `tp` spanning slots whose shares sum to `share`. The default
+    /// ignores the interconnect (degree 1 semantics); [`AnalyticPerf`]
+    /// adds the all-reduce term.
+    fn prefill_time_tp(
+        &self,
+        model: &ModelSpec,
+        hw: &HardwareSpec,
+        input_len: u32,
+        share: f64,
+        _tp: u32,
+    ) -> f64 {
+        self.prefill_time(model, hw, input_len, share)
+    }
+
+    /// [`PerfOracle::decode_time`] for a tensor-parallel instance of degree
+    /// `tp`. See [`PerfOracle::prefill_time_tp`].
+    fn decode_time_tp(
+        &self,
+        model: &ModelSpec,
+        hw: &HardwareSpec,
+        batch: u32,
+        total_ctx_tokens: u64,
+        share: f64,
+        _tp: u32,
+    ) -> f64 {
+        self.decode_time(model, hw, batch, total_ctx_tokens, share)
+    }
 }
 
 /// The calibrated closed-form model (see module docs).
@@ -89,12 +118,35 @@ impl AnalyticPerf {
         rate * alloc + hw.kv_copy_s_per_gb * moved
     }
 
+    /// Seconds of tensor-parallel collective overhead for one iteration
+    /// that processes `tokens` tokens (prompt tokens for prefill, one per
+    /// decoding sequence for decode) at TP degree `tp`.
+    ///
+    /// Each transformer layer runs two all-reduces over hidden-size FP16
+    /// activations (post-attention and post-MLP): `2 · layers · hidden · 2`
+    /// bytes per token, of which a ring all-reduce moves `2(tp−1)/tp` per
+    /// device, at the node's effective link bandwidth — plus `2 · layers ·
+    /// (tp−1)` latency hops per iteration. Degree 1 costs nothing, so every
+    /// single-slot code path is numerically untouched.
+    pub fn tp_comm_time(&self, model: &ModelSpec, hw: &HardwareSpec, tp: u32, tokens: u64) -> f64 {
+        if tp <= 1 {
+            return 0.0;
+        }
+        let bytes_per_token = 2.0 * model.layers as f64 * model.hidden as f64 * 2.0;
+        let ring = 2.0 * (tp as f64 - 1.0) / tp as f64;
+        let volume = tokens as f64 * bytes_per_token * ring;
+        let hops = 2.0 * model.layers as f64 * (tp as f64 - 1.0);
+        volume / (hw.link_bw_gbps * 1e9) + hops * hw.link_latency_s
+    }
+
     /// Largest batch size whose steady-state decode iteration stays within
     /// `tpot_slo` seconds, with every sequence at context length `ctx`.
     ///
     /// Returns 0 when even a single sequence misses the SLO. This solves the
     /// compute side of Table II; callers intersect it with the KV-capacity
-    /// bound for the memory side.
+    /// bound for the memory side. The model's deployed TP degree is charged
+    /// its all-reduce overhead, so the bound matches what the simulation
+    /// will actually time (degree 1 is the unchanged legacy path).
     pub fn max_batch_under_tpot(
         &self,
         model: &ModelSpec,
@@ -103,11 +155,12 @@ impl AnalyticPerf {
         share: f64,
         tpot_slo: f64,
     ) -> u32 {
+        let tp = model.tp_degree.max(1);
         let mut lo = 0u32;
         let mut hi = 4096u32;
         while lo < hi {
             let mid = (lo + hi).div_ceil(2);
-            let t = self.decode_time(model, hw, mid, mid as u64 * ctx as u64, share);
+            let t = self.decode_time_tp(model, hw, mid, mid as u64 * ctx as u64, share, tp);
             if t <= tpot_slo {
                 lo = mid;
             } else {
@@ -150,6 +203,31 @@ impl PerfOracle for AnalyticPerf {
         let per_seq = 2.0 * model.params as f64 / (hw.decode_tflops * share * 1e12);
         let kv_read = total_ctx_tokens as f64 * model.kv_bytes_per_token() as f64 / bw;
         weights_pass + batch as f64 * per_seq + kv_read
+    }
+
+    fn prefill_time_tp(
+        &self,
+        model: &ModelSpec,
+        hw: &HardwareSpec,
+        input_len: u32,
+        share: f64,
+        tp: u32,
+    ) -> f64 {
+        self.prefill_time(model, hw, input_len, share)
+            + self.tp_comm_time(model, hw, tp, input_len as u64)
+    }
+
+    fn decode_time_tp(
+        &self,
+        model: &ModelSpec,
+        hw: &HardwareSpec,
+        batch: u32,
+        total_ctx_tokens: u64,
+        share: f64,
+        tp: u32,
+    ) -> f64 {
+        self.decode_time(model, hw, batch, total_ctx_tokens, share)
+            + self.tp_comm_time(model, hw, tp, batch as u64)
     }
 }
 
@@ -443,6 +521,51 @@ mod tests {
             128,
             0.0,
         );
+    }
+
+    /// TP degree 1 is the identity: every pre-TP code path is unchanged.
+    #[test]
+    fn tp_degree_one_is_free() {
+        let p = AnalyticPerf::new();
+        let m = ModelSpec::llama2_13b();
+        let hw = HardwareSpec::a100_80g().ganged(4);
+        assert_eq!(p.tp_comm_time(&m, &hw, 1, 4096), 0.0);
+        assert_eq!(
+            p.prefill_time_tp(&m, &hw, 2048, 0.25, 1),
+            p.prefill_time(&m, &hw, 2048, 0.25)
+        );
+        assert_eq!(
+            p.decode_time_tp(&m, &hw, 16, 16 * 1024, 0.25, 1),
+            p.decode_time(&m, &hw, 16, 16 * 1024, 0.25)
+        );
+    }
+
+    /// The interconnect discount: on an n-device gang, a TP=k instance has
+    /// k× the compute of a single slot but pays the all-reduce term, so
+    /// its speedup over TP=1 is strictly below k (and still above 1).
+    #[test]
+    fn tp_speedup_is_sublinear() {
+        let p = AnalyticPerf::new();
+        let m = ModelSpec::llama2_13b();
+        let hw = HardwareSpec::a100_80g().ganged(4);
+        let decode = |tp: u32| {
+            let share = tp as f64 / 4.0;
+            p.decode_time_tp(&m, &hw, 16, 16 * 2048, share, tp)
+        };
+        let prefill = |tp: u32| {
+            let share = tp as f64 / 4.0;
+            p.prefill_time_tp(&m, &hw, 2048, share, tp)
+        };
+        for t in [decode(1) / decode(2), prefill(1) / prefill(2)] {
+            assert!(t > 1.0 && t < 2.0, "TP=2 speedup {t} must be in (1, 2)");
+        }
+        for t in [decode(1) / decode(4), prefill(1) / prefill(4)] {
+            assert!(t > 1.0 && t < 4.0, "TP=4 speedup {t} must be in (1, 4)");
+        }
+        // Overhead grows with degree: each extra device adds hops + volume.
+        let m2 = p.tp_comm_time(&m, &hw, 2, 16);
+        let m4 = p.tp_comm_time(&m, &hw, 4, 16);
+        assert!(m4 > m2 && m2 > 0.0);
     }
 
     /// Monotonicity invariants the schedulers rely on.

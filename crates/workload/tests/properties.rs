@@ -1,0 +1,93 @@
+//! Property-based tests for `Trace::merge`: the scenario builder's
+//! workload axis leans on the merge being a well-behaved interleave —
+//! sorted by arrival, densely renumbered, class-preserving, and the
+//! identity on a single segment.
+
+use proptest::prelude::*;
+
+use simcore::time::{SimDuration, SimTime};
+use workload::request::{ModelId, Request, RequestId, SloClass, Trace};
+
+/// One generated segment: arrival offsets in milliseconds, each with an
+/// input/output shape and an SLO class tag. Like every real generator's
+/// output, ids are dense in arrival order (the driver's record table
+/// requires that of any trace it replays).
+fn arb_segment() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0u64..600_000, 1u32..4096, 1u32..256, 0u16..3), 0..40).prop_map(
+        |mut reqs| {
+            reqs.sort_unstable();
+            let requests = reqs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (ms, input, output, class))| Request {
+                    id: RequestId(i as u64),
+                    model: ModelId((i % 5) as u32),
+                    arrival: SimTime::from_millis(ms),
+                    input_len: input,
+                    output_len: output,
+                    class: SloClass(class),
+                })
+                .collect();
+            Trace::new(requests, 5, SimDuration::from_secs(600))
+        },
+    )
+}
+
+/// The multiset of payloads (everything but the renumbered id), sorted.
+fn payloads(t: &Trace) -> Vec<(u64, u32, u32, u32, u16)> {
+    let mut v: Vec<_> = t
+        .requests
+        .iter()
+        .map(|r| {
+            (
+                r.arrival.as_millis(),
+                r.model.0,
+                r.input_len,
+                r.output_len,
+                r.class.0,
+            )
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #[test]
+    fn merge_sorts_renumbers_and_preserves_payloads(
+        segments in prop::collection::vec(arb_segment(), 1..5)
+    ) {
+        let mut expected: Vec<(u64, u32, u32, u32, u16)> = Vec::new();
+        for s in &segments {
+            expected.extend(payloads(s));
+        }
+        expected.sort_unstable();
+        let merged = Trace::merge(segments);
+        // Output is sorted by arrival…
+        prop_assert!(merged
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+        // …ids are dense after renumbering…
+        for (i, r) in merged.requests.iter().enumerate() {
+            prop_assert_eq!(r.id.0 as usize, i);
+        }
+        // …and nothing is lost, duplicated, or rewritten (class tags
+        // included) — the payload multiset is exactly the union.
+        prop_assert_eq!(payloads(&merged), expected);
+    }
+
+    #[test]
+    fn merge_is_identity_on_a_single_segment(segment in arb_segment()) {
+        let merged = Trace::merge(vec![segment.clone()]);
+        prop_assert_eq!(
+            format!("{:?}", merged.requests),
+            format!("{:?}", segment.requests)
+        );
+        prop_assert_eq!(merged.n_models, segment.n_models);
+        prop_assert_eq!(
+            merged.duration.as_millis(),
+            segment.duration.as_millis()
+        );
+    }
+}

@@ -13,8 +13,8 @@
 use bench::runner::{world_cfg, System};
 use bench::sweep::{Scenario, Sweep};
 use bench::zoo;
-use cluster::{ClusterSpec, NodeId, RunMetrics};
-use hwmodel::ModelSpec;
+use cluster::{ClusterSpec, NodeId, NodeSpec, RunMetrics};
+use hwmodel::{HardwareSpec, ModelSpec};
 use simcore::time::SimTime;
 use slinfer::SlinferConfig;
 use workload::request::Slo;
@@ -205,6 +205,52 @@ fn slo_mix_runs_replay_byte_identically() {
     }
 }
 
+/// FNV-1a over a fingerprint string. Stable across processes and
+/// platforms — unlike `HashMap` iteration order, which randomizes per
+/// process. Comparing against a *pinned* hash therefore catches exactly
+/// the bug class a same-process replay-equality test cannot: state whose
+/// iteration order leaks hash randomness produces a different fingerprint
+/// in a different process, and every CI run is a different process.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Cross-process regression for the node-event path (the PR-2 bug class):
+/// the drain/fail scenario sweeps SLINFER's parked/issued scale-op maps and
+/// re-places displaced requests, so any hash-ordered policy state would
+/// shift this fingerprint between processes. The pinned constants were
+/// captured once; if a PR *intentionally* changes scheduling behaviour,
+/// re-run with `--nocapture` and update them alongside the goldens.
+#[test]
+fn node_event_path_fingerprint_is_cross_process_stable() {
+    let cases: [(System, u64); 2] = [
+        (
+            System::Slinfer(SlinferConfig::default()),
+            0x333f_70bb_4c18_4ddd,
+        ),
+        (System::SllmC, 0xef30_bf4e_bfae_dc8a),
+    ];
+    for (sys, pinned) in cases {
+        let mut m = run_churn(&sys, 42);
+        let h = fnv1a(&fingerprint(&mut m));
+        println!("{} node-event fingerprint hash: {h:#018x}", sys.name());
+        assert_eq!(
+            h,
+            pinned,
+            "{}'s drain/fail replay diverged from the cross-process pin — \
+             either hash-ordered state leaked into the node-event path, or a \
+             deliberate scheduling change needs this constant re-captured \
+             (run with --nocapture and copy the printed hash)",
+            sys.name()
+        );
+    }
+}
+
 #[test]
 fn churn_runs_replay_byte_identically() {
     for sys in [
@@ -222,6 +268,74 @@ fn churn_runs_replay_byte_identically() {
         );
         assert_eq!(a.node_drains, 1);
         assert_eq!(a.node_failures, 1);
+    }
+}
+
+/// A tensor-parallel scenario: a multi-accelerator fleet serving TP=2
+/// deployments under churn (one node fails mid-trace, displacing whole
+/// slot groups). New TP state — slot-group claims, group busy-until
+/// entries, TP-keyed quantifier profiles — must keep same-seed replays
+/// byte-identical.
+fn run_tp(sys: &System, seed: u64) -> RunMetrics {
+    let models = zoo::replicas(&ModelSpec::llama2_13b().with_tp(2), 6);
+    let fleet = ClusterSpec {
+        nodes: vec![NodeSpec::multi_accel(HardwareSpec::a100_80g(), 4); 2],
+    };
+    let sc = Scenario::new(fleet, models)
+        .config(world_cfg(seed))
+        .workload(TraceSpec::azure_like(6, 5).with_load_scale(0.8).generate())
+        .fail_at(SimTime::from_secs(400), NodeId(1));
+    sys.run_scenario(sc)
+}
+
+#[test]
+fn tp_runs_replay_byte_identically() {
+    for sys in [System::Sllm, System::Slinfer(SlinferConfig::default())] {
+        let mut a = run_tp(&sys, 42);
+        let mut b = run_tp(&sys, 42);
+        assert_eq!(
+            fingerprint(&mut a),
+            fingerprint(&mut b),
+            "{} TP scenario must replay byte-identically",
+            sys.name()
+        );
+        assert_eq!(a.node_failures, 1, "the TP fleet's node failure fired");
+    }
+}
+
+/// The tp_scaling experiment's grid — TP degree as the sweep point — must
+/// be bit-equal between a serial and a 2-worker run, mirroring the CI
+/// cross-check on the full registry experiment.
+#[test]
+fn tp_sweep_threads_one_equals_two() {
+    let build = || {
+        Sweep::new()
+            .points(vec![1u32, 2, 4])
+            .systems(vec![
+                System::Sllm,
+                System::Slinfer(SlinferConfig::default()),
+            ])
+            .seeds(vec![42])
+            .scenario(|cx| {
+                let models = zoo::replicas(&ModelSpec::llama2_13b().with_tp(*cx.point), 4);
+                let fleet = ClusterSpec {
+                    nodes: vec![NodeSpec::multi_accel(HardwareSpec::a100_80g(), 4); 2],
+                };
+                Scenario::new(fleet, models)
+                    .config(world_cfg(cx.seed))
+                    .workload(TraceSpec::azure_like(4, 5).with_load_scale(0.5).generate())
+            })
+    };
+    let mut serial = build().run(1);
+    let mut two = build().run(2);
+    for p in 0..3 {
+        for s in 0..2 {
+            assert_eq!(
+                fingerprint(serial.metrics_mut(p, s, 0)),
+                fingerprint(two.metrics_mut(p, s, 0)),
+                "tp cell ({p},{s}) diverged between --threads 1 and 2"
+            );
+        }
     }
 }
 
