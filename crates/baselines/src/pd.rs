@@ -78,7 +78,12 @@ impl PdSllm {
             return crate::groups::claim_slot_group(w, model, &free, tp, |_, _| true)
                 .map(|(inst, _)| inst);
         }
-        for (_, node, slot) in free {
+        // CPUs first, then warmest checkpoint tier (startup-time-estimated
+        // scheduling); ties keep the legacy (node, slot) order.
+        let mut order = crate::groups::score_free_slots(w, model, &free);
+        order.sort_unstable();
+        for (_, _, fi) in order {
+            let (_, node, slot) = free[fi];
             let slot_mem = w.node_hw(node).mem_bytes / w.slot_count(node) as u64;
             let grant = slot_mem.saturating_sub(spec.weights_bytes()).min(
                 w.node_available_bytes(node)

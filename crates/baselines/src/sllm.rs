@@ -173,6 +173,11 @@ impl Sllm {
     /// are consumed from `free` as instances are created, so a retry pass
     /// over the whole queue scans the cluster once instead of once per
     /// request.
+    ///
+    /// Candidate slots are ordered ServerlessLLM-style by estimated
+    /// startup time from each node's warmest checkpoint tier (CPUs still
+    /// first; ties keep the legacy `(node, slot)` order, so the flat
+    /// default configuration replays byte-identically).
     fn try_create_on(
         &mut self,
         w: &mut World,
@@ -184,8 +189,10 @@ impl Sllm {
         if tp > 1 {
             return self.try_create_group(w, rr, free, tp);
         }
-        // A new instance on an idle slot, CPUs first.
-        for fi in 0..free.len() {
+        // A new instance on an idle slot: CPUs first, warmest tier next.
+        let mut order = crate::groups::score_free_slots(w, model, free);
+        order.sort_unstable();
+        for (_, _, fi) in order {
             let (_, node, slot) = free[fi];
             if !self.node_usable(w, node, model) {
                 continue;

@@ -9,6 +9,7 @@
 //! wall-clock microbenchmarks) compute directly into the report.
 
 pub mod abl_overestimate;
+pub mod cold_start;
 pub mod disc_quantization;
 pub mod fault_drain;
 pub mod fig04_sllm_capacity;

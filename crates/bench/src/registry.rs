@@ -172,6 +172,11 @@ pub const REGISTRY: &[Experiment] = &[
         title: "Scenario suite — tensor-parallel degree × model size × load",
         run: experiments::tp_scaling::run,
     },
+    Experiment {
+        name: "cold_start",
+        title: "Scenario suite — cold starts across checkpoint tiers (cache × zoo × load)",
+        run: experiments::cold_start::run,
+    },
 ];
 
 /// Looks an experiment up by name.
@@ -226,8 +231,8 @@ mod tests {
 
     #[test]
     fn registry_has_all_experiments() {
-        // 26 paper figures/tables plus the 4 scenario-suite experiments.
-        assert_eq!(REGISTRY.len(), 30);
+        // 26 paper figures/tables plus the 5 scenario-suite experiments.
+        assert_eq!(REGISTRY.len(), 31);
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! Per-node tiered checkpoint storage (ServerlessLLM-style).
+//!
+//! Every cold start used to cost a flat `weights / load_bw` regardless of
+//! where the checkpoint lived. In real serverless LLM clusters checkpoint
+//! *placement* is the dominant cold-start lever: ServerlessLLM keeps a
+//! multi-tier checkpoint cache (GPU memory → host DRAM → local SSD →
+//! remote registry) and schedules onto the node with the lowest estimated
+//! startup time, and λScale distributes models across nodes to dodge the
+//! remote fetch entirely. This module models that hierarchy:
+//!
+//! - [`CheckpointConfig`] — the per-run knobs: DRAM/SSD cache capacities,
+//!   whether concurrent loads contend on the node's shared loading
+//!   channel, and whether co-resident weights short-circuit to an HBM
+//!   copy. The default reproduces the flat legacy loader **bit for bit**
+//!   (infinite pre-staged DRAM, no contention, no HBM shortcut), which is
+//!   what keeps all pre-existing experiment goldens byte-identical.
+//! - [`CheckpointStore`] — one node's cache state machine: deterministic
+//!   LRU lists for the DRAM and SSD tiers. Checkpoints are promoted into
+//!   DRAM when a load fetches them, demoted to SSD when DRAM evicts them,
+//!   dropped when SSD evicts them, and the whole store is dropped on a
+//!   `NodeFail` (a drain leaves it intact, so a drained node re-joining
+//!   the schedulable set still has its warm tiers).
+//!
+//! [`crate::World`] owns one store per node and layers the HBM tier on
+//! top (HBM residency is derived from the live instance table, not
+//! cached here).
+
+use hwmodel::CheckpointTier;
+use workload::request::ModelId;
+
+/// Run-level configuration of the checkpoint storage hierarchy.
+///
+/// The default ([`CheckpointConfig::flat`]) models the legacy flat loader:
+/// an unbounded DRAM cache with every checkpoint pre-staged, no loading
+/// contention, and no HBM shortcut — every cold start costs exactly
+/// `weights / load_bw`, reproducing pre-hierarchy runs byte-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointConfig {
+    /// Per-node DRAM checkpoint-cache capacity in bytes. `None` models an
+    /// unbounded, pre-staged cache: every checkpoint is always a DRAM hit
+    /// and nothing is tracked or evicted (the flat legacy loader).
+    /// `Some(cap)` tracks an LRU cache: misses fall through to the SSD
+    /// tier and evictions demote there.
+    pub dram_capacity_bytes: Option<u64>,
+    /// Per-node SSD capacity in bytes. `None` models checkpoints stored on
+    /// every node's local SSD (the ServerlessLLM deployment assumption);
+    /// `Some(cap)` tracks an LRU cache whose misses are remote registry
+    /// fetches (`Some(0)` disables the SSD tier outright). Irrelevant
+    /// while the DRAM tier is unbounded.
+    pub ssd_capacity_bytes: Option<u64>,
+    /// Model the node's shared loading channel: `k` concurrent cold
+    /// starts on one node each see `1/k` of their tier bandwidth, and
+    /// in-flight loads speed up when a neighbour finishes. Off in the
+    /// flat configuration.
+    pub contention: bool,
+    /// Serve a cold start of a model that already has an *active*
+    /// instance on the node from HBM (device-to-device copy at serving
+    /// memory bandwidth) instead of re-loading from the cache hierarchy.
+    /// Off in the flat configuration.
+    pub hbm_hits: bool,
+}
+
+impl CheckpointConfig {
+    /// The flat legacy loader (see struct docs). This is the default.
+    pub fn flat() -> Self {
+        CheckpointConfig {
+            dram_capacity_bytes: None,
+            ssd_capacity_bytes: None,
+            contention: false,
+            hbm_hits: false,
+        }
+    }
+
+    /// The full hierarchy: a finite LRU DRAM cache, an SSD tier
+    /// (`None` = every checkpoint SSD-local), loading contention, and HBM
+    /// hits — the ServerlessLLM-style configuration the `cold_start`
+    /// experiment sweeps.
+    pub fn tiered(dram_capacity_bytes: u64, ssd_capacity_bytes: Option<u64>) -> Self {
+        CheckpointConfig {
+            dram_capacity_bytes: Some(dram_capacity_bytes),
+            ssd_capacity_bytes,
+            contention: true,
+            hbm_hits: true,
+        }
+    }
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig::flat()
+    }
+}
+
+/// One LRU-tracked cache tier: entries ordered coldest-first, byte-capped.
+#[derive(Debug, Clone, Default)]
+struct LruTier {
+    /// `(model, bytes)` in recency order — front is next to evict.
+    entries: Vec<(ModelId, u64)>,
+    used: u64,
+}
+
+impl LruTier {
+    fn contains(&self, model: ModelId) -> bool {
+        self.entries.iter().any(|&(m, _)| m == model)
+    }
+
+    /// Refreshes recency if present.
+    fn touch(&mut self, model: ModelId) {
+        if let Some(ix) = self.entries.iter().position(|&(m, _)| m == model) {
+            let e = self.entries.remove(ix);
+            self.entries.push(e);
+        }
+    }
+
+    /// Inserts (or refreshes) `model`, evicting coldest-first down to
+    /// `cap`; returns the evicted entries in eviction order. A checkpoint
+    /// larger than the whole tier is not cached at all (it would evict
+    /// everything and then itself).
+    fn insert(&mut self, model: ModelId, bytes: u64, cap: u64) -> Vec<(ModelId, u64)> {
+        if self.contains(model) {
+            self.touch(model);
+            return Vec::new();
+        }
+        if bytes > cap {
+            return Vec::new();
+        }
+        self.entries.push((model, bytes));
+        self.used += bytes;
+        let mut evicted = Vec::new();
+        while self.used > cap {
+            let victim = self.entries.remove(0);
+            debug_assert!(victim.0 != model, "capacity check above");
+            self.used -= victim.1;
+            evicted.push(victim);
+        }
+        evicted
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.used = 0;
+    }
+
+    fn models(&self) -> Vec<ModelId> {
+        self.entries.iter().map(|&(m, _)| m).collect()
+    }
+}
+
+/// One node's checkpoint cache state machine (DRAM + SSD tiers; the HBM
+/// tier is derived from the live instance table by [`crate::World`]).
+/// Fully deterministic: recency lists, no hashing.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    dram: LruTier,
+    ssd: LruTier,
+}
+
+impl CheckpointStore {
+    /// A store with both tiers empty.
+    pub fn new() -> Self {
+        CheckpointStore::default()
+    }
+
+    /// The warmest tier currently holding `model`'s checkpoint, without
+    /// touching any recency state (scheduling estimates use this).
+    pub fn peek_tier(&self, model: ModelId, cfg: &CheckpointConfig) -> CheckpointTier {
+        match cfg.dram_capacity_bytes {
+            None => return CheckpointTier::Dram,
+            Some(_) if self.dram.contains(model) => return CheckpointTier::Dram,
+            Some(_) => {}
+        }
+        match cfg.ssd_capacity_bytes {
+            None => CheckpointTier::Ssd,
+            Some(_) if self.ssd.contains(model) => CheckpointTier::Ssd,
+            Some(_) => CheckpointTier::Remote,
+        }
+    }
+
+    /// Fetches `model`'s checkpoint for a cold start: returns the tier it
+    /// was served from and promotes it through the hierarchy — into the
+    /// DRAM LRU (evictions demote to SSD), and remote fetches persist to
+    /// the SSD tier on the way in.
+    pub fn fetch(&mut self, model: ModelId, bytes: u64, cfg: &CheckpointConfig) -> CheckpointTier {
+        let tier = self.peek_tier(model, cfg);
+        if let Some(ssd_cap) = cfg.ssd_capacity_bytes {
+            if tier == CheckpointTier::Remote {
+                // Write-through: the downloaded checkpoint lands on disk.
+                let _ = self.ssd.insert(model, bytes, ssd_cap);
+            } else {
+                self.ssd.touch(model);
+            }
+        }
+        if let Some(dram_cap) = cfg.dram_capacity_bytes {
+            for (victim, victim_bytes) in self.dram.insert(model, bytes, dram_cap) {
+                // Demote on eviction; beyond-SSD spills are dropped.
+                if let Some(ssd_cap) = cfg.ssd_capacity_bytes {
+                    let _ = self.ssd.insert(victim, victim_bytes, ssd_cap);
+                }
+            }
+        }
+        tier
+    }
+
+    /// Refreshes `model`'s recency without a fetch (HBM hits read the
+    /// co-resident copy, but the checkpoint is clearly hot).
+    pub fn touch(&mut self, model: ModelId) {
+        self.dram.touch(model);
+        self.ssd.touch(model);
+    }
+
+    /// Drops everything — the `NodeFail` path (DRAM contents die with the
+    /// host, and a failed node's disk never rejoins the fleet).
+    pub fn clear(&mut self) {
+        self.dram.clear();
+        self.ssd.clear();
+    }
+
+    /// Models currently DRAM-cached, coldest first (empty while the DRAM
+    /// tier is unbounded — nothing is tracked).
+    pub fn dram_models(&self) -> Vec<ModelId> {
+        self.dram.models()
+    }
+
+    /// Models currently on the SSD tier, coldest first.
+    pub fn ssd_models(&self) -> Vec<ModelId> {
+        self.ssd.models()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1_000_000_000;
+
+    fn tiered(dram_gb: u64, ssd_gb: Option<u64>) -> CheckpointConfig {
+        CheckpointConfig::tiered(dram_gb * GB, ssd_gb.map(|g| g * GB))
+    }
+
+    #[test]
+    fn flat_config_is_always_a_dram_hit() {
+        let cfg = CheckpointConfig::flat();
+        let mut s = CheckpointStore::new();
+        for m in 0..100 {
+            assert_eq!(s.peek_tier(ModelId(m), &cfg), CheckpointTier::Dram);
+            assert_eq!(s.fetch(ModelId(m), 500 * GB, &cfg), CheckpointTier::Dram);
+        }
+        assert!(s.dram_models().is_empty(), "unbounded tier tracks nothing");
+    }
+
+    #[test]
+    fn finite_dram_misses_fall_to_ssd_then_promote() {
+        // 30 GB DRAM, SSD-local checkpoints (ssd = None → infinite).
+        let cfg = tiered(30, None);
+        let mut s = CheckpointStore::new();
+        let m = ModelId(0);
+        assert_eq!(s.fetch(m, 14 * GB, &cfg), CheckpointTier::Ssd);
+        // Promoted: the next cold start is a DRAM hit.
+        assert_eq!(s.fetch(m, 14 * GB, &cfg), CheckpointTier::Dram);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_and_demotes_to_ssd() {
+        // 30 GB DRAM + 100 GB SSD, three 14 GB models: the third insert
+        // evicts the coldest (model 0), which demotes to SSD.
+        let cfg = tiered(30, Some(100));
+        let mut s = CheckpointStore::new();
+        for m in 0..3 {
+            assert_eq!(s.fetch(ModelId(m), 14 * GB, &cfg), CheckpointTier::Remote);
+        }
+        assert_eq!(s.dram_models(), vec![ModelId(1), ModelId(2)]);
+        assert_eq!(s.peek_tier(ModelId(0), &cfg), CheckpointTier::Ssd);
+        // Touching model 1 protects it: model 2 is now the next victim.
+        s.touch(ModelId(1));
+        assert_eq!(s.fetch(ModelId(3), 14 * GB, &cfg), CheckpointTier::Remote);
+        assert_eq!(s.dram_models(), vec![ModelId(1), ModelId(3)]);
+        assert_eq!(s.peek_tier(ModelId(2), &cfg), CheckpointTier::Ssd);
+    }
+
+    #[test]
+    fn ssd_evictions_drop_entirely() {
+        // 14 GB DRAM + 28 GB SSD: filling the SSD pushes the coldest
+        // checkpoint out of the cluster's reach — back to Remote.
+        let cfg = tiered(14, Some(28));
+        let mut s = CheckpointStore::new();
+        for m in 0..4 {
+            s.fetch(ModelId(m), 14 * GB, &cfg);
+        }
+        assert_eq!(s.peek_tier(ModelId(0), &cfg), CheckpointTier::Remote);
+    }
+
+    #[test]
+    fn oversized_checkpoints_stream_through_uncached() {
+        let cfg = tiered(10, Some(10));
+        let mut s = CheckpointStore::new();
+        assert_eq!(s.fetch(ModelId(0), 14 * GB, &cfg), CheckpointTier::Remote);
+        // Still remote: nothing could hold it.
+        assert_eq!(s.fetch(ModelId(0), 14 * GB, &cfg), CheckpointTier::Remote);
+        assert!(s.dram_models().is_empty() && s.ssd_models().is_empty());
+    }
+
+    #[test]
+    fn clear_drops_both_tiers() {
+        let cfg = tiered(30, Some(100));
+        let mut s = CheckpointStore::new();
+        s.fetch(ModelId(0), 14 * GB, &cfg);
+        s.clear();
+        assert_eq!(s.peek_tier(ModelId(0), &cfg), CheckpointTier::Remote);
+    }
+
+    #[test]
+    fn no_ssd_tier_means_remote_misses() {
+        let cfg = CheckpointConfig::tiered(30 * GB, Some(0));
+        let mut s = CheckpointStore::new();
+        assert_eq!(s.fetch(ModelId(0), 14 * GB, &cfg), CheckpointTier::Remote);
+        // DRAM-promoted, but an eviction has nowhere to demote to.
+        assert_eq!(s.peek_tier(ModelId(0), &cfg), CheckpointTier::Dram);
+        s.fetch(ModelId(1), 14 * GB, &cfg);
+        s.fetch(ModelId(2), 14 * GB, &cfg);
+        assert_eq!(s.peek_tier(ModelId(0), &cfg), CheckpointTier::Remote);
+    }
+}

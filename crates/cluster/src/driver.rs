@@ -152,7 +152,17 @@ impl<P: Policy> Simulation<P> {
                 w.release_slot(inst);
                 self.sweep_draining(inst);
             }
-            Event::LoadDone { inst, elapsed } => {
+            Event::LoadDone {
+                inst,
+                elapsed,
+                epoch,
+            } => {
+                // Contended loads are rescheduled whenever their node's
+                // loading channel changes membership; only the event
+                // matching the channel's current epoch completes the load.
+                let Some(elapsed) = w.resolve_load_done(inst, elapsed, epoch) else {
+                    return;
+                };
                 w.apply_load_done(inst, elapsed);
                 self.policy.on_load_done(w, inst);
                 self.sweep_draining(inst);

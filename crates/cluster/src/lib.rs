@@ -7,6 +7,10 @@
 //! - [`node`] — [`NodeSpec`]/[`ClusterSpec`]: nodes with execution *slots*
 //!   (full-node for SLINFER and the exclusive baselines; two half-node slots
 //!   for `sllm+c+s` static sharing) and a physical memory ledger.
+//! - [`checkpoint`] — [`CheckpointConfig`]/[`CheckpointStore`]: the
+//!   per-node tiered checkpoint cache (HBM/DRAM/SSD/remote) behind
+//!   locality-aware cold starts; the default configuration reproduces the
+//!   flat legacy loader bit for bit.
 //! - [`world`] — [`World`]: the live cluster state (instances, committed
 //!   memory, clock, RNG, event queue) and the *only* API policies may use to
 //!   act: admit requests, start iterations, create/unload instances, issue
@@ -26,6 +30,7 @@
 //!   experiment harness prints (SLO-met requests, TTFT CDF, decode speed
 //!   per node, average nodes used, …).
 
+pub mod checkpoint;
 pub mod driver;
 pub mod metrics;
 pub mod node;
@@ -33,7 +38,9 @@ pub mod policy;
 pub mod scenario;
 pub mod world;
 
+pub use checkpoint::{CheckpointConfig, CheckpointStore};
 pub use driver::Simulation;
+pub use hwmodel::CheckpointTier;
 pub use metrics::{RequestRecord, RunMetrics};
 pub use node::{ClusterSpec, NodeId, NodeSpec};
 pub use policy::Policy;

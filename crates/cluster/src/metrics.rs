@@ -122,6 +122,14 @@ pub struct RunMetrics {
     pub kv_util: Summary,
     /// Cold starts (instance loads) performed.
     pub cold_starts: u64,
+    /// Cold starts begun, by checkpoint source tier — indexed by
+    /// [`hwmodel::CheckpointTier::index`] (`[hbm, dram, ssd, remote]`).
+    /// Under the flat default loader every load counts as a DRAM hit.
+    pub cold_tier_loads: [u64; 4],
+    /// Seconds of completed cold-start loading, by checkpoint source tier
+    /// (same indexing as [`Self::cold_tier_loads`]). Contended loads
+    /// report their stretched wall-clock duration.
+    pub cold_tier_seconds: [f64; 4],
     /// KV rescale operations completed.
     pub scale_ops: u64,
     /// Seconds instances spent blocked on KV rescales.
@@ -278,6 +286,11 @@ impl RunMetrics {
             HardwareKind::Gpu => self.mem_util_gpu.mean(),
             _ => self.mem_util_cpu.mean(),
         }
+    }
+
+    /// Total seconds spent cold-start loading, across every tier.
+    pub fn cold_start_seconds_total(&self) -> f64 {
+        self.cold_tier_seconds.iter().sum()
     }
 
     /// Fraction of instance lifetime spent blocked on KV rescales (Fig. 31).

@@ -107,6 +107,14 @@ impl Scenario {
         self
     }
 
+    /// Sets the checkpoint storage hierarchy (shorthand for patching the
+    /// config): per-node DRAM/SSD cache capacities, loading contention,
+    /// HBM hits. The default is the flat legacy loader.
+    pub fn checkpoints(mut self, ckpt: crate::checkpoint::CheckpointConfig) -> Self {
+        self.cfg.checkpoints = ckpt;
+        self
+    }
+
     // ------------------------------------------------------------------
     // Workload axis
     // ------------------------------------------------------------------

@@ -19,12 +19,15 @@ use std::collections::BTreeMap;
 
 use engine::instance::{Instance, InstanceId, InstanceState, IterationKind};
 use engine::request::RunningRequest;
-use hwmodel::{AnalyticPerf, HardwareKind, HardwareSpec, ModelSpec, NoiseModel, PerfOracle};
+use hwmodel::{
+    AnalyticPerf, CheckpointTier, HardwareKind, HardwareSpec, ModelSpec, NoiseModel, PerfOracle,
+};
 use simcore::events::EventQueue;
 use simcore::rng::SimRng;
 use simcore::time::{SimDuration, SimTime};
 use workload::request::{ModelId, RequestId, Slo};
 
+use crate::checkpoint::{CheckpointConfig, CheckpointStore};
 use crate::metrics::RunMetrics;
 use crate::node::{ClusterSpec, NodeId, NodeSpec};
 use workload::request::{Request, SloClass};
@@ -52,6 +55,10 @@ pub struct WorldConfig {
     /// Cross-node KV transfer bandwidth for PD disaggregation, GB/s
     /// (§IX-G uses 100 Gbps ⇒ 12.5 GB/s).
     pub kv_transfer_gbps: f64,
+    /// The checkpoint storage hierarchy (per-node DRAM/SSD caches, loading
+    /// contention, HBM hits). The default, [`CheckpointConfig::flat`],
+    /// reproduces the legacy flat loader bit for bit.
+    pub checkpoints: CheckpointConfig,
 }
 
 impl Default for WorldConfig {
@@ -65,6 +72,7 @@ impl Default for WorldConfig {
             sample_period: SimDuration::from_secs(1),
             drain_grace: SimDuration::from_secs(900),
             kv_transfer_gbps: 12.5,
+            checkpoints: CheckpointConfig::flat(),
         }
     }
 }
@@ -168,10 +176,15 @@ pub(crate) enum Event {
         kind: IterationKind,
         elapsed: SimDuration,
     },
-    /// A cold-start load completes.
+    /// A cold-start load completes. `epoch` is 0 for fixed-duration
+    /// (uncontended) loads; contended loads are rescheduled whenever the
+    /// node's loading channel changes membership, and only the event
+    /// matching the channel's current epoch is live — stale ones are
+    /// skipped by [`World::resolve_load_done`].
     LoadDone {
         inst: InstanceId,
         elapsed: SimDuration,
+        epoch: u64,
     },
     /// A KV rescale completes.
     ScaleDone {
@@ -190,12 +203,48 @@ pub(crate) enum Event {
     Cluster(ClusterEvent),
 }
 
+/// One in-flight cold start on a node's shared loading channel.
+#[derive(Debug, Clone)]
+struct ActiveLoad {
+    /// Seconds of work remaining at the load's *uncontended* tier
+    /// bandwidth (noise already folded in); the channel divides progress
+    /// by the number of concurrent loads.
+    remaining_s: f64,
+    /// When the load began (completion reports `now - started`).
+    started: SimTime,
+}
+
 struct NodeState {
     hw: HardwareSpec,
     slot_shares: Vec<f64>,
     slot_busy: Vec<bool>,
     committed: u64,
     health: NodeHealth,
+    /// Tiered checkpoint cache (DRAM/SSD LRU state machine).
+    store: CheckpointStore,
+    /// In-flight contended loads sharing this node's loading channel.
+    loads: BTreeMap<InstanceId, ActiveLoad>,
+    /// Last time `loads` progress was settled.
+    loads_settled_at: SimTime,
+    /// Bumped on every channel-membership change; live `LoadDone` events
+    /// carry the current value.
+    load_epoch: u64,
+}
+
+impl NodeState {
+    fn new(spec: &NodeSpec) -> Self {
+        NodeState {
+            hw: spec.hw.clone(),
+            slot_shares: spec.slot_shares.clone(),
+            slot_busy: vec![false; spec.slot_shares.len()],
+            committed: 0,
+            health: NodeHealth::Up,
+            store: CheckpointStore::new(),
+            loads: BTreeMap::new(),
+            loads_settled_at: SimTime::ZERO,
+            load_epoch: 0,
+        }
+    }
 }
 
 /// An instance plus its placement.
@@ -208,6 +257,8 @@ pub struct Hosted {
     /// plain instances; `tp` entries for tensor-parallel placements, all
     /// on [`Hosted::node`]. Iterations occupy every slot of the group.
     pub slots: Vec<usize>,
+    /// The checkpoint tier this instance's cold start loaded from.
+    pub load_tier: CheckpointTier,
 }
 
 impl Hosted {
@@ -245,17 +296,7 @@ impl World {
     pub fn new(cluster: &ClusterSpec, models: Vec<ModelSpec>, cfg: WorldConfig) -> Self {
         cluster.validate().expect("invalid cluster");
         assert!(!models.is_empty(), "model registry is empty");
-        let nodes = cluster
-            .nodes
-            .iter()
-            .map(|n| NodeState {
-                hw: n.hw.clone(),
-                slot_shares: n.slot_shares.clone(),
-                slot_busy: vec![false; n.slot_shares.len()],
-                committed: 0,
-                health: NodeHealth::Up,
-            })
-            .collect();
+        let nodes = cluster.nodes.iter().map(NodeState::new).collect();
         let rng = SimRng::new(cfg.seed).split(0xC1A5);
         World {
             cfg,
@@ -522,10 +563,73 @@ impl World {
         )
     }
 
-    /// Cold-start duration estimate for a model on a node.
+    /// True when a cold start of `model` on `node` would be served from
+    /// HBM: the config enables HBM hits and an *active* instance of the
+    /// model already holds the weights in serving memory (a loading
+    /// neighbour's weights are not there yet). The estimate path and the
+    /// actual load must agree on this predicate, so both use it.
+    fn hbm_resident(&self, model: ModelId, node: NodeId) -> bool {
+        self.cfg.checkpoints.hbm_hits
+            && self.instances.values().any(|h| {
+                h.node == node && h.inst.model == model && h.inst.state == InstanceState::Active
+            })
+    }
+
+    /// The warmest checkpoint tier holding `model` on `node`: HBM when an
+    /// active instance of the model is co-resident (and the config enables
+    /// HBM hits), else whatever the node's DRAM/SSD cache state says.
+    /// Read-only — recency is untouched, so estimates never perturb runs.
+    pub fn checkpoint_tier(&self, model: ModelId, node: NodeId) -> CheckpointTier {
+        if self.hbm_resident(model, node) {
+            return CheckpointTier::Hbm;
+        }
+        self.nodes[node.0 as usize]
+            .store
+            .peek_tier(model, &self.cfg.checkpoints)
+    }
+
+    /// Models currently in `node`'s DRAM checkpoint cache, coldest first
+    /// (empty while the DRAM tier is unbounded — nothing is tracked).
+    pub fn checkpoint_dram_models(&self, node: NodeId) -> Vec<ModelId> {
+        self.nodes[node.0 as usize].store.dram_models()
+    }
+
+    /// Models currently on `node`'s SSD checkpoint tier, coldest first.
+    pub fn checkpoint_ssd_models(&self, node: NodeId) -> Vec<ModelId> {
+        self.nodes[node.0 as usize].store.ssd_models()
+    }
+
+    /// Cold starts currently sharing `node`'s loading channel.
+    pub fn loads_in_flight(&self, node: NodeId) -> usize {
+        self.nodes[node.0 as usize].loads.len()
+    }
+
+    /// Cold-start duration estimate for a model on a node: ServerlessLLM's
+    /// startup-time estimate, from the checkpoint's warmest tier on that
+    /// node, accounting for the loads it would share the loading channel
+    /// with. Placement, feasibility, and the scale-up path all score
+    /// candidate nodes with this. Under the flat default configuration it
+    /// degenerates to `weights / load_bw`, the legacy estimate.
     pub fn estimate_load_s(&self, model: ModelId, node: NodeId) -> f64 {
+        let tier = self.checkpoint_tier(model, node);
+        let concurrent = if self.cfg.checkpoints.contention && tier != CheckpointTier::Hbm {
+            self.nodes[node.0 as usize].loads.len() as u32 + 1
+        } else {
+            1
+        };
         self.perf
-            .load_time(self.model_spec(model), self.node_hw(node))
+            .load_time(self.model_spec(model), self.node_hw(node), tier, concurrent)
+    }
+
+    /// [`World::estimate_load_s`] as an integer-nanosecond sort key — the
+    /// startup-time score SLINFER and the baselines order placement
+    /// candidates by. One definition, so the scheduling signal cannot
+    /// drift between policies; integer so `(rank, score, …)` tuples keep
+    /// a deterministic total order, with ties falling back to each
+    /// caller's legacy ordering (which is what makes the flat default
+    /// configuration replay byte-identically).
+    pub fn startup_score_ns(&self, model: ModelId, node: NodeId) -> u64 {
+        (self.estimate_load_s(model, node) * 1e9).round() as u64
     }
 
     /// KV-transfer delay for PD disaggregation: `tokens · C / bandwidth`.
@@ -604,19 +708,152 @@ impl World {
         self.nodes[node.0 as usize].committed += needed;
         let id = InstanceId(self.next_instance);
         self.next_instance += 1;
-        let inst = Instance::new(id, model, spec, kv_grant_bytes, self.clock);
-        self.instances.insert(id, Hosted { inst, node, slots });
-        let base = self.estimate_load_s(model, node);
-        let dur = SimDuration::from_secs_f64(self.cfg.noise.apply(base, &mut self.rng));
-        self.metrics.cold_starts += 1;
-        self.events.push(
-            self.clock + dur,
-            Event::LoadDone {
-                inst: id,
-                elapsed: dur,
+        // Fetch the checkpoint from its warmest tier, promoting it through
+        // the node's cache hierarchy. HBM hits copy the co-resident weights
+        // device-to-device and only refresh cache recency.
+        let ix = node.0 as usize;
+        let ckpt = self.cfg.checkpoints.clone();
+        let tier = if self.hbm_resident(model, node) {
+            self.nodes[ix].store.touch(model);
+            CheckpointTier::Hbm
+        } else {
+            self.nodes[ix]
+                .store
+                .fetch(model, spec.weights_bytes(), &ckpt)
+        };
+        let inst = Instance::new(id, model, spec.clone(), kv_grant_bytes, self.clock);
+        self.instances.insert(
+            id,
+            Hosted {
+                inst,
+                node,
+                slots,
+                load_tier: tier,
             },
         );
+        self.metrics.cold_starts += 1;
+        self.metrics.cold_tier_loads[tier.index()] += 1;
+        let hw = self.nodes[ix].hw.clone();
+        let base = self.perf.load_time(&spec, &hw, tier, 1);
+        let work = self.cfg.noise.apply(base, &mut self.rng);
+        if ckpt.contention && tier != CheckpointTier::Hbm {
+            // Join the node's shared loading channel: everyone slows down
+            // to bw/k and the whole channel is rescheduled.
+            self.settle_loads(ix);
+            self.nodes[ix].loads.insert(
+                id,
+                ActiveLoad {
+                    remaining_s: work,
+                    started: self.clock,
+                },
+            );
+            self.reschedule_loads(ix);
+        } else {
+            let dur = SimDuration::from_secs_f64(work);
+            self.events.push(
+                self.clock + dur,
+                Event::LoadDone {
+                    inst: id,
+                    elapsed: dur,
+                    epoch: 0,
+                },
+            );
+        }
         Ok(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Shared loading channel (contended cold starts)
+    // ------------------------------------------------------------------
+
+    /// Advances every in-flight load on a node to `now`: with `k` loads
+    /// sharing the channel, each completes `1/k` units of work per second.
+    fn settle_loads(&mut self, node_ix: usize) {
+        let now = self.clock;
+        let n = &mut self.nodes[node_ix];
+        let k = n.loads.len();
+        if k > 0 {
+            let elapsed = now.since(n.loads_settled_at).as_secs_f64();
+            if elapsed > 0.0 {
+                let rate = 1.0 / k as f64;
+                for l in n.loads.values_mut() {
+                    l.remaining_s = (l.remaining_s - elapsed * rate).max(0.0);
+                }
+            }
+        }
+        n.loads_settled_at = now;
+    }
+
+    /// Reschedules every in-flight load on a node after a membership
+    /// change (a load joined, finished, or was cancelled): each load's
+    /// completion lands at `now + remaining · k`, under a fresh epoch so
+    /// previously pushed events go stale.
+    fn reschedule_loads(&mut self, node_ix: usize) {
+        let n = &mut self.nodes[node_ix];
+        n.load_epoch += 1;
+        let epoch = n.load_epoch;
+        let k = n.loads.len();
+        if k == 0 {
+            return;
+        }
+        let now = self.clock;
+        let pending: Vec<(SimTime, InstanceId, SimTime)> = n
+            .loads
+            .iter()
+            .map(|(&inst, l)| {
+                let finish = now + SimDuration::from_secs_f64(l.remaining_s * k as f64);
+                (finish, inst, l.started)
+            })
+            .collect();
+        for (finish, inst, started) in pending {
+            self.events.push(
+                finish,
+                Event::LoadDone {
+                    inst,
+                    elapsed: finish.since(started),
+                    epoch,
+                },
+            );
+        }
+    }
+
+    /// Removes a (possibly absent) in-flight contended load, speeding the
+    /// survivors back up. Used when a loading instance is unloaded (drain)
+    /// or preempted before its cold start finished.
+    fn cancel_load(&mut self, inst: InstanceId, node_ix: usize) {
+        if self.nodes[node_ix].loads.contains_key(&inst) {
+            self.settle_loads(node_ix);
+            self.nodes[node_ix].loads.remove(&inst);
+            self.reschedule_loads(node_ix);
+        }
+    }
+
+    /// Validates a `LoadDone` event against the loading channel. Returns
+    /// the load's true elapsed duration, or `None` for a stale event (the
+    /// channel was rescheduled after it was pushed, or the instance is
+    /// gone). Fixed-duration loads (epoch 0) pass through unchanged.
+    pub(crate) fn resolve_load_done(
+        &mut self,
+        inst: InstanceId,
+        elapsed: SimDuration,
+        epoch: u64,
+    ) -> Option<SimDuration> {
+        if epoch == 0 {
+            return Some(elapsed);
+        }
+        let node_ix = match self.instances.get(&inst) {
+            Some(h) => h.node.0 as usize,
+            // The instance died (NodeFail / drain unload) with its load.
+            None => return None,
+        };
+        if epoch != self.nodes[node_ix].load_epoch || !self.nodes[node_ix].loads.contains_key(&inst)
+        {
+            return None;
+        }
+        self.settle_loads(node_ix);
+        self.nodes[node_ix].loads.remove(&inst);
+        self.reschedule_loads(node_ix);
+        Some(elapsed)
     }
 
     /// Admits a request to an instance. If the instance is still loading,
@@ -768,6 +1005,9 @@ impl World {
             "unloading a non-idle instance"
         );
         let freed = h.inst.spec.weights_bytes() + h.inst.kv_capacity_bytes();
+        // A still-loading instance leaves the shared loading channel, and
+        // any co-loading survivors speed back up.
+        self.cancel_load(inst, h.node.0 as usize);
         let node = &mut self.nodes[h.node.0 as usize];
         node.committed = node.committed.saturating_sub(freed);
         self.metrics.instance_lifetime_s += self.clock.since(h.inst.created_at).as_secs_f64();
@@ -863,6 +1103,11 @@ impl World {
                 for b in &mut n.slot_busy {
                     *b = false;
                 }
+                // The checkpoint cache dies with the host (DRAM is gone and
+                // the disk never rejoins the fleet), and so do in-flight
+                // loads — their LoadDone events go stale with the entries.
+                n.store.clear();
+                n.loads.clear();
                 // Everything hosted is gone; salvage the request states.
                 let lost: Vec<InstanceId> = self.instances_on_node(*node);
                 let now = self.clock;
@@ -879,13 +1124,7 @@ impl World {
             }
             ClusterEvent::NodeJoin(spec) => {
                 spec.validate().expect("invalid joining node");
-                self.nodes.push(NodeState {
-                    hw: spec.hw.clone(),
-                    slot_shares: spec.slot_shares.clone(),
-                    slot_busy: vec![false; spec.slot_shares.len()],
-                    committed: 0,
-                    health: NodeHealth::Up,
-                });
+                self.nodes.push(NodeState::new(spec));
                 self.metrics.node_joins += 1;
                 Vec::new()
             }
@@ -970,6 +1209,9 @@ impl World {
     pub(crate) fn apply_load_done(&mut self, inst: InstanceId, elapsed: SimDuration) {
         let now = self.clock;
         let mut graced: Vec<(RequestId, SimDuration)> = Vec::new();
+        if let Some(h) = self.instances.get(&inst) {
+            self.metrics.cold_tier_seconds[h.load_tier.index()] += elapsed.as_secs_f64();
+        }
         if let Some(h) = self.instances.get_mut(&inst) {
             h.inst.activate(now);
             for r in h.inst.requests_mut() {
@@ -1047,5 +1289,142 @@ impl World {
             .map(|h| now.since(h.inst.created_at).as_secs_f64())
             .sum();
         self.metrics.instance_lifetime_s += total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::ClusterSpec;
+
+    const GB: u64 = 1_000_000_000;
+
+    fn tiered_world(nodes: ClusterSpec, models: Vec<ModelSpec>) -> World {
+        let cfg = WorldConfig {
+            noise: NoiseModel::off(),
+            checkpoints: CheckpointConfig::tiered(30 * GB, Some(100 * GB)),
+            ..WorldConfig::default()
+        };
+        World::new(&nodes, models, cfg)
+    }
+
+    #[test]
+    fn node_fail_drops_cache_and_inflight_loads() {
+        let mut w = tiered_world(
+            ClusterSpec::heterogeneous(0, 2),
+            vec![ModelSpec::llama2_7b()],
+        );
+        w.create_instance(ModelId(0), NodeId(0), 0, 4 * GB)
+            .expect("fits");
+        assert_eq!(w.checkpoint_dram_models(NodeId(0)), vec![ModelId(0)]);
+        assert_eq!(w.checkpoint_ssd_models(NodeId(0)), vec![ModelId(0)]);
+        assert_eq!(w.loads_in_flight(NodeId(0)), 1);
+        let displaced = w.apply_cluster_event(&ClusterEvent::NodeFail(NodeId(0)));
+        assert!(displaced.is_empty(), "nothing admitted yet");
+        // DRAM died with the host; the disk never rejoins the fleet.
+        assert!(w.checkpoint_dram_models(NodeId(0)).is_empty());
+        assert!(w.checkpoint_ssd_models(NodeId(0)).is_empty());
+        assert_eq!(w.loads_in_flight(NodeId(0)), 0);
+        assert_eq!(
+            w.checkpoint_tier(ModelId(0), NodeId(0)),
+            CheckpointTier::Remote
+        );
+        // The untouched node is still cold too — caches are per-node.
+        assert_eq!(
+            w.checkpoint_tier(ModelId(0), NodeId(1)),
+            CheckpointTier::Remote
+        );
+    }
+
+    #[test]
+    fn node_drain_preserves_cache() {
+        let mut w = tiered_world(
+            ClusterSpec::heterogeneous(0, 1),
+            vec![ModelSpec::llama2_7b()],
+        );
+        w.create_instance(ModelId(0), NodeId(0), 0, 4 * GB)
+            .expect("fits");
+        let _ = w.apply_cluster_event(&ClusterEvent::NodeDrain(NodeId(0)));
+        // A drained node keeps its warm tiers: if it rejoins the
+        // schedulable set, the checkpoint is still DRAM-local.
+        assert_eq!(w.checkpoint_dram_models(NodeId(0)), vec![ModelId(0)]);
+        assert_eq!(
+            w.checkpoint_tier(ModelId(0), NodeId(0)),
+            CheckpointTier::Dram
+        );
+    }
+
+    #[test]
+    fn tp_group_is_one_load_on_the_channel() {
+        // A TP=2 instance loads its shards as ONE aggregate stream — it
+        // must never count as `tp` separate contenders on the channel.
+        let nodes = ClusterSpec {
+            nodes: vec![NodeSpec::multi_accel(HardwareSpec::a100_80g(), 4)],
+        };
+        let tp_model = ModelSpec::llama2_13b().with_tp(2);
+        let mut w = tiered_world(nodes, vec![tp_model, ModelSpec::llama2_7b()]);
+        w.create_instance_group(ModelId(0), NodeId(0), &[0, 1], 8 * GB)
+            .expect("fits");
+        assert_eq!(w.loads_in_flight(NodeId(0)), 1);
+        // A second model's estimate sees exactly 2-way contention (itself
+        // plus the TP group), not 1 + tp.
+        let est = w.estimate_load_s(ModelId(1), NodeId(0));
+        let gang = w.node_hw(NodeId(0)).clone();
+        let alone = w
+            .perf()
+            .load_time(w.model_spec(ModelId(1)), &gang, CheckpointTier::Remote, 1);
+        assert!(
+            (est - 2.0 * alone).abs() / (2.0 * alone) < 1e-9,
+            "estimate {est} vs 2x uncontended {alone}"
+        );
+    }
+
+    #[test]
+    fn estimate_tracks_warmest_tier() {
+        let mut w = tiered_world(
+            ClusterSpec::heterogeneous(0, 1),
+            vec![ModelSpec::llama2_7b(), ModelSpec::llama2_7b().replica(1)],
+        );
+        let spec = w.model_spec(ModelId(0)).clone();
+        let hw = w.node_hw(NodeId(0)).clone();
+        let remote = w.perf().load_time(&spec, &hw, CheckpointTier::Remote, 1);
+        let dram = w.perf().load_time(&spec, &hw, CheckpointTier::Dram, 1);
+        assert_eq!(w.estimate_load_s(ModelId(0), NodeId(0)), remote);
+        // Loading the checkpoint promotes it: estimates now price a DRAM
+        // hit — but with the load still in flight, a newcomer would share
+        // the channel 2-ways.
+        let inst = w
+            .create_instance(ModelId(0), NodeId(0), 0, 4 * GB)
+            .expect("fits");
+        assert_eq!(w.estimate_load_s(ModelId(0), NodeId(0)), 2.0 * dram);
+        // Once the channel clears the estimate is the plain DRAM hit.
+        w.unload_instance(inst);
+        assert_eq!(w.estimate_load_s(ModelId(0), NodeId(0)), dram);
+        assert_eq!(w.loads_in_flight(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn flat_default_is_the_legacy_flat_loader() {
+        // The default configuration must price every cold start at
+        // exactly weights / load_bw — bit for bit, tier and churn blind.
+        let mut w = World::new(
+            &ClusterSpec::heterogeneous(1, 1),
+            vec![ModelSpec::llama2_7b()],
+            WorldConfig {
+                noise: NoiseModel::off(),
+                ..WorldConfig::default()
+            },
+        );
+        for node in [NodeId(0), NodeId(1)] {
+            let spec = w.model_spec(ModelId(0)).clone();
+            let legacy = spec.weights_bytes() as f64 / (w.node_hw(node).load_bw_gbps * 1e9);
+            assert_eq!(w.estimate_load_s(ModelId(0), node), legacy);
+            assert_eq!(w.checkpoint_tier(ModelId(0), node), CheckpointTier::Dram);
+        }
+        // Cold starts never join the loading channel in flat mode.
+        w.create_instance(ModelId(0), NodeId(1), 0, 4 * GB)
+            .expect("fits");
+        assert_eq!(w.loads_in_flight(NodeId(1)), 0);
+        assert_eq!(w.metrics.cold_tier_loads, [0, 1, 0, 0]);
     }
 }

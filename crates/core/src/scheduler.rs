@@ -587,8 +587,14 @@ impl Slinfer {
         let require = (first_tokens * spec.kv_bytes_per_token() as f64).ceil() as u64;
         let grant = recommend_bytes(require, self.cfg.watermark);
 
-        // Order nodes: CPU (if feasible) before GPU; best-fit within a kind.
-        let mut options: Vec<(u8, u64, NodeId)> = Vec::new();
+        // Order nodes: CPU (if feasible) before GPU; then ServerlessLLM's
+        // startup-time-estimated scheduling — the estimated load time from
+        // each node's warmest checkpoint tier (HBM co-residency, DRAM
+        // cache, SSD, remote fetch, plus loading-channel contention);
+        // best-fit breaks the remaining ties. Under the flat default
+        // checkpoint configuration every node of a kind scores the same,
+        // so the legacy (kind, best-fit) order replays byte-identically.
+        let mut options: Vec<(u8, u64, u64, NodeId)> = Vec::new();
         for node in w.node_ids() {
             if !self.node_allowed(w, node, model) {
                 continue;
@@ -606,12 +612,16 @@ impl Slinfer {
             if avail < needed || w.node_available_bytes(node) < needed {
                 continue;
             }
-            // Best fit: smallest leftover first.
-            options.push((kind_rank, avail - needed, node));
+            options.push((
+                kind_rank,
+                w.startup_score_ns(model, node),
+                avail - needed,
+                node,
+            ));
         }
         options.sort();
         let tp = spec.tp_degree.max(1) as usize;
-        for (_, _, node) in options {
+        for (_, _, _, node) in options {
             // The slot group this instance would claim (the least-loaded
             // slot for plain models, a k-slot group for TP deployments).
             let Some(group) = w.slot_group_for(node, tp) else {
@@ -628,11 +638,16 @@ impl Slinfer {
                 w.node_available_bytes(node)
                     .saturating_sub(spec.weights_bytes())
             };
+            // Estimate the activation time *before* creating: the fetch
+            // below promotes the checkpoint and joins the loading channel,
+            // so a post-create estimate would price the warmer, busier
+            // state instead of the load actually being issued. (Identical
+            // either way under the flat default configuration.)
+            let act = w.now() + SimDuration::from_secs_f64(w.estimate_load_s(model, node));
             match w.create_instance_group(model, node, &group, effective_grant) {
                 Ok(inst) => {
                     self.planner()
                         .commit(node, spec.weights_bytes() + effective_grant);
-                    let act = w.now() + SimDuration::from_secs_f64(w.estimate_load_s(model, node));
                     self.expected_active.insert(inst, act);
                     if self.cfg.pd_disaggregate && as_prefill {
                         self.prefill_insts.insert(inst);

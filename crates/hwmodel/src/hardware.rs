@@ -40,6 +40,63 @@ impl HardwareKind {
     }
 }
 
+/// Where a model checkpoint is resident relative to one node, warmest
+/// first. Each tier maps to a loading bandwidth on [`HardwareSpec`]
+/// (ServerlessLLM's multi-tier checkpoint loader):
+///
+/// - [`CheckpointTier::Hbm`] — another live instance already holds the
+///   weights in this node's serving memory; a device-to-device copy at
+///   `mem_bw_gbps` is all a new instance needs (≈ 0 versus any real load).
+/// - [`CheckpointTier::Dram`] — the checkpoint sits in the node's host
+///   DRAM cache and streams in at `load_bw_gbps` (the classic
+///   ServerlessLLM fast-loader path; this is what the flat legacy loader
+///   always modeled).
+/// - [`CheckpointTier::Ssd`] — local NVMe holds the checkpoint; the load
+///   is bounded by `ssd_bw_gbps`.
+/// - [`CheckpointTier::Remote`] — nothing local: a registry fetch over
+///   the datacenter network at `remote_bw_gbps`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CheckpointTier {
+    /// Weights already resident in serving memory (co-located instance).
+    Hbm,
+    /// Host-DRAM checkpoint cache hit.
+    Dram,
+    /// Local-SSD checkpoint hit.
+    Ssd,
+    /// Remote registry fetch (cold everywhere).
+    Remote,
+}
+
+impl CheckpointTier {
+    /// All tiers, warmest first (handy for per-tier reporting).
+    pub const ALL: [CheckpointTier; 4] = [
+        CheckpointTier::Hbm,
+        CheckpointTier::Dram,
+        CheckpointTier::Ssd,
+        CheckpointTier::Remote,
+    ];
+
+    /// Dense index into per-tier tables (`ALL[self.index()] == self`).
+    pub fn index(self) -> usize {
+        match self {
+            CheckpointTier::Hbm => 0,
+            CheckpointTier::Dram => 1,
+            CheckpointTier::Ssd => 2,
+            CheckpointTier::Remote => 3,
+        }
+    }
+
+    /// Short label for tables and JSON dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            CheckpointTier::Hbm => "hbm",
+            CheckpointTier::Dram => "dram",
+            CheckpointTier::Ssd => "ssd",
+            CheckpointTier::Remote => "remote",
+        }
+    }
+}
+
 /// Effective performance envelope of one node type.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HardwareSpec {
@@ -59,8 +116,19 @@ pub struct HardwareSpec {
     pub decode_tflops: f64,
     /// Effective memory bandwidth for weight/KV streaming, GB/s.
     pub mem_bw_gbps: f64,
-    /// Weight-loading bandwidth into this node's serving memory, GB/s.
+    /// Weight-loading bandwidth into this node's serving memory from the
+    /// host-DRAM checkpoint cache, GB/s ([`CheckpointTier::Dram`]; the
+    /// flat legacy loader charged every cold start this rate).
     pub load_bw_gbps: f64,
+    /// Checkpoint read bandwidth of the node's local SSD, GB/s
+    /// ([`CheckpointTier::Ssd`]). A host-level resource: unlike
+    /// `load_bw_gbps` it does *not* scale with [`HardwareSpec::ganged`] —
+    /// every device on a multi-accelerator server shares one NVMe array.
+    pub ssd_bw_gbps: f64,
+    /// Checkpoint fetch bandwidth from the remote model registry, GB/s
+    /// ([`CheckpointTier::Remote`]). Host-level like the SSD: the NIC is
+    /// shared across the server and does not scale with `ganged`.
+    pub remote_bw_gbps: f64,
     /// KV rescale: seconds per GB of the enlarged cache (scale-up is
     /// allocation-dominated — Fig. 17's 2× curve).
     pub kv_up_s_per_gb: f64,
@@ -95,6 +163,9 @@ impl HardwareSpec {
             decode_tflops: 100.0,
             mem_bw_gbps: 1300.0,
             load_bw_gbps: 14.0,
+            // Local NVMe array ~6 GB/s; registry fetch over a 10 Gbps NIC.
+            ssd_bw_gbps: 6.0,
+            remote_bw_gbps: 1.25,
             kv_up_s_per_gb: 0.027,
             kv_down_s_per_gb: 0.01625,
             kv_copy_s_per_gb: 0.0025,
@@ -117,6 +188,8 @@ impl HardwareSpec {
             decode_tflops: 11.5,
             mem_bw_gbps: 200.0,
             load_bw_gbps: 20.0,
+            ssd_bw_gbps: 6.0,
+            remote_bw_gbps: 1.25,
             kv_up_s_per_gb: 0.012,
             kv_down_s_per_gb: 0.008,
             kv_copy_s_per_gb: 0.002,
@@ -139,6 +212,8 @@ impl HardwareSpec {
             decode_tflops: 3.1,
             mem_bw_gbps: 150.0,
             load_bw_gbps: 20.0,
+            ssd_bw_gbps: 6.0,
+            remote_bw_gbps: 1.25,
             kv_up_s_per_gb: 0.012,
             kv_down_s_per_gb: 0.008,
             kv_copy_s_per_gb: 0.002,
@@ -151,9 +226,13 @@ impl HardwareSpec {
     /// An `n`-accelerator aggregate of this node type: a multi-GPU server
     /// (or multi-socket CPU host) whose serving memory, compute, memory
     /// bandwidth, and weight-loading bandwidth all scale `n`× — each device
-    /// keeps its own HBM and loads its weight shard in parallel. The
+    /// keeps its own HBM and loads its weight shard in parallel, so a
+    /// tensor-parallel group's `k` shard streams are one aggregate load,
+    /// never `k` separate contenders on the node's loading channel. The
     /// interconnect envelope (`link_bw_gbps`, `link_latency_s`) is
-    /// per-device and does not scale.
+    /// per-device and does not scale, and neither do the host-level
+    /// checkpoint media (`ssd_bw_gbps`, `remote_bw_gbps`): all devices
+    /// share one NVMe array and one NIC.
     ///
     /// Pair with [`crate::ModelSpec::with_tp`] and a node split into `n`
     /// equal slots so tensor-parallel instances can claim `k ≤ n` devices.
@@ -193,6 +272,20 @@ impl HardwareSpec {
             mem_bw_gbps: self.mem_bw_gbps * share,
             cores: ((self.cores as f64 * share).round() as u32).max(1),
             ..self.clone()
+        }
+    }
+
+    /// Checkpoint-loading bandwidth from the given storage tier, GB/s.
+    ///
+    /// HBM hits move device-to-device at the serving memory bandwidth;
+    /// DRAM hits use the fast-loader path; SSD and remote fetches are
+    /// bounded by the host's NVMe array and NIC respectively.
+    pub fn tier_bw_gbps(&self, tier: CheckpointTier) -> f64 {
+        match tier {
+            CheckpointTier::Hbm => self.mem_bw_gbps,
+            CheckpointTier::Dram => self.load_bw_gbps,
+            CheckpointTier::Ssd => self.ssd_bw_gbps,
+            CheckpointTier::Remote => self.remote_bw_gbps,
         }
     }
 
@@ -261,6 +354,10 @@ mod tests {
         // The interconnect is per-device: a bigger gang is not a faster link.
         assert_eq!(four.link_bw_gbps, one.link_bw_gbps);
         assert_eq!(four.link_latency_s, one.link_latency_s);
+        // Host-level checkpoint media are shared, not per-device: the SSD
+        // and the registry NIC do not get faster with more accelerators.
+        assert_eq!(four.ssd_bw_gbps, one.ssd_bw_gbps);
+        assert_eq!(four.remote_bw_gbps, one.remote_bw_gbps);
         assert_eq!(four.kind, one.kind);
         // A quarter-share slot of the gang is exactly one device's compute.
         let slot = four.fraction(0.25);

@@ -37,7 +37,7 @@ pub mod model;
 pub mod noise;
 pub mod perf;
 
-pub use hardware::{HardwareKind, HardwareSpec};
+pub use hardware::{CheckpointTier, HardwareKind, HardwareSpec};
 pub use model::{ModelSpec, Precision};
 pub use noise::NoiseModel;
 pub use perf::{AnalyticPerf, PerfOracle};

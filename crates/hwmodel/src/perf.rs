@@ -11,7 +11,11 @@
 //!   `t = weights/BW + B·2P/C_dec + Σctx·kv_per_token/BW` — a weights pass
 //!   shared by the whole batch (why batching is sub-linear, Fig. 7), a
 //!   per-sequence compute term, and the KV-read term that grows with context.
-//! - **Load**: weights / load bandwidth (ServerlessLLM loader).
+//! - **Load**: weights / tier bandwidth, where the tier is the warmest
+//!   [`CheckpointTier`] holding the checkpoint (HBM co-resident copy, DRAM
+//!   cache, local SSD, or a remote registry fetch — ServerlessLLM's
+//!   multi-tier loader), divided further by the number of loads sharing
+//!   the node's loading channel.
 //! - **KV rescale**: `alloc·new + copy·moved` (Fig. 16/17 procedure).
 //!
 //! INT4 quantization (§X) shrinks the weights pass and load time via
@@ -20,7 +24,7 @@
 //!
 //! Every coefficient is validated against the paper in this module's tests.
 
-use crate::hardware::HardwareSpec;
+use crate::hardware::{CheckpointTier, HardwareSpec};
 use crate::model::ModelSpec;
 
 /// A source of iteration-time estimates.
@@ -73,6 +77,28 @@ pub trait PerfOracle {
     ) -> f64 {
         self.decode_time(model, hw, batch, total_ctx_tokens, share)
     }
+
+    /// Seconds to cold-start-load the model's weights into serving memory
+    /// from checkpoint tier `tier`, while `concurrent` loads (including
+    /// this one) share the node's loading channel: `k` simultaneous loads
+    /// each see `1/k` of the tier's bandwidth (ServerlessLLM's multi-tier
+    /// loader behind one shared staging pipeline). A tensor-parallel
+    /// deployment is *one* load here — its shard streams are already
+    /// aggregated in [`HardwareSpec::ganged`]'s `load_bw_gbps`, so a TP
+    /// group must never be charged as `k` channel contenders.
+    ///
+    /// With `tier == Dram` and `concurrent <= 1` this is exactly the flat
+    /// legacy loader (`weights / load_bw`), bit for bit.
+    fn load_time(
+        &self,
+        model: &ModelSpec,
+        hw: &HardwareSpec,
+        tier: CheckpointTier,
+        concurrent: u32,
+    ) -> f64 {
+        let k = concurrent.max(1) as f64;
+        model.weights_bytes() as f64 / ((hw.tier_bw_gbps(tier) / k) * 1e9)
+    }
 }
 
 /// The calibrated closed-form model (see module docs).
@@ -87,11 +113,6 @@ impl AnalyticPerf {
     /// hardware.
     pub fn new() -> Self {
         AnalyticPerf { _private: () }
-    }
-
-    /// Seconds to load the model's weights into serving memory (cold start).
-    pub fn load_time(&self, model: &ModelSpec, hw: &HardwareSpec) -> f64 {
-        model.weights_bytes() as f64 / (hw.load_bw_gbps * 1e9)
     }
 
     /// Seconds to rescale a KV cache from `old_bytes` to `new_bytes` when
@@ -416,12 +437,100 @@ mod tests {
         assert!(within(up, 1.9, 0.25), "scale-up {up} s (paper 1.9)");
     }
 
-    /// §IX-A: cold-start loads a 7B model in about 1 second.
+    /// §IX-A: cold-start loads a 7B model in about 1 second (DRAM tier —
+    /// the ServerlessLLM fast-loader path the flat legacy loader modeled).
     #[test]
     fn sllm_loader_speed() {
         let p = AnalyticPerf::new();
-        let t = p.load_time(&ModelSpec::llama2_7b(), &HardwareSpec::a100_80g());
+        let t = p.load_time(
+            &ModelSpec::llama2_7b(),
+            &HardwareSpec::a100_80g(),
+            CheckpointTier::Dram,
+            1,
+        );
         assert!(within(t, 1.0, 0.10), "7B load {t} s");
+    }
+
+    /// Tier ordering: an HBM hit is ≈ 0 next to any real load, DRAM beats
+    /// SSD beats a remote registry fetch, on both node classes.
+    #[test]
+    fn tier_load_times_are_ordered() {
+        let p = AnalyticPerf::new();
+        let m = ModelSpec::llama2_7b();
+        for hw in [HardwareSpec::a100_80g(), HardwareSpec::xeon4_amx_32c()] {
+            let t = |tier| p.load_time(&m, &hw, tier, 1);
+            let (hbm, dram, ssd, remote) = (
+                t(CheckpointTier::Hbm),
+                t(CheckpointTier::Dram),
+                t(CheckpointTier::Ssd),
+                t(CheckpointTier::Remote),
+            );
+            assert!(
+                hbm <= 0.1 * dram,
+                "{}: HBM hit {hbm} s must be ≈ 0",
+                hw.name
+            );
+            assert!(hbm < dram && dram < ssd && ssd < remote, "{}", hw.name);
+            // Exact ratios: each tier is weights over its bandwidth.
+            assert!(within(
+                remote / dram,
+                hw.load_bw_gbps / hw.remote_bw_gbps,
+                1e-9
+            ));
+        }
+    }
+
+    /// The shared loading channel: k simultaneous loads each see bw/k, so
+    /// per-load time scales exactly k× at any tier.
+    #[test]
+    fn contention_divides_bandwidth_exactly() {
+        let p = AnalyticPerf::new();
+        let m = ModelSpec::llama2_13b();
+        let hw = HardwareSpec::a100_80g();
+        for tier in CheckpointTier::ALL {
+            let alone = p.load_time(&m, &hw, tier, 1);
+            for k in [2u32, 3, 7] {
+                let contended = p.load_time(&m, &hw, tier, k);
+                assert!(
+                    within(contended, alone * k as f64, 1e-12),
+                    "{tier:?} k={k}: {contended} vs {}",
+                    alone * k as f64
+                );
+            }
+        }
+        // concurrent == 0 is clamped to the uncontended path.
+        assert_eq!(
+            p.load_time(&m, &hw, CheckpointTier::Dram, 0),
+            p.load_time(&m, &hw, CheckpointTier::Dram, 1)
+        );
+    }
+
+    /// `ganged(n)` scales the DRAM fast-loader path n× (each device
+    /// ingests its shard in parallel) but not the host-level SSD/NIC
+    /// tiers — and a TP group is one load, so loading a TP=n model on an
+    /// n-gang from DRAM costs exactly what one device's full-model load
+    /// costs (the shards split n ways across an n× channel).
+    #[test]
+    fn ganged_load_interacts_with_tiers() {
+        let p = AnalyticPerf::new();
+        let m = ModelSpec::llama2_13b();
+        let one = HardwareSpec::a100_80g();
+        let gang = one.ganged(4);
+        let dram_one = p.load_time(&m, &one, CheckpointTier::Dram, 1);
+        let dram_gang = p.load_time(&m, &gang, CheckpointTier::Dram, 1);
+        assert!(within(dram_gang * 4.0, dram_one, 1e-12));
+        // SSD/remote fetches are host-bound: no speedup from more devices.
+        assert_eq!(
+            p.load_time(&m, &one, CheckpointTier::Ssd, 1),
+            p.load_time(&m, &gang, CheckpointTier::Ssd, 1)
+        );
+        assert_eq!(
+            p.load_time(&m, &one, CheckpointTier::Remote, 1),
+            p.load_time(&m, &gang, CheckpointTier::Remote, 1)
+        );
+        // Two TP groups loading side by side contend 2-way — not 2·tp-way.
+        let two_groups = p.load_time(&m, &gang, CheckpointTier::Dram, 2);
+        assert!(within(two_groups, 2.0 * dram_gang, 1e-12));
     }
 
     /// §IV-A2 tight-SLO limits: at 100 ms TPOT only ≤7B works, batch ≤9 at
@@ -494,8 +603,8 @@ mod tests {
         let t_fp16 = p.decode_time(&fp16, &gpu, 1, 1024, 1.0);
         let t_int4 = p.decode_time(&int4, &gpu, 1, 1024, 1.0);
         assert!(t_int4 < t_fp16);
-        let t_load_fp16 = p.load_time(&fp16, &gpu);
-        let t_load_int4 = p.load_time(&int4, &gpu);
+        let t_load_fp16 = p.load_time(&fp16, &gpu, CheckpointTier::Dram, 1);
+        let t_load_int4 = p.load_time(&int4, &gpu, CheckpointTier::Dram, 1);
         assert!(within(t_load_int4 * 4.0, t_load_fp16, 0.01));
     }
 

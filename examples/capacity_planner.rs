@@ -9,7 +9,7 @@
 //! cargo run --release --example capacity_planner
 //! ```
 
-use hwmodel::{AnalyticPerf, HardwareSpec, ModelSpec, PerfOracle};
+use hwmodel::{AnalyticPerf, CheckpointTier, HardwareSpec, ModelSpec, PerfOracle};
 use workload::request::Slo;
 
 fn main() {
@@ -42,7 +42,9 @@ fn main() {
                 (
                     compute.min(mem_bound),
                     format!("{:.0} GB", kv_room as f64 / 1e9),
-                    format!("{:.1} s", perf.load_time(m, hw)),
+                    // DRAM-cached checkpoint, uncontended — the classic
+                    // ServerlessLLM fast-loader cold start.
+                    format!("{:.1} s", perf.load_time(m, hw, CheckpointTier::Dram, 1)),
                 )
             } else {
                 (0, "-".into(), "-".into())

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Regenerate goldens/quick-seed7/ — the byte-diffed experiment captures CI
+# guards — in one auditable command.
+#
+# The golden set is derived from `bench list`, so it always matches the
+# registry exactly: one `<name>.json` per registered experiment (orphans
+# from unregistered experiments are removed), plus the concatenated
+# stdout of the whole suite as stdout.txt (kept for reference, never
+# byte-diffed). Refuses to run with a dirty working tree so a golden
+# refresh is always its own reviewable diff.
+
+set -euo pipefail
+
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+if [ -n "$(git status --porcelain --untracked-files=no)" ]; then
+    echo "error: working tree is dirty — commit or stash first so the" >&2
+    echo "golden refresh is an auditable, self-contained diff:" >&2
+    git status --short --untracked-files=no >&2
+    exit 1
+fi
+
+echo "==> building release"
+cargo build --release
+
+echo "==> running the full suite (quick, 2 workers, seed 7)"
+cargo run --release --bin bench -- all --quick --threads 2 --seed 7 \
+    > /tmp/update-goldens-stdout.txt
+
+echo "==> capturing goldens from the registry"
+mkdir -p goldens/quick-seed7
+rm -f goldens/quick-seed7/*.json
+cargo run --release --bin bench -- list | awk '{print $1}' | while read -r name; do
+    if [ ! -f "results/$name.json" ]; then
+        echo "error: registered experiment \`$name\` produced no results/$name.json" >&2
+        exit 1
+    fi
+    cp "results/$name.json" "goldens/quick-seed7/$name.json"
+done
+cp /tmp/update-goldens-stdout.txt goldens/quick-seed7/stdout.txt
+
+echo "==> done; review and commit:"
+git status --short goldens/
