@@ -119,7 +119,7 @@ impl Sllm {
                 1
             };
             for slot in 0..w.slot_count(node) {
-                if w.instances_on_slot(node, slot).is_empty() {
+                if w.slot_instances(node, slot).is_empty() {
                     slots.push((rank, node, slot));
                 }
             }
@@ -143,9 +143,9 @@ impl Sllm {
     fn try_admit_existing(&mut self, w: &mut World, rr: &RunningRequest) -> bool {
         let model = rr.req.model;
         let mut candidates: Vec<(u8, InstanceId)> = w
-            .instances_of_model(model)
-            .into_iter()
-            .filter_map(|id| {
+            .model_instances(model)
+            .iter()
+            .filter_map(|&id| {
                 let (node, _) = w.instance_placement(id)?;
                 if !w.node_schedulable(node) {
                     return None;
@@ -204,7 +204,7 @@ impl Sllm {
             // the paper's whole-node exception for oversized instances.
             let slot_mem = w.node_hw(node).mem_bytes / w.slot_count(node) as u64;
             let mem_budget = if spec.weights_bytes() + spec.kv_bytes_per_token() * 1024 > slot_mem
-                && w.instances_on_node(node).is_empty()
+                && w.node_instances(node).is_empty()
             {
                 w.node_hw(node).mem_bytes
             } else {
@@ -218,10 +218,7 @@ impl Sllm {
                 continue;
             }
             if w.create_instance(model, node, slot, grant).is_ok() {
-                let inst = *w
-                    .instances_on_slot(node, slot)
-                    .last()
-                    .expect("just created");
+                let inst = *w.slot_instances(node, slot).last().expect("just created");
                 w.admit(inst, rr.clone());
                 free.remove(fi);
                 return true;

@@ -177,6 +177,11 @@ pub const REGISTRY: &[Experiment] = &[
         title: "Scenario suite — cold starts across checkpoint tiers (cache × zoo × load)",
         run: experiments::cold_start::run,
     },
+    Experiment {
+        name: "scale",
+        title: "Fleet-scale throughput grid (sim-s/wall-s, peak RSS) — perf baseline",
+        run: experiments::scale::run,
+    },
 ];
 
 /// Looks an experiment up by name.
@@ -231,8 +236,9 @@ mod tests {
 
     #[test]
     fn registry_has_all_experiments() {
-        // 26 paper figures/tables plus the 5 scenario-suite experiments.
-        assert_eq!(REGISTRY.len(), 31);
+        // 26 paper figures/tables, the 5 scenario-suite experiments, and
+        // the fleet-scale perf grid.
+        assert_eq!(REGISTRY.len(), 32);
     }
 
     #[test]

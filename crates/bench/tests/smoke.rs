@@ -58,6 +58,36 @@ fn every_registered_experiment_runs_quick() {
     }
 }
 
+/// Memoized reruns must present byte-identically to fresh runs: the
+/// report text and every JSON blob, not just headline numbers. Runs two
+/// cell-sharing experiments twice under the cache (second pass served
+/// from memo) and once without it, comparing all three.
+#[test]
+fn memoized_and_fresh_runs_are_byte_identical() {
+    let cli = quick_cli();
+    let names = ["fig04_sllm_capacity", "fig06_ttft_curves"];
+    let render = |name: &str| {
+        let report = registry::run_experiment(bench::find(name).expect("registered"), &cli);
+        let mut out = report.text().to_string();
+        for (blob_name, blob) in report.dumps() {
+            out.push_str(blob_name);
+            out.push_str(blob);
+        }
+        out
+    };
+    bench::memo::enable();
+    let first: Vec<String> = names.iter().map(|n| render(n)).collect();
+    let memoized: Vec<String> = names.iter().map(|n| render(n)).collect();
+    let served = bench::memo::hits();
+    bench::memo::disable();
+    let fresh: Vec<String> = names.iter().map(|n| render(n)).collect();
+    assert!(served > 0, "second pass must be served from the cell cache");
+    for ((a, b), c) in first.iter().zip(&memoized).zip(&fresh) {
+        assert_eq!(a, b, "memoized rerun diverged from the populating run");
+        assert_eq!(a, c, "cached output diverged from a fresh run");
+    }
+}
+
 /// Quick-mode fig04 sweeps two model counts; the blob mirrors that.
 #[test]
 fn fig04_quick_blob_has_one_entry_per_point() {

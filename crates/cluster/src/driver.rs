@@ -50,6 +50,7 @@ impl<P: Policy> Simulation<P> {
     pub fn run(mut self, trace: &Trace) -> RunMetrics {
         let w = &mut self.world;
         w.metrics = RunMetrics::for_trace(&trace.requests);
+        w.metrics.usage_stride = w.cfg.usage_sample_stride;
         w.outstanding = trace.len();
         for r in &trace.requests {
             assert!(
@@ -226,7 +227,7 @@ impl<P: Policy> Simulation<P> {
             if self.world.slot_busy(node, slot) {
                 continue;
             }
-            let has_work = self.world.instances_on_slot(node, slot).iter().any(|&i| {
+            let has_work = self.world.slot_instances(node, slot).iter().any(|&i| {
                 self.world
                     .instance(i)
                     .map(|x| x.has_work())

@@ -59,6 +59,14 @@ pub struct WorldConfig {
     /// contention, HBM hits). The default, [`CheckpointConfig::flat`],
     /// reproduces the legacy flat loader bit for bit.
     pub checkpoints: CheckpointConfig,
+    /// Keep every `n`-th occupancy sample in
+    /// [`RunMetrics::usage_timeline`](crate::metrics::RunMetrics). The
+    /// time-weighted node-busy integrals still see every tick, so summary
+    /// numbers are unchanged; only the plotted timeline thins. The default
+    /// of 1 keeps everything (byte-identical to the historical behaviour);
+    /// fleet-scale runs raise it so a day-long trace does not carry a
+    /// 100k-point timeline per cell. 0 is treated as 1.
+    pub usage_sample_stride: usize,
 }
 
 impl Default for WorldConfig {
@@ -73,6 +81,7 @@ impl Default for WorldConfig {
             drain_grace: SimDuration::from_secs(900),
             kv_transfer_gbps: 12.5,
             checkpoints: CheckpointConfig::flat(),
+            usage_sample_stride: 1,
         }
     }
 }
@@ -269,6 +278,111 @@ impl Hosted {
     }
 }
 
+/// Secondary indexes over [`World::instances`], maintained on every
+/// create / unload / node-fail / node-join.
+///
+/// The hot loop asks "who is on this slot", "who is on this node" and
+/// "where does this model run" once or more per event; at fleet scale the
+/// full-map scans behind those queries were the profile top. Every list
+/// stays ascending by instance id — ids are handed out monotonically, so
+/// inserts append — which preserves the exact iteration order of the
+/// `BTreeMap` scans the index replaces (runs stay byte-identical).
+#[derive(Default)]
+struct InstanceIndex {
+    /// `[node]` → hosted instance ids (ascending).
+    by_node: Vec<Vec<InstanceId>>,
+    /// `[node][slot]` → ids of instances whose slot group covers the slot
+    /// (a tensor-parallel instance appears under every slot it spans).
+    by_slot: Vec<Vec<Vec<InstanceId>>>,
+    /// `[model]` → instance ids (ascending); sized to the model registry.
+    by_model: Vec<Vec<InstanceId>>,
+    /// Nodes with ≥ 1 resident instance, by hardware kind. Occupancy
+    /// sampling reads these counters instead of scanning the fleet.
+    used_cpu_nodes: u32,
+    used_gpu_nodes: u32,
+}
+
+impl InstanceIndex {
+    fn new(slots_per_node: &[usize], n_models: usize) -> Self {
+        InstanceIndex {
+            by_node: vec![Vec::new(); slots_per_node.len()],
+            by_slot: slots_per_node
+                .iter()
+                .map(|&n| vec![Vec::new(); n])
+                .collect(),
+            by_model: vec![Vec::new(); n_models],
+            used_cpu_nodes: 0,
+            used_gpu_nodes: 0,
+        }
+    }
+
+    /// Registers a node that joined mid-run.
+    fn add_node(&mut self, n_slots: usize) {
+        self.by_node.push(Vec::new());
+        self.by_slot.push(vec![Vec::new(); n_slots]);
+    }
+
+    /// Files `id` at the given position, keeping every list sorted.
+    fn insert(
+        &mut self,
+        id: InstanceId,
+        node: usize,
+        slots: &[usize],
+        model: usize,
+        kind: HardwareKind,
+    ) {
+        if self.by_node[node].is_empty() {
+            match kind {
+                HardwareKind::Gpu => self.used_gpu_nodes += 1,
+                _ => self.used_cpu_nodes += 1,
+            }
+        }
+        Self::sorted_insert(&mut self.by_node[node], id);
+        for &s in slots {
+            Self::sorted_insert(&mut self.by_slot[node][s], id);
+        }
+        Self::sorted_insert(&mut self.by_model[model], id);
+    }
+
+    /// Unfiles `id`; the caller passes the placement it was filed under.
+    fn remove(
+        &mut self,
+        id: InstanceId,
+        node: usize,
+        slots: &[usize],
+        model: usize,
+        kind: HardwareKind,
+    ) {
+        Self::sorted_remove(&mut self.by_node[node], id);
+        if self.by_node[node].is_empty() {
+            match kind {
+                HardwareKind::Gpu => self.used_gpu_nodes -= 1,
+                _ => self.used_cpu_nodes -= 1,
+            }
+        }
+        for &s in slots {
+            Self::sorted_remove(&mut self.by_slot[node][s], id);
+        }
+        Self::sorted_remove(&mut self.by_model[model], id);
+    }
+
+    fn sorted_insert(list: &mut Vec<InstanceId>, id: InstanceId) {
+        // Instance ids are monotone, so this is an append in practice.
+        match list.binary_search(&id) {
+            Ok(_) => debug_assert!(false, "instance indexed twice"),
+            Err(pos) => list.insert(pos, id),
+        }
+    }
+
+    fn sorted_remove(list: &mut Vec<InstanceId>, id: InstanceId) {
+        if let Ok(pos) = list.binary_search(&id) {
+            list.remove(pos);
+        } else {
+            debug_assert!(false, "removing an unindexed instance");
+        }
+    }
+}
+
 /// The live cluster state. See module docs.
 pub struct World {
     /// Run configuration.
@@ -277,6 +391,9 @@ pub struct World {
     pub(crate) events: EventQueue<Event>,
     nodes: Vec<NodeState>,
     instances: BTreeMap<InstanceId, Hosted>,
+    /// Indexed views of `instances` (per node / slot / model), maintained
+    /// incrementally so hot-path lookups avoid full-map scans.
+    index: InstanceIndex,
     next_instance: u64,
     models: Vec<ModelSpec>,
     perf: AnalyticPerf,
@@ -296,7 +413,9 @@ impl World {
     pub fn new(cluster: &ClusterSpec, models: Vec<ModelSpec>, cfg: WorldConfig) -> Self {
         cluster.validate().expect("invalid cluster");
         assert!(!models.is_empty(), "model registry is empty");
-        let nodes = cluster.nodes.iter().map(NodeState::new).collect();
+        let nodes: Vec<NodeState> = cluster.nodes.iter().map(NodeState::new).collect();
+        let slots_per_node: Vec<usize> = nodes.iter().map(|n| n.slot_shares.len()).collect();
+        let index = InstanceIndex::new(&slots_per_node, models.len());
         let rng = SimRng::new(cfg.seed).split(0xC1A5);
         World {
             cfg,
@@ -304,6 +423,7 @@ impl World {
             events: EventQueue::new(),
             nodes,
             instances: BTreeMap::new(),
+            index,
             next_instance: 1,
             models,
             perf: AnalyticPerf::new(),
@@ -483,7 +603,7 @@ impl World {
             return None;
         }
         let mut ranked: Vec<(usize, usize)> = (0..n_slots)
-            .map(|s| (self.instances_on_slot(node, s).len(), s))
+            .map(|s| (self.index.by_slot[node.0 as usize][s].len(), s))
             .collect();
         ranked.sort();
         let mut group: Vec<usize> = ranked.into_iter().take(k).map(|(_, s)| s).collect();
@@ -498,30 +618,37 @@ impl World {
 
     /// Instances hosted on `node`.
     pub fn instances_on_node(&self, node: NodeId) -> Vec<InstanceId> {
-        self.instances
-            .iter()
-            .filter(|(_, h)| h.node == node)
-            .map(|(&id, _)| id)
-            .collect()
+        self.node_instances(node).to_vec()
+    }
+
+    /// Borrowed view of the instances hosted on `node` (ascending ids) —
+    /// the allocation-free form of [`World::instances_on_node`].
+    pub fn node_instances(&self, node: NodeId) -> &[InstanceId] {
+        &self.index.by_node[node.0 as usize]
     }
 
     /// Instances whose slot group includes `slot` (a tensor-parallel
     /// instance appears on every slot it spans).
     pub fn instances_on_slot(&self, node: NodeId, slot: usize) -> Vec<InstanceId> {
-        self.instances
-            .iter()
-            .filter(|(_, h)| h.node == node && h.slots.contains(&slot))
-            .map(|(&id, _)| id)
-            .collect()
+        self.slot_instances(node, slot).to_vec()
+    }
+
+    /// Borrowed view of the instances on a slot (ascending ids) — the
+    /// allocation-free form of [`World::instances_on_slot`], for hot paths
+    /// that only inspect the list.
+    pub fn slot_instances(&self, node: NodeId, slot: usize) -> &[InstanceId] {
+        &self.index.by_slot[node.0 as usize][slot]
     }
 
     /// All instances of a model, across the cluster.
     pub fn instances_of_model(&self, model: ModelId) -> Vec<InstanceId> {
-        self.instances
-            .iter()
-            .filter(|(_, h)| h.inst.model == model)
-            .map(|(&id, _)| id)
-            .collect()
+        self.model_instances(model).to_vec()
+    }
+
+    /// Borrowed view of a model's instances (ascending ids) — the
+    /// allocation-free form of [`World::instances_of_model`].
+    pub fn model_instances(&self, model: ModelId) -> &[InstanceId] {
+        &self.index.by_model[model.0 as usize]
     }
 
     // ------------------------------------------------------------------
@@ -570,8 +697,9 @@ impl World {
     /// actual load must agree on this predicate, so both use it.
     fn hbm_resident(&self, model: ModelId, node: NodeId) -> bool {
         self.cfg.checkpoints.hbm_hits
-            && self.instances.values().any(|h| {
-                h.node == node && h.inst.model == model && h.inst.state == InstanceState::Active
+            && self.index.by_node[node.0 as usize].iter().any(|id| {
+                let h = &self.instances[id];
+                h.inst.model == model && h.inst.state == InstanceState::Active
             })
     }
 
@@ -722,6 +850,8 @@ impl World {
                 .fetch(model, spec.weights_bytes(), &ckpt)
         };
         let inst = Instance::new(id, model, spec.clone(), kv_grant_bytes, self.clock);
+        self.index
+            .insert(id, ix, &slots, model.0 as usize, self.nodes[ix].hw.kind);
         self.instances.insert(
             id,
             Hosted {
@@ -1004,6 +1134,13 @@ impl World {
             !h.inst.has_live_requests() && !h.inst.busy && !h.inst.scaling,
             "unloading a non-idle instance"
         );
+        self.index.remove(
+            inst,
+            h.node.0 as usize,
+            &h.slots,
+            h.inst.model.0 as usize,
+            self.nodes[h.node.0 as usize].hw.kind,
+        );
         let freed = h.inst.spec.weights_bytes() + h.inst.kv_capacity_bytes();
         // A still-loading instance leaves the shared loading channel, and
         // any co-loading survivors speed back up.
@@ -1114,6 +1251,13 @@ impl World {
                 let mut displaced = Vec::new();
                 for inst in lost {
                     let mut h = self.instances.remove(&inst).expect("listed");
+                    self.index.remove(
+                        inst,
+                        h.node.0 as usize,
+                        &h.slots,
+                        h.inst.model.0 as usize,
+                        self.nodes[h.node.0 as usize].hw.kind,
+                    );
                     let moved = h.inst.drain_for_preemption(now);
                     let ids: Vec<RequestId> = moved.iter().map(|r| r.req.id).collect();
                     self.note_migration(&ids);
@@ -1125,6 +1269,7 @@ impl World {
             ClusterEvent::NodeJoin(spec) => {
                 spec.validate().expect("invalid joining node");
                 self.nodes.push(NodeState::new(spec));
+                self.index.add_node(spec.slot_shares.len());
                 self.metrics.node_joins += 1;
                 Vec::new()
             }
@@ -1236,17 +1381,10 @@ impl World {
     /// Samples occupancy and per-instance gauges.
     pub(crate) fn take_sample(&mut self) {
         let t = self.clock.as_secs_f64();
-        let mut cpu_used = 0u32;
-        let mut gpu_used = 0u32;
-        for (i, n) in self.nodes.iter().enumerate() {
-            let resident = self.instances.values().any(|h| h.node == NodeId(i as u32));
-            if resident {
-                match n.hw.kind {
-                    HardwareKind::Gpu => gpu_used += 1,
-                    _ => cpu_used += 1,
-                }
-            }
-        }
+        // Maintained on every instance create/unload, so sampling is O(1)
+        // in fleet size instead of an O(nodes × instances) residency scan.
+        let cpu_used = self.index.used_cpu_nodes;
+        let gpu_used = self.index.used_gpu_nodes;
         self.metrics.sample_usage(t, cpu_used, gpu_used);
         for h in self.instances.values() {
             if h.inst.state != InstanceState::Active {
@@ -1401,6 +1539,101 @@ mod tests {
         w.unload_instance(inst);
         assert_eq!(w.estimate_load_s(ModelId(0), NodeId(0)), dram);
         assert_eq!(w.loads_in_flight(NodeId(0)), 0);
+    }
+
+    /// Rebuilds every index list by brute force over the instance map and
+    /// asserts the incrementally maintained `InstanceIndex` matches.
+    fn assert_index_consistent(w: &World) {
+        for (i, n) in w.nodes.iter().enumerate() {
+            let node = NodeId(i as u32);
+            let expect_node: Vec<InstanceId> = w
+                .instances
+                .iter()
+                .filter(|(_, h)| h.node == node)
+                .map(|(&id, _)| id)
+                .collect();
+            assert_eq!(w.node_instances(node), expect_node, "node {i} list");
+            for s in 0..n.slot_shares.len() {
+                let expect_slot: Vec<InstanceId> = w
+                    .instances
+                    .iter()
+                    .filter(|(_, h)| h.node == node && h.slots.contains(&s))
+                    .map(|(&id, _)| id)
+                    .collect();
+                assert_eq!(w.slot_instances(node, s), expect_slot, "node {i} slot {s}");
+            }
+        }
+        for m in 0..w.model_count() {
+            let model = ModelId(m as u32);
+            let expect: Vec<InstanceId> = w
+                .instances
+                .iter()
+                .filter(|(_, h)| h.inst.model == model)
+                .map(|(&id, _)| id)
+                .collect();
+            assert_eq!(w.model_instances(model), expect, "model {m} list");
+        }
+        let (mut cpu, mut gpu) = (0u32, 0u32);
+        for (i, n) in w.nodes.iter().enumerate() {
+            if w.instances.values().any(|h| h.node == NodeId(i as u32)) {
+                match n.hw.kind {
+                    HardwareKind::Gpu => gpu += 1,
+                    _ => cpu += 1,
+                }
+            }
+        }
+        assert_eq!((w.index.used_cpu_nodes, w.index.used_gpu_nodes), (cpu, gpu));
+    }
+
+    /// The instance index must track the brute-force definition through
+    /// every mutation path: create (plain and TP group), unload, node
+    /// failure (bulk removal), node join (fresh lists), and re-creation.
+    #[test]
+    fn instance_index_matches_brute_force() {
+        let nodes = ClusterSpec {
+            nodes: vec![
+                NodeSpec::multi_accel(HardwareSpec::a100_80g(), 4),
+                NodeSpec::multi_accel(HardwareSpec::a100_80g(), 2),
+            ],
+        };
+        let tp_model = ModelSpec::llama2_13b().with_tp(2);
+        let mut w = tiered_world(nodes, vec![tp_model, ModelSpec::llama2_7b()]);
+        assert_index_consistent(&w);
+
+        let a = w
+            .create_instance_group(ModelId(0), NodeId(0), &[0, 1], 4 * GB)
+            .expect("fits");
+        let b = w
+            .create_instance(ModelId(1), NodeId(0), 2, GB)
+            .expect("fits");
+        let c = w
+            .create_instance(ModelId(1), NodeId(1), 0, GB)
+            .expect("fits");
+        assert_index_consistent(&w);
+        assert_eq!(w.instances_on_node(NodeId(0)), vec![a, b]);
+        assert_eq!(w.instances_on_slot(NodeId(0), 1), vec![a]);
+        assert_eq!(w.instances_of_model(ModelId(1)), vec![b, c]);
+
+        w.unload_instance(b);
+        assert_index_consistent(&w);
+
+        // Node failure removes everything hosted in one sweep.
+        w.apply_cluster_event(&ClusterEvent::NodeFail(NodeId(0)));
+        assert_index_consistent(&w);
+        assert!(w.instances_on_node(NodeId(0)).is_empty());
+
+        // A joining node gets fresh (empty) lists and indexes new creates.
+        w.apply_cluster_event(&ClusterEvent::NodeJoin(NodeSpec::multi_accel(
+            HardwareSpec::a100_80g(),
+            3,
+        )));
+        assert_index_consistent(&w);
+        let d = w
+            .create_instance(ModelId(1), NodeId(2), 1, GB)
+            .expect("fits");
+        assert_index_consistent(&w);
+        assert_eq!(w.instances_on_slot(NodeId(2), 1), vec![d]);
+        assert_eq!(w.instances_of_model(ModelId(1)), vec![c, d]);
     }
 
     #[test]

@@ -18,10 +18,33 @@ use serde::{Deserialize, Serialize};
 /// assert!((s.mean() - 50.5).abs() < 1e-9);
 /// assert_eq!(s.percentile(50.0), 50.0);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Summary {
+    /// Samples in insertion order — queries never reorder this, so
+    /// [`Summary::samples`] is deterministic regardless of query history.
     samples: Vec<f64>,
-    sorted: bool,
+    /// Lazily rebuilt ascending copy backing percentile/CDF queries.
+    sorted: Vec<f64>,
+    /// True while `sorted` reflects `samples`.
+    sorted_valid: bool,
+    /// Streaming aggregates, accumulated in insertion order so they are
+    /// bit-identical to a left fold over `samples` without the O(n) scan.
+    sum: f64,
+    min_acc: f64,
+    max_acc: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary {
+            samples: Vec::new(),
+            sorted: Vec::new(),
+            sorted_valid: false,
+            sum: 0.0,
+            min_acc: f64::INFINITY,
+            max_acc: f64::NEG_INFINITY,
+        }
+    }
 }
 
 impl Summary {
@@ -30,11 +53,23 @@ impl Summary {
         Summary::default()
     }
 
+    /// Creates an empty collector pre-sized for `n` samples, so hot paths
+    /// that know their cardinality up front avoid growth reallocations.
+    pub fn with_capacity(n: usize) -> Self {
+        Summary {
+            samples: Vec::with_capacity(n),
+            ..Summary::default()
+        }
+    }
+
     /// Adds one sample. Non-finite values are ignored.
     pub fn add(&mut self, x: f64) {
         if x.is_finite() {
             self.samples.push(x);
-            self.sorted = false;
+            self.sorted_valid = false;
+            self.sum += x;
+            self.min_acc = self.min_acc.min(x);
+            self.max_acc = self.max_acc.max(x);
         }
     }
 
@@ -53,21 +88,17 @@ impl Summary {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        self.sum / self.samples.len() as f64
     }
 
     /// Sum of all samples.
     pub fn sum(&self) -> f64 {
-        self.samples.iter().sum()
+        self.sum
     }
 
     /// Largest sample, or 0 if empty.
     pub fn max(&self) -> f64 {
-        self.samples
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max)
-            .max(0.0)
+        self.max_acc.max(0.0)
     }
 
     /// Smallest sample, or 0 if empty.
@@ -75,27 +106,29 @@ impl Summary {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.samples.iter().cloned().fold(f64::INFINITY, f64::min)
+            self.min_acc
         }
     }
 
     fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples
+        if !self.sorted_valid {
+            self.sorted.clone_from(&self.samples);
+            self.sorted
                 .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-            self.sorted = true;
+            self.sorted_valid = true;
         }
     }
 
     /// The `p`-th percentile (0–100) by nearest-rank, or 0 if empty.
+    /// `p` outside 0–100 clamps to the nearest bound.
     pub fn percentile(&mut self, p: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
         self.ensure_sorted();
         let p = p.clamp(0.0, 100.0);
-        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
-        self.samples[rank.saturating_sub(1).min(self.samples.len() - 1)]
+        let rank = ((p / 100.0) * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.saturating_sub(1).min(self.sorted.len() - 1)]
     }
 
     /// Fraction of samples `<= threshold`.
@@ -110,10 +143,14 @@ impl Summary {
     /// the sample range.
     pub fn cdf(&mut self, points: usize) -> Cdf {
         self.ensure_sorted();
-        Cdf::from_sorted(&self.samples, points)
+        Cdf::from_sorted(&self.sorted, points)
     }
 
-    /// Read-only view of the raw samples (sorted if a percentile query ran).
+    /// Read-only view of the raw samples, always in insertion order.
+    ///
+    /// This used to return sorted order iff a percentile/CDF query had run
+    /// first — a query-history-dependent footgun for any caller iterating
+    /// raw samples. The exposed order is now deterministic.
     pub fn samples(&self) -> &[f64] {
         &self.samples
     }
@@ -257,6 +294,58 @@ mod tests {
         assert_eq!(s.percentile(50.0), 5.0);
         assert_eq!(s.percentile(100.0), 10.0);
         assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    /// `samples()` must return insertion order regardless of whether a
+    /// percentile/CDF query ran in between — the old implementation
+    /// sorted in place, so the exposed order depended on query history.
+    #[test]
+    fn samples_order_is_query_independent() {
+        let raw = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let mut s: Summary = raw.iter().copied().collect();
+        assert_eq!(s.samples(), &raw);
+        s.percentile(50.0);
+        s.cdf(4);
+        assert_eq!(s.samples(), &raw, "queries must not reorder samples()");
+        s.add(0.5);
+        assert_eq!(s.samples(), &[5.0, 1.0, 4.0, 2.0, 3.0, 0.5]);
+    }
+
+    /// Streaming aggregates must match the full-scan definitions after
+    /// interleaved adds and queries.
+    #[test]
+    fn streaming_aggregates_match_scans() {
+        let mut s = Summary::new();
+        let xs = [3.5, -2.0, 7.25, 0.0, 4.125];
+        for (i, &x) in xs.iter().enumerate() {
+            s.add(x);
+            if i == 2 {
+                s.percentile(90.0); // interleave a query mid-stream
+            }
+        }
+        let scan_sum: f64 = xs.iter().sum();
+        assert_eq!(s.sum(), scan_sum);
+        assert_eq!(s.mean(), scan_sum / xs.len() as f64);
+        assert_eq!(s.min(), -2.0);
+        assert_eq!(s.max(), 7.25);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // Single sample: every percentile is that sample.
+        let mut one = Summary::new();
+        one.add(42.0);
+        assert_eq!(one.percentile(0.0), 42.0);
+        assert_eq!(one.percentile(50.0), 42.0);
+        assert_eq!(one.percentile(100.0), 42.0);
+
+        // Out-of-range p clamps to the bounds instead of panicking.
+        let mut s: Summary = (1..=4).map(|x| x as f64).collect();
+        assert_eq!(s.percentile(-10.0), s.percentile(0.0));
+        assert_eq!(s.percentile(250.0), s.percentile(100.0));
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 4.0);
+        assert_eq!(s.percentile(f64::NAN), 1.0); // NaN rank casts to 0
     }
 
     #[test]

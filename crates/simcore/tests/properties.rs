@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use simcore::dist::{discrete, exponential, gamma, lognormal, pareto, zipf_weights};
-use simcore::events::EventQueue;
+use simcore::events::{EventQueue, HeapQueue};
 use simcore::rng::SimRng;
 use simcore::stats::{Summary, TimeWeighted};
 use simcore::time::{SimDuration, SimTime};
@@ -59,6 +59,88 @@ proptest! {
         }
         let popped: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         prop_assert_eq!(popped, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Shadow equivalence: the calendar queue and the reference heap queue
+    /// must produce bit-equal `(time, event)` streams for any interleaving
+    /// of pushes and pops, including same-timestamp floods (the FIFO
+    /// tie-break) and far-future outliers (the direct-search jump).
+    #[test]
+    fn calendar_queue_matches_heap_shadow(
+        ops in prop::collection::vec(
+            // Repeated arms stand in for weights (the harness picks arms
+            // uniformly): pushes dominate so the queues actually fill up.
+            // Mixed magnitudes: dense low times force same-bucket pileups,
+            // huge times force the resize and direct-jump paths.
+            prop_oneof![
+                (0u64..10_000).prop_map(Some),
+                (0u64..10_000).prop_map(Some),
+                (0u64..10_000).prop_map(Some),
+                (0u64..100_000_000).prop_map(Some),
+                (0u64..100_000_000).prop_map(Some),
+                Just(Some(u64::MAX)),
+                Just(None), // pop
+                Just(None), // pop
+                Just(None), // pop
+            ],
+            1..400,
+        ),
+    ) {
+        let mut cal = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut id = 0u64;
+        for op in ops {
+            match op {
+                Some(t) => {
+                    let at = SimTime::from_micros(t);
+                    cal.push(at, id);
+                    heap.push(at, id);
+                    id += 1;
+                }
+                None => {
+                    prop_assert_eq!(cal.pop(), heap.pop());
+                    prop_assert_eq!(cal.len(), heap.len());
+                }
+            }
+        }
+        // Drain both to the end: every remaining event must match too.
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Same-timestamp floods interleaved with pops: FIFO order must hold
+    /// across partial drains on both implementations.
+    #[test]
+    fn calendar_queue_fifo_flood_matches_heap(
+        floods in prop::collection::vec((0u64..50, 1usize..40), 1..20),
+    ) {
+        let mut cal = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut id = 0u64;
+        for (t, n) in floods {
+            let at = SimTime::from_millis(t);
+            for _ in 0..n {
+                cal.push(at, id);
+                heap.push(at, id);
+                id += 1;
+            }
+            // Partial drain between floods.
+            for _ in 0..n / 2 {
+                prop_assert_eq!(cal.pop(), heap.pop());
+            }
+        }
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Compare a fresh quick-tier `scale` run against the committed perf
+# trajectory (BENCH_scale.json at the repo root).
+#
+#   scripts/check-scale-perf.sh <fresh-BENCH_scale.json> [committed.json]
+#
+# Two checks, split along the determinism boundary:
+#
+# - Fingerprints (HARD FAIL): every fresh row whose (nodes, requests)
+#   cell also exists in the committed file must carry the identical
+#   fingerprint. A mismatch means the simulation *behaves* differently —
+#   non-determinism or an unacknowledged semantic change — which the
+#   golden diff would also catch, but this names the perf baseline as
+#   stale explicitly.
+# - Throughput (SOFT WARN): sim_per_wall below 50% of the committed value
+#   for the same cell prints a warning. CI machines vary too much for a
+#   hard wall-clock gate; the committed trajectory is refreshed by
+#   scripts/update-goldens.sh on a developer machine instead.
+
+set -euo pipefail
+
+fresh="${1:?usage: check-scale-perf.sh <fresh.json> [committed.json]}"
+committed="${2:-$(git -C "$(dirname "$0")" rev-parse --show-toplevel)/BENCH_scale.json}"
+
+python3 - "$fresh" "$committed" <<'EOF'
+import json
+import sys
+
+fresh_path, committed_path = sys.argv[1], sys.argv[2]
+fresh = json.load(open(fresh_path))
+committed = json.load(open(committed_path))
+baseline = {(r["nodes"], r["requests"]): r for r in committed}
+
+status = 0
+compared = 0
+for row in fresh:
+    cell = (row["nodes"], row["requests"])
+    base = baseline.get(cell)
+    if base is None:
+        print(f"note: cell {cell} not in committed baseline; skipped")
+        continue
+    compared += 1
+    if row["fingerprint"] != base["fingerprint"]:
+        print(
+            f"::error::scale cell {cell}: fingerprint {row['fingerprint']} "
+            f"!= committed {base['fingerprint']} — non-deterministic or the "
+            f"baseline is stale (run scripts/update-goldens.sh)"
+        )
+        status = 1
+        continue
+    ratio = row["sim_per_wall"] / max(base["sim_per_wall"], 1e-9)
+    verdict = "ok"
+    if ratio < 0.5:
+        verdict = "SLOW"
+        print(
+            f"::warning::scale cell {cell}: sim-s/wall-s "
+            f"{row['sim_per_wall']:.0f} is {ratio:.0%} of the committed "
+            f"{base['sim_per_wall']:.0f} — possible perf regression"
+        )
+    print(
+        f"cell {cell}: fingerprint ok, sim-s/wall-s {row['sim_per_wall']:.0f} "
+        f"vs committed {base['sim_per_wall']:.0f} ({ratio:.0%}, {verdict})"
+    )
+
+if compared == 0:
+    print("::error::no comparable cells between fresh run and committed baseline")
+    status = 1
+sys.exit(status)
+EOF
