@@ -15,7 +15,8 @@ use bench::{registry, REGISTRY};
 
 const COMMANDS: &str = "\
 commands:
-  list               list registered experiments
+  list [--json]      list registered experiments (--json: machine-readable,
+                     with quick/full sweep-grid cell counts)
   all [options]      run every experiment in registry order
   run NAME [options] run one experiment by name";
 
@@ -38,11 +39,38 @@ fn parse_opts<I: Iterator<Item = String>>(rest: I) -> Cli {
 fn main() {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
-        Some("list") => {
-            for e in REGISTRY {
-                println!("{:<24} {}", e.name, e.title);
+        Some("list") => match args.next().as_deref() {
+            // Machine-readable registry dump: CI scripts consume this
+            // instead of parsing the human-readable table.
+            Some("--json") => {
+                #[derive(serde::Serialize)]
+                struct Entry {
+                    name: &'static str,
+                    title: &'static str,
+                    quick_cells: usize,
+                    full_cells: usize,
+                }
+                let entries: Vec<Entry> = REGISTRY
+                    .iter()
+                    .map(|e| Entry {
+                        name: e.name,
+                        title: e.title,
+                        quick_cells: (e.grid)(true),
+                        full_cells: (e.grid)(false),
+                    })
+                    .collect();
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&entries).expect("registry serializes")
+                );
             }
-        }
+            Some(other) => fail(&format!("unknown list option `{other}` (only --json)")),
+            None => {
+                for e in REGISTRY {
+                    println!("{:<24} {}", e.name, e.title);
+                }
+            }
+        },
         Some("all") => {
             let cli = parse_opts(args);
             // One process runs every experiment: memoize identical sweep

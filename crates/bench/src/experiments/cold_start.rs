@@ -85,6 +85,16 @@ fn build_scenario(pt: &Pt, seed: u64) -> Scenario {
         )
 }
 
+/// Sweep cells (points × systems × seeds) at the quick/full tier; keep in
+/// sync with the grid arrays in [`run`]. `bench list --json` reports this.
+pub fn grid(quick: bool) -> usize {
+    if quick {
+        3 * 2 // 3 capacities × 1 zoo × 1 load × 2 systems
+    } else {
+        4 * 2 * 2 * 2
+    }
+}
+
 pub fn run(cli: &Cli, r: &mut Report) {
     let seed = cli.seed;
     let caches: &[Option<u64>] = if cli.quick {

@@ -12,6 +12,12 @@ use crate::zoo;
 use hwmodel::{HardwareKind, ModelSpec, Precision};
 use workload::serverless::TraceSpec;
 
+/// Sweep cells (points × systems × seeds) at the quick/full tier; keep in
+/// sync with the grid arrays in [`run`]. `bench list --json` reports this.
+pub fn grid(_quick: bool) -> usize {
+    2 // same sweep at both tiers
+}
+
 pub fn run(cli: &Cli, r: &mut Report) {
     let seed = cli.seed;
     let n_models: u32 = if cli.quick { 16 } else { 32 };

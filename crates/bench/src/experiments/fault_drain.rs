@@ -42,6 +42,12 @@ impl Fault {
 
 const N_CPU: usize = 2;
 
+/// Sweep cells (points × systems × seeds) at the quick/full tier; keep in
+/// sync with the grid arrays in [`run`]. `bench list --json` reports this.
+pub fn grid(_quick: bool) -> usize {
+    3 * 2 // same sweep at both tiers
+}
+
 pub fn run(cli: &Cli, r: &mut Report) {
     let seed = cli.seed;
     let n_models: u32 = if cli.quick { 12 } else { 32 };

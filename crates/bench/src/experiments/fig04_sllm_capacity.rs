@@ -12,6 +12,16 @@ use crate::sweep::{Scenario, Sweep};
 use crate::zoo;
 use workload::serverless::TraceSpec;
 
+/// Sweep cells (points × systems × seeds) at the quick/full tier; keep in
+/// sync with the grid arrays in [`run`]. `bench list --json` reports this.
+pub fn grid(quick: bool) -> usize {
+    if quick {
+        2
+    } else {
+        5
+    }
+}
+
 pub fn run(cli: &Cli, r: &mut Report) {
     let seed = cli.seed;
     let counts: Vec<u32> = if cli.quick {

@@ -12,6 +12,12 @@ use crate::zoo;
 use hwmodel::HardwareKind;
 use workload::serverless::TraceSpec;
 
+/// Sweep cells (points × systems × seeds) at the quick/full tier; keep in
+/// sync with the grid arrays in [`run`]. `bench list --json` reports this.
+pub fn grid(_quick: bool) -> usize {
+    1 // same sweep at both tiers
+}
+
 pub fn run(cli: &Cli, r: &mut Report) {
     let seed = cli.seed;
     let n: u32 = if cli.quick { 32 } else { 128 };

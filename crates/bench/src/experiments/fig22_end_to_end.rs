@@ -17,6 +17,17 @@ use crate::zoo;
 use hwmodel::ModelSpec;
 use workload::serverless::TraceSpec;
 
+/// Sweep cells (points × systems × seeds) at the quick/full tier; keep in
+/// sync with the grid arrays in [`run`]. `bench list --json` reports this.
+pub fn grid(quick: bool) -> usize {
+    let points = if quick {
+        1
+    } else {
+        zoo::size_bases().len() * 3
+    };
+    points * System::paper_lineup().len()
+}
+
 pub fn run(cli: &Cli, r: &mut Report) {
     let seed = cli.seed;
     let counts: Vec<u32> = if cli.quick {

@@ -14,6 +14,12 @@ use hwmodel::ModelSpec;
 use slinfer::SlinferConfig;
 use workload::serverless::TraceSpec;
 
+/// Sweep cells (points × systems × seeds) at the quick/full tier; keep in
+/// sync with the grid arrays in [`run`]. `bench list --json` reports this.
+pub fn grid(_quick: bool) -> usize {
+    SlinferConfig::ablations().len()
+}
+
 pub fn run(cli: &Cli, r: &mut Report) {
     let seed = cli.seed;
     let n_models: u32 = if cli.quick { 16 } else { 64 };

@@ -14,6 +14,12 @@ use crate::zoo;
 use hwmodel::{HardwareKind, ModelSpec};
 use workload::serverless::TraceSpec;
 
+/// Sweep cells (points × systems × seeds) at the quick/full tier; keep in
+/// sync with the grid arrays in [`run`]. `bench list --json` reports this.
+pub fn grid(_quick: bool) -> usize {
+    3 // same sweep at both tiers
+}
+
 pub fn run(cli: &Cli, r: &mut Report) {
     let seed = cli.seed;
     let n_models: u32 = if cli.quick { 24 } else { 48 };

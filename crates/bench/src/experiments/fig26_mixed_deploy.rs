@@ -33,6 +33,12 @@ fn mix_models(ratio: &[usize; 4], n_models: u32) -> Vec<ModelSpec> {
     zoo::mixed(&parts, n_models as usize)
 }
 
+/// Sweep cells (points × systems × seeds) at the quick/full tier; keep in
+/// sync with the grid arrays in [`run`]. `bench list --json` reports this.
+pub fn grid(_quick: bool) -> usize {
+    6 * 3 // same sweep at both tiers
+}
+
 pub fn run(cli: &Cli, r: &mut Report) {
     let seed = cli.seed;
     let n_models: u32 = if cli.quick { 16 } else { 32 };

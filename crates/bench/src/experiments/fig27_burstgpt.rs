@@ -13,6 +13,16 @@ use crate::zoo;
 use hwmodel::{HardwareKind, ModelSpec};
 use workload::burstgpt::BurstGptSpec;
 
+/// Sweep cells (points × systems × seeds) at the quick/full tier; keep in
+/// sync with the grid arrays in [`run`]. `bench list --json` reports this.
+pub fn grid(quick: bool) -> usize {
+    if quick {
+        2 * 2
+    } else {
+        4 * 2
+    }
+}
+
 pub fn run(cli: &Cli, r: &mut Report) {
     let seed = cli.seed;
     let rates: Vec<f64> = if cli.quick {

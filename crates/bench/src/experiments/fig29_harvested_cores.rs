@@ -16,6 +16,16 @@ use cluster::{ClusterSpec, RunMetrics};
 use hwmodel::ModelSpec;
 use workload::serverless::TraceSpec;
 
+/// Sweep cells (points × systems × seeds) at the quick/full tier; keep in
+/// sync with the grid arrays in [`run`]. `bench list --json` reports this.
+pub fn grid(quick: bool) -> usize {
+    if quick {
+        2 * 3
+    } else {
+        4 * 3
+    }
+}
+
 pub fn run(cli: &Cli, r: &mut Report) {
     let seed = cli.seed;
     let n_models: u32 = if cli.quick { 32 } else { 64 };

@@ -15,6 +15,12 @@ use crate::zoo;
 use hwmodel::{HardwareKind, ModelSpec};
 use workload::{serverless::TraceSpec, Dataset};
 
+/// Sweep cells (points × systems × seeds) at the quick/full tier; keep in
+/// sync with the grid arrays in [`run`]. `bench list --json` reports this.
+pub fn grid(quick: bool) -> usize {
+    (if quick { 2 } else { Dataset::ALL.len() }) * 2
+}
+
 pub fn run(cli: &Cli, r: &mut Report) {
     let seed = cli.seed;
     let n_models: u32 = if cli.quick { 16 } else { 64 };

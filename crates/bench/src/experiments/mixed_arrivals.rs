@@ -20,6 +20,16 @@ use workload::burstgpt::BurstGptSpec;
 use workload::request::Slo;
 use workload::serverless::TraceSpec;
 
+/// Sweep cells (points × systems × seeds) at the quick/full tier; keep in
+/// sync with the grid arrays in [`run`]. `bench list --json` reports this.
+pub fn grid(quick: bool) -> usize {
+    if quick {
+        2 * 2
+    } else {
+        4 * 2
+    }
+}
+
 pub fn run(cli: &Cli, r: &mut Report) {
     let seed = cli.seed;
     let n_models: u32 = if cli.quick { 16 } else { 48 };

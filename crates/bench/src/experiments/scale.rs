@@ -200,6 +200,16 @@ struct PerfRow {
     fingerprint: String,
 }
 
+/// Sweep cells (points × systems × seeds) at the quick/full tier; keep in
+/// sync with the grid arrays in [`run`]. `bench list --json` reports this.
+pub fn grid(quick: bool) -> usize {
+    if quick {
+        2
+    } else {
+        4
+    }
+}
+
 pub fn run(cli: &Cli, r: &mut Report) {
     let seed = cli.seed;
     let points: Vec<Pt> = if cli.quick {

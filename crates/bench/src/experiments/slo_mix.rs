@@ -50,6 +50,16 @@ fn build_scenario(sys: &System, n_models: u32, seed: u64, mix: &Mix) -> Scenario
     sc
 }
 
+/// Sweep cells (points × systems × seeds) at the quick/full tier; keep in
+/// sync with the grid arrays in [`run`]. `bench list --json` reports this.
+pub fn grid(quick: bool) -> usize {
+    if quick {
+        2 * 2
+    } else {
+        4 * 2
+    }
+}
+
 pub fn run(cli: &Cli, r: &mut Report) {
     let seed = cli.seed;
     let n_models: u32 = if cli.quick { 12 } else { 48 };

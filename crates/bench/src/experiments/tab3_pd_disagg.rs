@@ -13,6 +13,16 @@ use crate::zoo;
 use hwmodel::{HardwareKind, ModelSpec};
 use workload::serverless::TraceSpec;
 
+/// Sweep cells (points × systems × seeds) at the quick/full tier; keep in
+/// sync with the grid arrays in [`run`]. `bench list --json` reports this.
+pub fn grid(quick: bool) -> usize {
+    if quick {
+        4
+    } else {
+        12
+    }
+}
+
 pub fn run(cli: &Cli, r: &mut Report) {
     let seed = cli.seed;
     let counts: Vec<u32> = if cli.quick {

@@ -75,6 +75,16 @@ fn build_scenario(pt: &Pt, n_models: u32, seed: u64) -> Scenario {
         )
 }
 
+/// Sweep cells (points × systems × seeds) at the quick/full tier; keep in
+/// sync with the grid arrays in [`run`]. `bench list --json` reports this.
+pub fn grid(quick: bool) -> usize {
+    if quick {
+        3 * 2 // 1 model × 1 TP degree × 3 loads × 2 systems
+    } else {
+        2 * 2 * 3 * 2
+    }
+}
+
 pub fn run(cli: &Cli, r: &mut Report) {
     let seed = cli.seed;
     let n_models: u32 = if cli.quick { 6 } else { 12 };

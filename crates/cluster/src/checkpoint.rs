@@ -117,6 +117,20 @@ impl LruTier {
     /// larger than the whole tier is not cached at all (it would evict
     /// everything and then itself).
     fn insert(&mut self, model: ModelId, bytes: u64, cap: u64) -> Vec<(ModelId, u64)> {
+        self.insert_ranked(model, bytes, cap, &[])
+    }
+
+    /// [`LruTier::insert`] with cache-aware victim selection: each resident
+    /// model may carry an eviction rank (lower = cheaper to re-load if
+    /// evicted = evicted first); ties and unranked models fall back to LRU
+    /// order. An empty `ranks` slice is exactly plain LRU.
+    fn insert_ranked(
+        &mut self,
+        model: ModelId,
+        bytes: u64,
+        cap: u64,
+        ranks: &[(ModelId, u8)],
+    ) -> Vec<(ModelId, u64)> {
         if self.contains(model) {
             self.touch(model);
             return Vec::new();
@@ -126,9 +140,24 @@ impl LruTier {
         }
         self.entries.push((model, bytes));
         self.used += bytes;
+        let rank_of = |m: ModelId| {
+            ranks
+                .iter()
+                .find(|&&(rm, _)| rm == m)
+                .map(|&(_, r)| r)
+                .unwrap_or(0)
+        };
         let mut evicted = Vec::new();
         while self.used > cap {
-            let victim = self.entries.remove(0);
+            // The just-inserted entry sits at the back and is never the
+            // victim (`bytes <= cap` guarantees someone else fits the bill).
+            let vix = self.entries[..self.entries.len() - 1]
+                .iter()
+                .enumerate()
+                .min_by_key(|&(ix, &(m, _))| (rank_of(m), ix))
+                .map(|(ix, _)| ix)
+                .expect("used > cap implies an older entry exists");
+            let victim = self.entries.remove(vix);
             debug_assert!(victim.0 != model, "capacity check above");
             self.used -= victim.1;
             evicted.push(victim);
@@ -181,6 +210,21 @@ impl CheckpointStore {
     /// DRAM LRU (evictions demote to SSD), and remote fetches persist to
     /// the SSD tier on the way in.
     pub fn fetch(&mut self, model: ModelId, bytes: u64, cfg: &CheckpointConfig) -> CheckpointTier {
+        self.fetch_ranked(model, bytes, cfg, &[])
+    }
+
+    /// [`CheckpointStore::fetch`] with cache-aware DRAM victim selection:
+    /// `dram_ranks` scores resident models by how cheap they are to recover
+    /// if evicted (lower = evicted first; see [`crate::dist`]). Ties and an
+    /// empty slice degrade to plain LRU. The SSD tier deliberately stays
+    /// LRU — a cache-aware SSD tier is an open ROADMAP item.
+    pub fn fetch_ranked(
+        &mut self,
+        model: ModelId,
+        bytes: u64,
+        cfg: &CheckpointConfig,
+        dram_ranks: &[(ModelId, u8)],
+    ) -> CheckpointTier {
         let tier = self.peek_tier(model, cfg);
         if let Some(ssd_cap) = cfg.ssd_capacity_bytes {
             if tier == CheckpointTier::Remote {
@@ -190,15 +234,44 @@ impl CheckpointStore {
                 self.ssd.touch(model);
             }
         }
+        self.admit_dram(model, bytes, cfg, dram_ranks);
+        tier
+    }
+
+    /// Admits a checkpoint that arrived over the peer-to-peer fabric: it
+    /// lands straight in the DRAM cache (demotions as usual) but does
+    /// *not* write through to the SSD tier — a fabric transfer is a
+    /// DRAM-to-DRAM stream that never touches the disk, unlike a registry
+    /// download.
+    pub fn admit_fabric(
+        &mut self,
+        model: ModelId,
+        bytes: u64,
+        cfg: &CheckpointConfig,
+        dram_ranks: &[(ModelId, u8)],
+    ) {
+        self.ssd.touch(model);
+        self.admit_dram(model, bytes, cfg, dram_ranks);
+    }
+
+    /// Inserts into the DRAM LRU (rank-aware), demoting evictions to SSD.
+    fn admit_dram(
+        &mut self,
+        model: ModelId,
+        bytes: u64,
+        cfg: &CheckpointConfig,
+        dram_ranks: &[(ModelId, u8)],
+    ) {
         if let Some(dram_cap) = cfg.dram_capacity_bytes {
-            for (victim, victim_bytes) in self.dram.insert(model, bytes, dram_cap) {
+            for (victim, victim_bytes) in
+                self.dram.insert_ranked(model, bytes, dram_cap, dram_ranks)
+            {
                 // Demote on eviction; beyond-SSD spills are dropped.
                 if let Some(ssd_cap) = cfg.ssd_capacity_bytes {
                     let _ = self.ssd.insert(victim, victim_bytes, ssd_cap);
                 }
             }
         }
-        tier
     }
 
     /// Refreshes `model`'s recency without a fetch (HBM hits read the
@@ -297,6 +370,102 @@ mod tests {
         // Still remote: nothing could hold it.
         assert_eq!(s.fetch(ModelId(0), 14 * GB, &cfg), CheckpointTier::Remote);
         assert!(s.dram_models().is_empty() && s.ssd_models().is_empty());
+    }
+
+    /// Mixed sizes: admitting a mid-size model into a DRAM tier filled by
+    /// one large model must demote the large one to SSD *before* the new
+    /// checkpoint is counted as resident — never overcommit the tier.
+    #[test]
+    fn large_model_demotes_before_mixed_size_admission() {
+        let cfg = tiered(30, Some(100));
+        let mut s = CheckpointStore::new();
+        assert_eq!(s.fetch(ModelId(0), 26 * GB, &cfg), CheckpointTier::Remote);
+        assert_eq!(s.dram_models(), vec![ModelId(0)]);
+        // 26 + 14 > 30: the large model must make way.
+        assert_eq!(s.fetch(ModelId(1), 14 * GB, &cfg), CheckpointTier::Remote);
+        assert_eq!(s.dram_models(), vec![ModelId(1)]);
+        assert!(s.ssd_models().contains(&ModelId(0)), "demoted, not dropped");
+        assert_eq!(s.peek_tier(ModelId(0), &cfg), CheckpointTier::Ssd);
+        // A small model then coexists with the mid-size one (14 + 7 ≤ 30).
+        s.fetch(ModelId(2), 7 * GB, &cfg);
+        assert_eq!(s.dram_models(), vec![ModelId(1), ModelId(2)]);
+    }
+
+    /// The oversized-streaming path must not perturb the LRU order of the
+    /// resident mix: a checkpoint bigger than the tier streams through
+    /// uncached and evicts nothing.
+    #[test]
+    fn oversized_streaming_leaves_lru_order_untouched() {
+        let cfg = tiered(30, Some(100));
+        let mut s = CheckpointStore::new();
+        s.fetch(ModelId(0), 14 * GB, &cfg);
+        s.fetch(ModelId(1), 7 * GB, &cfg);
+        let before_dram = s.dram_models();
+        let before_ssd = s.ssd_models();
+        // 40 GB > 30 GB DRAM: streams through, cached on SSD only (write-
+        // through), and the DRAM recency order is exactly as it was.
+        assert_eq!(s.fetch(ModelId(9), 40 * GB, &cfg), CheckpointTier::Remote);
+        assert_eq!(s.dram_models(), before_dram);
+        assert_eq!(
+            s.ssd_models(),
+            before_ssd
+                .iter()
+                .copied()
+                .chain([ModelId(9)])
+                .collect::<Vec<_>>()
+        );
+        // Repeat fetches of the oversized model keep streaming from SSD
+        // without ever entering (or reordering) the DRAM LRU.
+        assert_eq!(s.fetch(ModelId(9), 40 * GB, &cfg), CheckpointTier::Ssd);
+        assert_eq!(s.dram_models(), before_dram);
+        // Model 0 is still the LRU victim — the stream never refreshed
+        // anyone's recency.
+        s.fetch(ModelId(2), 14 * GB, &cfg);
+        assert_eq!(s.dram_models(), vec![ModelId(1), ModelId(2)]);
+        assert_eq!(s.peek_tier(ModelId(0), &cfg), CheckpointTier::Ssd);
+    }
+
+    /// Rank-aware eviction: a higher-ranked (more precious) resident
+    /// survives even when it is the coldest; unranked/tied entries keep
+    /// LRU order exactly.
+    #[test]
+    fn ranked_eviction_overrides_lru_and_ties_degrade_to_lru() {
+        let cfg = tiered(30, Some(100));
+        let mut s = CheckpointStore::new();
+        s.fetch(ModelId(0), 14 * GB, &cfg); // coldest, but precious
+        s.fetch(ModelId(1), 14 * GB, &cfg);
+        // Rank model 0 expensive to recover (2), model 1 cheap (0).
+        let ranks = [(ModelId(0), 2u8), (ModelId(1), 0u8)];
+        s.fetch_ranked(ModelId(2), 14 * GB, &cfg, &ranks);
+        assert_eq!(s.dram_models(), vec![ModelId(0), ModelId(2)]);
+        assert_eq!(s.peek_tier(ModelId(1), &cfg), CheckpointTier::Ssd);
+
+        // Uniform ranks are plain LRU: same store shape, no ranks.
+        let mut lru = CheckpointStore::new();
+        lru.fetch(ModelId(0), 14 * GB, &cfg);
+        lru.fetch(ModelId(1), 14 * GB, &cfg);
+        lru.fetch_ranked(
+            ModelId(2),
+            14 * GB,
+            &cfg,
+            &[(ModelId(0), 1), (ModelId(1), 1)],
+        );
+        assert_eq!(lru.dram_models(), vec![ModelId(1), ModelId(2)]);
+    }
+
+    /// A fabric admission lands in DRAM without the SSD write-through a
+    /// registry download gets.
+    #[test]
+    fn fabric_admission_skips_ssd_write_through() {
+        let cfg = tiered(30, Some(100));
+        let mut s = CheckpointStore::new();
+        s.admit_fabric(ModelId(0), 14 * GB, &cfg, &[]);
+        assert_eq!(s.dram_models(), vec![ModelId(0)]);
+        assert!(s.ssd_models().is_empty(), "no disk copy from a DRAM stream");
+        // If DRAM later evicts it, the demotion path still lands on SSD.
+        s.fetch(ModelId(1), 14 * GB, &cfg);
+        s.fetch(ModelId(2), 14 * GB, &cfg);
+        assert_eq!(s.peek_tier(ModelId(0), &cfg), CheckpointTier::Ssd);
     }
 
     #[test]

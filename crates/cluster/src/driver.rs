@@ -188,7 +188,15 @@ impl<P: Policy> Simulation<P> {
                     .map(|i| i.idle_since == Some(marker))
                     .unwrap_or(false);
                 if still_idle {
-                    self.policy.on_keepalive(w, inst);
+                    if w.keepalive_defer(inst) {
+                        // Cache-aware keep-alive: evicting the fleet's last
+                        // warm copy is deferred one more period (same idle
+                        // marker, so activity still cancels the timer).
+                        let at = w.now() + w.cfg.keep_alive;
+                        w.events.push(at, Event::KeepAlive { inst, marker });
+                    } else {
+                        self.policy.on_keepalive(w, inst);
+                    }
                 }
             }
             Event::Timer(payload) => self.policy.on_timer(w, payload),

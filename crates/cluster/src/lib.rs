@@ -31,6 +31,7 @@
 //!   per node, average nodes used, …).
 
 pub mod checkpoint;
+pub mod dist;
 pub mod driver;
 pub mod metrics;
 pub mod node;
@@ -39,6 +40,7 @@ pub mod scenario;
 pub mod world;
 
 pub use checkpoint::{CheckpointConfig, CheckpointStore};
+pub use dist::{CheckpointDirectory, DistConfig, TransferPlan, TransferSource};
 pub use driver::Simulation;
 pub use hwmodel::CheckpointTier;
 pub use metrics::{RequestRecord, RunMetrics};

@@ -137,6 +137,24 @@ pub struct RunMetrics {
     /// (same indexing as [`Self::cold_tier_loads`]). Contended loads
     /// report their stretched wall-clock duration.
     pub cold_tier_seconds: [f64; 4],
+    /// Cold starts served over the peer-to-peer fabric (checkpoint
+    /// distribution, [`crate::dist`]). These do *not* appear in
+    /// [`Self::cold_tier_loads`]: `cold_starts == cold_tier_loads.sum() +
+    /// peer_fetches` once distribution is on.
+    pub peer_fetches: u64,
+    /// Seconds of completed fabric loading (peer-fetch counterpart of
+    /// [`Self::cold_tier_seconds`]).
+    pub peer_fetch_seconds: f64,
+    /// Peer fetches sourced from a peer that was itself still receiving
+    /// the checkpoint — interior edges of a multicast relay tree.
+    pub multicast_relays: u64,
+    /// Fabric transfers re-sourced because their source node failed
+    /// mid-stream.
+    pub transfer_reroutes: u64,
+    /// Instance activation log `(model, completed-at seconds)`, recorded
+    /// only when [`crate::world::WorldConfig::record_activations`] is set
+    /// (time-to-N-replicas in the `scale_burst` experiment).
+    pub activations: Vec<(ModelId, f64)>,
     /// KV rescale operations completed.
     pub scale_ops: u64,
     /// Seconds instances spent blocked on KV rescales.

@@ -115,6 +115,21 @@ impl Scenario {
         self
     }
 
+    /// Sets the cross-node checkpoint distribution mode (shorthand for
+    /// patching the config): peer fetch, multicast relays, cache-aware
+    /// eviction/keep-alive. The default is [`crate::dist::DistConfig::off`].
+    pub fn dist(mut self, dist: crate::dist::DistConfig) -> Self {
+        self.cfg.dist = dist;
+        self
+    }
+
+    /// Turns on the per-activation log (`RunMetrics::activations`), used
+    /// by time-to-N-replicas measurements.
+    pub fn record_activations(mut self) -> Self {
+        self.cfg.record_activations = true;
+        self
+    }
+
     // ------------------------------------------------------------------
     // Workload axis
     // ------------------------------------------------------------------

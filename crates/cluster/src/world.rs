@@ -28,6 +28,7 @@ use simcore::time::{SimDuration, SimTime};
 use workload::request::{ModelId, RequestId, Slo};
 
 use crate::checkpoint::{CheckpointConfig, CheckpointStore};
+use crate::dist::{CheckpointDirectory, DistConfig, ReplicaState, TransferPlan, TransferSource};
 use crate::metrics::RunMetrics;
 use crate::node::{ClusterSpec, NodeId, NodeSpec};
 use workload::request::{Request, SloClass};
@@ -67,6 +68,17 @@ pub struct WorldConfig {
     /// fleet-scale runs raise it so a day-long trace does not carry a
     /// 100k-point timeline per cell. 0 is treated as 1.
     pub usage_sample_stride: usize,
+    /// Cross-node checkpoint distribution (peer-to-peer fabric fetch,
+    /// multicast relay trees, cache-aware keep-alive/demotion). The
+    /// default, [`DistConfig::off`], disables everything and replays
+    /// pre-distribution runs byte-identically.
+    pub dist: DistConfig,
+    /// Record `(model, activation time)` for every instance that finishes
+    /// its cold start in
+    /// [`RunMetrics::activations`](crate::metrics::RunMetrics::activations)
+    /// — what flash-crowd experiments compute time-to-N-replicas from.
+    /// Off by default so fleet-scale runs don't grow an unbounded log.
+    pub record_activations: bool,
 }
 
 impl Default for WorldConfig {
@@ -82,6 +94,8 @@ impl Default for WorldConfig {
             kv_transfer_gbps: 12.5,
             checkpoints: CheckpointConfig::flat(),
             usage_sample_stride: 1,
+            dist: DistConfig::off(),
+            record_activations: false,
         }
     }
 }
@@ -219,6 +233,10 @@ struct ActiveLoad {
     /// bandwidth (noise already folded in); the channel divides progress
     /// by the number of concurrent loads.
     remaining_s: f64,
+    /// The load's original uncontended work, seconds. `remaining_s /
+    /// work_s` is the fraction still to transfer — what a mid-flight
+    /// reroute re-prices from a new source after its peer died.
+    work_s: f64,
     /// When the load began (completion reports `now - started`).
     started: SimTime,
 }
@@ -268,6 +286,19 @@ pub struct Hosted {
     pub slots: Vec<usize>,
     /// The checkpoint tier this instance's cold start loaded from.
     pub load_tier: CheckpointTier,
+    /// For a peer fabric fetch: the *source* node whose loading channel
+    /// the transfer contends on (`None` = the load runs on the instance's
+    /// own node, the classic path).
+    pub load_channel: Option<NodeId>,
+    /// True when the cold start streams over the peer-to-peer fabric
+    /// (its seconds are accounted to
+    /// [`RunMetrics::peer_fetch_seconds`](crate::metrics::RunMetrics::peer_fetch_seconds),
+    /// not the local tier table).
+    pub fabric: bool,
+    /// Keep-alive periods this instance has already deferred because it
+    /// held the fleet's last warm copy of its checkpoint (cache-aware
+    /// keep-alive; bounded by `DistConfig::keepalive_defer_max`).
+    pub keepalive_defers: u32,
 }
 
 impl Hosted {
@@ -398,6 +429,14 @@ pub struct World {
     models: Vec<ModelSpec>,
     perf: AnalyticPerf,
     rng: SimRng,
+    /// Fleet-wide checkpoint replica directory (only maintained while
+    /// `cfg.dist` is enabled; empty otherwise).
+    dir: CheckpointDirectory,
+    /// World-global loading-channel epoch counter. Epoch values only ever
+    /// matter by equality, but a reroute can move a load *between*
+    /// channels — globally unique epochs make a stale event from the old
+    /// channel unable to collide with the new channel's current epoch.
+    next_load_epoch: u64,
     /// Metrics recorder (public: the driver and summaries read it).
     pub metrics: RunMetrics,
     pub(crate) outstanding: usize,
@@ -428,6 +467,8 @@ impl World {
             models,
             perf: AnalyticPerf::new(),
             rng,
+            dir: CheckpointDirectory::new(),
+            next_load_epoch: 0,
             metrics: RunMetrics::default(),
             outstanding: 0,
             wake: Vec::new(),
@@ -737,8 +778,26 @@ impl World {
     /// node, accounting for the loads it would share the loading channel
     /// with. Placement, feasibility, and the scale-up path all score
     /// candidate nodes with this. Under the flat default configuration it
-    /// degenerates to `weights / load_bw`, the legacy estimate.
+    /// degenerates to `weights / load_bw`, the legacy estimate. With
+    /// checkpoint distribution enabled the estimate is peer-aware: when a
+    /// fabric fetch from another node's cache beats the local hierarchy,
+    /// the peer estimate is returned — so startup-time-estimated placement
+    /// (SLINFER and both baselines) sees the fabric.
     pub fn estimate_load_s(&self, model: ModelId, node: NodeId) -> f64 {
+        let local = self.local_estimate_load_s(model, node);
+        if !self.cfg.dist.fetch_enabled() {
+            return local;
+        }
+        match self.plan_transfer(model, node) {
+            Some(plan) => plan.est_s,
+            None => local,
+        }
+    }
+
+    /// The PR 5 local-hierarchy estimate (warmest local tier, destination
+    /// channel share) — the dist-off `estimate_load_s`, and the bar a peer
+    /// transfer has to beat.
+    fn local_estimate_load_s(&self, model: ModelId, node: NodeId) -> f64 {
         let tier = self.checkpoint_tier(model, node);
         let concurrent = if self.cfg.checkpoints.contention && tier != CheckpointTier::Hbm {
             self.nodes[node.0 as usize].loads.len() as u32 + 1
@@ -747,6 +806,263 @@ impl World {
         };
         self.perf
             .load_time(self.model_spec(model), self.node_hw(node), tier, concurrent)
+    }
+
+    /// Plans the cheapest peer transfer of `model` to `dest`, or `None`
+    /// when the local hierarchy wins (or no usable replica exists). Shared
+    /// by [`World::estimate_load_s`] and the create path, so estimates and
+    /// actual transfers always agree on the source. Deterministic: replicas
+    /// are scanned in node order and ties break toward the lower node id;
+    /// no RNG is consulted.
+    fn plan_transfer(&self, model: ModelId, dest: NodeId) -> Option<TransferPlan> {
+        let dist = self.cfg.dist;
+        if !dist.fetch_enabled() {
+            return None;
+        }
+        let bytes = self.model_spec(model).weights_bytes();
+        let dest_hw = self.node_hw(dest);
+        let mut best: Option<TransferPlan> = None;
+        for rep in self.dir.replicas(model) {
+            if rep.node == dest || !self.node_schedulable(rep.node) {
+                continue;
+            }
+            let relay = rep.state == ReplicaState::Arriving;
+            if relay && !dist.multicast {
+                continue;
+            }
+            let src_hw = self.node_hw(rep.node);
+            // A fabric stream is bounded by the receiver's fabric port and
+            // the source's tier read path.
+            let rate = dest_hw.fabric_bw_gbps.min(src_hw.tier_bw_gbps(rep.tier));
+            if rate <= 0.0 {
+                continue;
+            }
+            let mut work = bytes as f64 / (rate * 1e9);
+            if relay {
+                // A relay pipelines behind its parent's inbound stream: the
+                // hop cannot finish before the parent's own tail arrives.
+                work = work.max(self.inbound_remaining_s(model, rep.node));
+            }
+            work += dest_hw.fabric_latency_s;
+            // The transfer joins the *source's* loading channel.
+            let k = if self.cfg.checkpoints.contention {
+                self.nodes[rep.node.0 as usize].loads.len() as f64 + 1.0
+            } else {
+                1.0
+            };
+            let est = work * k;
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    let b_node = match b.source {
+                        TransferSource::Peer { node, .. } => node,
+                        TransferSource::Local(_) => unreachable!("planner only picks peers"),
+                    };
+                    (est, rep.node) < (b.est_s, b_node)
+                }
+            };
+            if better {
+                best = Some(TransferPlan {
+                    source: TransferSource::Peer {
+                        node: rep.node,
+                        relay,
+                    },
+                    work_s: work,
+                    est_s: est,
+                });
+            }
+        }
+        let plan = best?;
+        if plan.est_s < self.local_estimate_load_s(model, dest) {
+            Some(plan)
+        } else {
+            None
+        }
+    }
+
+    /// Settled seconds remaining on the in-flight load bringing `model`
+    /// to `holder`, read-only (no channel state is touched). Zero when no
+    /// tracked inbound load exists — fixed-duration (uncontended) loads
+    /// are not observable, so relays price them optimistically.
+    fn inbound_remaining_s(&self, model: ModelId, holder: NodeId) -> f64 {
+        let mut worst = 0.0f64;
+        for &id in self.model_instances(model) {
+            let h = &self.instances[&id];
+            if h.node != holder || h.inst.state != InstanceState::Loading {
+                continue;
+            }
+            let ch = h.load_channel.unwrap_or(h.node).0 as usize;
+            let n = &self.nodes[ch];
+            if let Some(l) = n.loads.get(&id) {
+                let k = n.loads.len() as f64;
+                let elapsed = self.clock.since(n.loads_settled_at).as_secs_f64();
+                worst = worst.max((l.remaining_s - elapsed / k).max(0.0));
+            }
+        }
+        worst
+    }
+
+    /// Eviction ranks of `node`'s DRAM-resident checkpoints for
+    /// cache-aware demotion: 0 = an SSD copy sits right below (cheapest to
+    /// recover, evicted first), 1 = a ready fleet replica exists elsewhere
+    /// (a fabric fetch away), 2 = this DRAM entry is the last copy short
+    /// of the registry. Ties fall back to LRU order inside the store.
+    fn dram_eviction_ranks(&self, node: NodeId) -> Vec<(ModelId, u8)> {
+        let store = &self.nodes[node.0 as usize].store;
+        store
+            .dram_models()
+            .into_iter()
+            .map(|m| {
+                let rank = if store.ssd_models().contains(&m) {
+                    0
+                } else if self.dir.ready_replicas_elsewhere(m, node) > 0 {
+                    1
+                } else {
+                    2
+                };
+                (m, rank)
+            })
+            .collect()
+    }
+
+    /// Re-syncs the directory's view of `node` from its store (call after
+    /// any store mutation while distribution is enabled).
+    fn refresh_directory(&mut self, node: NodeId) {
+        if !self.cfg.dist.enabled() {
+            return;
+        }
+        let store = &self.nodes[node.0 as usize].store;
+        let (dram, ssd) = (store.dram_models(), store.ssd_models());
+        self.dir.refresh_node(node, &dram, &ssd);
+    }
+
+    /// Re-sources a fabric transfer whose source node just failed: the
+    /// remaining fraction of the checkpoint restarts from the best *ready*
+    /// replica (a relay chain rooted at the failed node lost its feed, so
+    /// mid-flight peers are not eligible), falling back to a registry
+    /// resume over the destination's own remote link. Deterministic — the
+    /// event-application path consults no RNG, and the fresh channel epoch
+    /// keeps the dead channel's LoadDone events stale.
+    fn reroute_transfer(
+        &mut self,
+        inst: InstanceId,
+        remaining_s: f64,
+        work_s: f64,
+        started: SimTime,
+    ) {
+        let (model, dest) = {
+            let h = &self.instances[&inst];
+            (h.inst.model, h.node)
+        };
+        let frac = if work_s > 0.0 {
+            (remaining_s / work_s).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let bytes_left = self.model_spec(model).weights_bytes() as f64 * frac;
+        let dest_hw = self.node_hw(dest);
+        let fabric_lat = dest_hw.fabric_latency_s;
+        let dest_fabric = dest_hw.fabric_bw_gbps;
+        let remote_bw = dest_hw.remote_bw_gbps;
+        let mut best: Option<(f64, NodeId, f64)> = None; // (est, src, hop seconds)
+        for rep in self.dir.replicas(model) {
+            if rep.node == dest
+                || rep.state != ReplicaState::Ready
+                || !self.node_schedulable(rep.node)
+            {
+                continue;
+            }
+            let rate = dest_fabric.min(self.node_hw(rep.node).tier_bw_gbps(rep.tier));
+            if rate <= 0.0 {
+                continue;
+            }
+            let t = bytes_left / (rate * 1e9) + fabric_lat;
+            let k = if self.cfg.checkpoints.contention {
+                self.nodes[rep.node.0 as usize].loads.len() as f64 + 1.0
+            } else {
+                1.0
+            };
+            let est = t * k;
+            let better = match best {
+                None => true,
+                Some((be, bn, _)) => (est, rep.node) < (be, bn),
+            };
+            if better {
+                best = Some((est, rep.node, t));
+            }
+        }
+        let (channel, t) = match best {
+            Some((_, src, t)) => (src, t),
+            None => (dest, bytes_left / (remote_bw * 1e9)),
+        };
+        self.instances
+            .get_mut(&inst)
+            .expect("reroute target exists")
+            .load_channel = (channel != dest).then_some(channel);
+        let ch = channel.0 as usize;
+        if self.cfg.checkpoints.contention {
+            self.settle_loads(ch);
+            self.nodes[ch].loads.insert(
+                inst,
+                ActiveLoad {
+                    remaining_s: t,
+                    work_s: t,
+                    started,
+                },
+            );
+            self.reschedule_loads(ch);
+        } else {
+            let finish = self.clock + SimDuration::from_secs_f64(t);
+            self.events.push(
+                finish,
+                Event::LoadDone {
+                    inst,
+                    elapsed: finish.since(started),
+                    epoch: 0,
+                },
+            );
+        }
+    }
+
+    /// Cache-aware keep-alive: returns true when unloading this idle
+    /// instance should be deferred one more keep-alive period because it
+    /// would send the fleet's *last* warm copy of the model back to the
+    /// registry. Bounded by `keepalive_defer_max` deferrals so a cooling
+    /// fleet still drains. No-op (always false) unless `dist.cache_aware`.
+    pub(crate) fn keepalive_defer(&mut self, inst: InstanceId) -> bool {
+        if !self.cfg.dist.cache_aware {
+            return false;
+        }
+        let (model, node, defers) = match self.instances.get(&inst) {
+            Some(h) => (h.inst.model, h.node, h.keepalive_defers),
+            None => return false,
+        };
+        if defers >= self.cfg.dist.keepalive_defer_max {
+            return false;
+        }
+        // Another live instance of the model keeps the weights hot
+        // regardless of what happens to this one.
+        if self.model_instances(model).iter().any(|&id| id != inst) {
+            return false;
+        }
+        if self.dir.ready_replicas_elsewhere(model, node) > 0 {
+            return false;
+        }
+        // Only defer when eviction would truly fall back to the registry:
+        // a local DRAM/SSD copy below the instance's HBM residency makes
+        // the next cold start cheap anyway.
+        if self.nodes[node.0 as usize]
+            .store
+            .peek_tier(model, &self.cfg.checkpoints)
+            != CheckpointTier::Remote
+        {
+            return false;
+        }
+        self.instances
+            .get_mut(&inst)
+            .expect("checked above")
+            .keepalive_defers += 1;
+        true
     }
 
     /// [`World::estimate_load_s`] as an integer-nanosecond sort key — the
@@ -838,17 +1154,54 @@ impl World {
         self.next_instance += 1;
         // Fetch the checkpoint from its warmest tier, promoting it through
         // the node's cache hierarchy. HBM hits copy the co-resident weights
-        // device-to-device and only refresh cache recency.
+        // device-to-device and only refresh cache recency. With checkpoint
+        // distribution enabled, a peer's cached copy (or an in-flight relay
+        // under multicast) can beat the local hierarchy: the weights then
+        // stream over the fabric into DRAM, contending on the *source*
+        // node's loading channel instead of the local one.
         let ix = node.0 as usize;
         let ckpt = self.cfg.checkpoints.clone();
-        let tier = if self.hbm_resident(model, node) {
-            self.nodes[ix].store.touch(model);
-            CheckpointTier::Hbm
+        let hbm = self.hbm_resident(model, node);
+        let plan = if self.cfg.dist.fetch_enabled() && !hbm {
+            self.plan_transfer(model, node)
         } else {
+            None
+        };
+        let ranks = if self.cfg.dist.cache_aware {
+            self.dram_eviction_ranks(node)
+        } else {
+            Vec::new()
+        };
+        let (tier, peer) = if hbm {
+            self.nodes[ix].store.touch(model);
+            (CheckpointTier::Hbm, None)
+        } else if let Some(TransferPlan {
+            source: TransferSource::Peer { node: src, relay },
+            work_s,
+            ..
+        }) = plan
+        {
             self.nodes[ix]
                 .store
-                .fetch(model, spec.weights_bytes(), &ckpt)
+                .admit_fabric(model, spec.weights_bytes(), &ckpt, &ranks);
+            (CheckpointTier::Dram, Some((src, relay, work_s)))
+        } else if self.cfg.dist.cache_aware {
+            let t = self.nodes[ix]
+                .store
+                .fetch_ranked(model, spec.weights_bytes(), &ckpt, &ranks);
+            (t, None)
+        } else {
+            let t = self.nodes[ix]
+                .store
+                .fetch(model, spec.weights_bytes(), &ckpt);
+            (t, None)
         };
+        if self.cfg.dist.enabled() {
+            self.refresh_directory(node);
+            if peer.is_some() || tier == CheckpointTier::Remote {
+                self.dir.mark_arriving(model, node);
+            }
+        }
         let inst = Instance::new(id, model, spec.clone(), kv_grant_bytes, self.clock);
         self.index
             .insert(id, ix, &slots, model.0 as usize, self.nodes[ix].hw.kind);
@@ -859,25 +1212,53 @@ impl World {
                 node,
                 slots,
                 load_tier: tier,
+                load_channel: None,
+                fabric: peer.is_some(),
+                keepalive_defers: 0,
             },
         );
         self.metrics.cold_starts += 1;
-        self.metrics.cold_tier_loads[tier.index()] += 1;
+        match peer {
+            Some((_, relay, _)) => {
+                self.metrics.peer_fetches += 1;
+                if relay {
+                    self.metrics.multicast_relays += 1;
+                }
+            }
+            None => self.metrics.cold_tier_loads[tier.index()] += 1,
+        }
         let hw = self.nodes[ix].hw.clone();
-        let base = self.perf.load_time(&spec, &hw, tier, 1);
+        let base = match peer {
+            Some((_, _, work_s)) => work_s,
+            None => self.perf.load_time(&spec, &hw, tier, 1),
+        };
         let work = self.cfg.noise.apply(base, &mut self.rng);
-        if ckpt.contention && tier != CheckpointTier::Hbm {
-            // Join the node's shared loading channel: everyone slows down
-            // to bw/k and the whole channel is rescheduled.
-            self.settle_loads(ix);
-            self.nodes[ix].loads.insert(
+        let channel = match peer {
+            // A fabric stream shares the source's loading channel with the
+            // source's own cold starts.
+            Some((src, _, _)) if ckpt.contention => Some(src.0 as usize),
+            None if ckpt.contention && tier != CheckpointTier::Hbm => Some(ix),
+            _ => None,
+        };
+        if let Some(ch) = channel {
+            // Join the shared loading channel: everyone slows down to bw/k
+            // and the whole channel is rescheduled.
+            if ch != ix {
+                self.instances
+                    .get_mut(&id)
+                    .expect("just inserted")
+                    .load_channel = Some(NodeId(ch as u32));
+            }
+            self.settle_loads(ch);
+            self.nodes[ch].loads.insert(
                 id,
                 ActiveLoad {
                     remaining_s: work,
+                    work_s: work,
                     started: self.clock,
                 },
             );
-            self.reschedule_loads(ix);
+            self.reschedule_loads(ch);
         } else {
             let dur = SimDuration::from_secs_f64(work);
             self.events.push(
@@ -919,8 +1300,14 @@ impl World {
     /// completion lands at `now + remaining · k`, under a fresh epoch so
     /// previously pushed events go stale.
     fn reschedule_loads(&mut self, node_ix: usize) {
+        // Epochs come from a world-global counter: a load that migrates
+        // between channels (source-node failure reroute) can then never be
+        // confirmed by a stale event that happens to carry the new
+        // channel's current per-node count. Only equality is ever checked,
+        // so the switch from per-node counters is behavior-neutral.
+        self.next_load_epoch += 1;
         let n = &mut self.nodes[node_ix];
-        n.load_epoch += 1;
+        n.load_epoch = self.next_load_epoch;
         let epoch = n.load_epoch;
         let k = n.loads.len();
         if k == 0 {
@@ -972,7 +1359,8 @@ impl World {
             return Some(elapsed);
         }
         let node_ix = match self.instances.get(&inst) {
-            Some(h) => h.node.0 as usize,
+            // A peer fetch lives on the *source* node's channel.
+            Some(h) => h.load_channel.unwrap_or(h.node).0 as usize,
             // The instance died (NodeFail / drain unload) with its load.
             None => return None,
         };
@@ -1143,8 +1531,16 @@ impl World {
         );
         let freed = h.inst.spec.weights_bytes() + h.inst.kv_capacity_bytes();
         // A still-loading instance leaves the shared loading channel, and
-        // any co-loading survivors speed back up.
-        self.cancel_load(inst, h.node.0 as usize);
+        // any co-loading survivors speed back up. A peer fetch lives on
+        // the *source* node's channel.
+        let channel = h.load_channel.unwrap_or(h.node);
+        self.cancel_load(inst, channel.0 as usize);
+        if self.cfg.dist.enabled() {
+            // Drop any arriving marker. The tier entry stays: the store
+            // keeps admitted-but-cancelled checkpoints (PR 5 semantics),
+            // so the directory keeps reporting the copy too.
+            self.dir.mark_ready(h.inst.model, h.node);
+        }
         let node = &mut self.nodes[h.node.0 as usize];
         node.committed = node.committed.saturating_sub(freed);
         self.metrics.instance_lifetime_s += self.clock.since(h.inst.created_at).as_secs_f64();
@@ -1235,6 +1631,21 @@ impl World {
                     self.nodes[node.0 as usize].health = NodeHealth::Down;
                     self.metrics.node_failures += 1;
                 }
+                // Fabric transfers streaming *out* of this node (peer
+                // fetches whose destination survives) must be rerouted
+                // before the channel dies: settle them and remember how
+                // much of each stream is left.
+                let mut rerouted: Vec<(InstanceId, f64, f64, SimTime)> = Vec::new();
+                if self.cfg.dist.enabled() {
+                    self.settle_loads(node.0 as usize);
+                    for (&id, l) in &self.nodes[node.0 as usize].loads {
+                        if let Some(h) = self.instances.get(&id) {
+                            if h.node != *node {
+                                rerouted.push((id, l.remaining_s, l.work_s, l.started));
+                            }
+                        }
+                    }
+                }
                 let n = &mut self.nodes[node.0 as usize];
                 n.committed = 0;
                 for b in &mut n.slot_busy {
@@ -1245,12 +1656,21 @@ impl World {
                 // loads — their LoadDone events go stale with the entries.
                 n.store.clear();
                 n.loads.clear();
+                self.dir.clear_node(*node);
                 // Everything hosted is gone; salvage the request states.
                 let lost: Vec<InstanceId> = self.instances_on_node(*node);
                 let now = self.clock;
                 let mut displaced = Vec::new();
                 for inst in lost {
                     let mut h = self.instances.remove(&inst).expect("listed");
+                    // A cold start streaming *into* this node over a
+                    // surviving peer's channel leaves that channel, so the
+                    // survivors there speed back up.
+                    if let Some(ch) = h.load_channel {
+                        if ch != *node {
+                            self.cancel_load(inst, ch.0 as usize);
+                        }
+                    }
                     self.index.remove(
                         inst,
                         h.node.0 as usize,
@@ -1263,6 +1683,10 @@ impl World {
                     self.note_migration(&ids);
                     self.metrics.instance_lifetime_s += now.since(h.inst.created_at).as_secs_f64();
                     displaced.extend(moved);
+                }
+                for (id, rem, work, started) in rerouted {
+                    self.reroute_transfer(id, rem, work, started);
+                    self.metrics.transfer_reroutes += 1;
                 }
                 displaced
             }
@@ -1355,7 +1779,18 @@ impl World {
         let now = self.clock;
         let mut graced: Vec<(RequestId, SimDuration)> = Vec::new();
         if let Some(h) = self.instances.get(&inst) {
-            self.metrics.cold_tier_seconds[h.load_tier.index()] += elapsed.as_secs_f64();
+            let (model, node, fabric, tier) = (h.inst.model, h.node, h.fabric, h.load_tier);
+            if fabric {
+                self.metrics.peer_fetch_seconds += elapsed.as_secs_f64();
+            } else {
+                self.metrics.cold_tier_seconds[tier.index()] += elapsed.as_secs_f64();
+            }
+            if self.cfg.dist.enabled() {
+                self.dir.mark_ready(model, node);
+            }
+            if self.cfg.record_activations {
+                self.metrics.activations.push((model, now.as_secs_f64()));
+            }
         }
         if let Some(h) = self.instances.get_mut(&inst) {
             h.inst.activate(now);
@@ -1659,5 +2094,159 @@ mod tests {
             .expect("fits");
         assert_eq!(w.loads_in_flight(NodeId(1)), 0);
         assert_eq!(w.metrics.cold_tier_loads, [0, 1, 0, 0]);
+    }
+
+    fn dist_world(nodes: ClusterSpec, models: Vec<ModelSpec>, dist: DistConfig) -> World {
+        let cfg = WorldConfig {
+            noise: NoiseModel::off(),
+            checkpoints: CheckpointConfig::tiered(30 * GB, Some(100 * GB)),
+            dist,
+            ..WorldConfig::default()
+        };
+        World::new(&nodes, models, cfg)
+    }
+
+    /// Parks a warm copy of `model` in `node`'s DRAM cache: the create
+    /// fetches the checkpoint, the unload cancels the in-flight load and
+    /// marks the directory replica ready (the cache entry survives).
+    fn warm(w: &mut World, model: ModelId, node: NodeId) {
+        let inst = w.create_instance(model, node, 0, GB).expect("fits");
+        w.unload_instance(inst);
+    }
+
+    #[test]
+    fn peer_fetch_prices_fabric_and_joins_source_channel() {
+        let mut w = dist_world(
+            ClusterSpec::heterogeneous(0, 2),
+            vec![ModelSpec::llama2_7b()],
+            DistConfig::peer(),
+        );
+        warm(&mut w, ModelId(0), NodeId(0));
+        assert_eq!(w.loads_in_flight(NodeId(0)), 0);
+
+        let spec = w.model_spec(ModelId(0)).clone();
+        let dest = w.node_hw(NodeId(1)).clone();
+        let src = w.node_hw(NodeId(0)).clone();
+        let rate = dest
+            .fabric_bw_gbps
+            .min(src.tier_bw_gbps(CheckpointTier::Dram));
+        let fabric = spec.weights_bytes() as f64 / (rate * 1e9) + dest.fabric_latency_s;
+        let remote = w.perf().load_time(&spec, &dest, CheckpointTier::Remote, 1);
+        assert!(fabric < remote, "fabric {fabric} must beat remote {remote}");
+        assert_eq!(w.estimate_load_s(ModelId(0), NodeId(1)), fabric);
+
+        w.create_instance(ModelId(0), NodeId(1), 0, GB)
+            .expect("fits");
+        // The transfer rides the *source* node's loading channel.
+        assert_eq!(w.loads_in_flight(NodeId(0)), 1);
+        assert_eq!(w.loads_in_flight(NodeId(1)), 0);
+        assert_eq!(w.metrics.cold_starts, 2);
+        assert_eq!(w.metrics.peer_fetches, 1);
+        assert_eq!(w.metrics.multicast_relays, 0);
+        // The fabric admit lands in DRAM with no SSD write-through.
+        assert_eq!(w.checkpoint_dram_models(NodeId(1)), vec![ModelId(0)]);
+        assert!(w.checkpoint_ssd_models(NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn multicast_attaches_relays_to_arriving_copies() {
+        let nodes = ClusterSpec::heterogeneous(0, 3);
+        let models = vec![ModelSpec::llama2_7b()];
+        // Peer-only: every scale-out streams from the ready seed, piling
+        // onto its channel.
+        let mut w = dist_world(nodes.clone(), models.clone(), DistConfig::peer());
+        warm(&mut w, ModelId(0), NodeId(0));
+        w.create_instance(ModelId(0), NodeId(1), 0, GB)
+            .expect("fits");
+        w.create_instance(ModelId(0), NodeId(2), 0, GB)
+            .expect("fits");
+        assert_eq!(w.metrics.peer_fetches, 2);
+        assert_eq!(w.metrics.multicast_relays, 0);
+        assert_eq!(w.loads_in_flight(NodeId(0)), 2);
+
+        // Multicast: the second scale-out relays off node 1's still
+        // arriving copy instead of doubling up on the seed's channel.
+        let mut w = dist_world(nodes, models, DistConfig::full());
+        warm(&mut w, ModelId(0), NodeId(0));
+        w.create_instance(ModelId(0), NodeId(1), 0, GB)
+            .expect("fits");
+        w.create_instance(ModelId(0), NodeId(2), 0, GB)
+            .expect("fits");
+        assert_eq!(w.metrics.peer_fetches, 2);
+        assert_eq!(w.metrics.multicast_relays, 1);
+        assert_eq!(w.loads_in_flight(NodeId(0)), 1);
+        assert_eq!(w.loads_in_flight(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn source_failure_reroutes_transfer_to_ready_replica() {
+        let mut w = dist_world(
+            ClusterSpec::heterogeneous(0, 3),
+            vec![ModelSpec::llama2_7b()],
+            DistConfig::peer(),
+        );
+        warm(&mut w, ModelId(0), NodeId(0));
+        warm(&mut w, ModelId(0), NodeId(2));
+        let inst = w
+            .create_instance(ModelId(0), NodeId(1), 0, GB)
+            .expect("fits");
+        // Equal-cost sources tie-break toward the lower node id.
+        assert_eq!(w.loads_in_flight(NodeId(0)), 1);
+        w.apply_cluster_event(&ClusterEvent::NodeFail(NodeId(0)));
+        // The survivor re-sources from node 2's ready copy; the instance
+        // itself (on the untouched node 1) lives on.
+        assert_eq!(w.metrics.transfer_reroutes, 1);
+        assert_eq!(w.loads_in_flight(NodeId(2)), 1);
+        assert_eq!(w.loads_in_flight(NodeId(1)), 0);
+        assert!(w.instance(inst).is_some());
+    }
+
+    #[test]
+    fn source_failure_falls_back_to_registry_resume() {
+        let mut w = dist_world(
+            ClusterSpec::heterogeneous(0, 2),
+            vec![ModelSpec::llama2_7b()],
+            DistConfig::peer(),
+        );
+        warm(&mut w, ModelId(0), NodeId(0));
+        let inst = w
+            .create_instance(ModelId(0), NodeId(1), 0, GB)
+            .expect("fits");
+        w.apply_cluster_event(&ClusterEvent::NodeFail(NodeId(0)));
+        // No ready replica is left anywhere: the remainder resumes from
+        // the registry over the destination's own channel.
+        assert_eq!(w.metrics.transfer_reroutes, 1);
+        assert_eq!(w.loads_in_flight(NodeId(1)), 1);
+        assert!(w.instance(inst).is_some());
+    }
+
+    #[test]
+    fn cache_aware_keepalive_defers_last_warm_copy() {
+        let models = vec![ModelSpec::llama2_7b(), ModelSpec::llama2_7b().replica(1)];
+        let weights = models[0].weights_bytes();
+        let cfg = WorldConfig {
+            noise: NoiseModel::off(),
+            // DRAM holds exactly one checkpoint and there is no SSD tier:
+            // eviction sends a model all the way back to the registry.
+            checkpoints: CheckpointConfig::tiered(weights + GB, Some(0)),
+            dist: DistConfig::full(),
+            ..WorldConfig::default()
+        };
+        let mut w = World::new(&ClusterSpec::heterogeneous(0, 1), models, cfg);
+        let a = w
+            .create_instance(ModelId(0), NodeId(0), 0, GB)
+            .expect("fits");
+        // While the checkpoint is DRAM-cached, reclaiming is cheap: no
+        // deferral.
+        assert!(!w.keepalive_defer(a));
+        // A second model's fetch evicts it from the one-checkpoint DRAM.
+        w.create_instance(ModelId(1), NodeId(0), 0, GB)
+            .expect("fits");
+        assert_eq!(w.checkpoint_dram_models(NodeId(0)), vec![ModelId(1)]);
+        // `a` now hosts the fleet's last warm copy: defer, up to the bound.
+        assert!(w.keepalive_defer(a));
+        assert!(w.keepalive_defer(a));
+        assert!(w.keepalive_defer(a));
+        assert!(!w.keepalive_defer(a), "defer bound reached");
     }
 }

@@ -129,6 +129,16 @@ pub struct HardwareSpec {
     /// ([`CheckpointTier::Remote`]). Host-level like the SSD: the NIC is
     /// shared across the server and does not scale with `ganged`.
     pub remote_bw_gbps: f64,
+    /// Peer-to-peer checkpoint fabric bandwidth, GB/s: the rate at which
+    /// this host can *receive* a checkpoint streamed out of another node's
+    /// checkpoint cache over the cluster fabric (λScale-style RDMA fast
+    /// path — far faster than the registry NIC). Host-level like the SSD
+    /// and the registry NIC: one fabric port per server, so it does not
+    /// scale with [`HardwareSpec::ganged`]. An actual transfer is
+    /// additionally bounded by the *source's* tier read bandwidth.
+    pub fabric_bw_gbps: f64,
+    /// One-way setup latency of a fabric checkpoint transfer, seconds.
+    pub fabric_latency_s: f64,
     /// KV rescale: seconds per GB of the enlarged cache (scale-up is
     /// allocation-dominated — Fig. 17's 2× curve).
     pub kv_up_s_per_gb: f64,
@@ -166,6 +176,10 @@ impl HardwareSpec {
             // Local NVMe array ~6 GB/s; registry fetch over a 10 Gbps NIC.
             ssd_bw_gbps: 6.0,
             remote_bw_gbps: 1.25,
+            // 200 Gbps RDMA-class fabric between GPU hosts; the effective
+            // peer rate is still capped by the source's DRAM read path.
+            fabric_bw_gbps: 25.0,
+            fabric_latency_s: 5.0e-5,
             kv_up_s_per_gb: 0.027,
             kv_down_s_per_gb: 0.01625,
             kv_copy_s_per_gb: 0.0025,
@@ -190,6 +204,9 @@ impl HardwareSpec {
             load_bw_gbps: 20.0,
             ssd_bw_gbps: 6.0,
             remote_bw_gbps: 1.25,
+            // CPU hosts sit on a 100 Gbps fabric port.
+            fabric_bw_gbps: 12.5,
+            fabric_latency_s: 5.0e-5,
             kv_up_s_per_gb: 0.012,
             kv_down_s_per_gb: 0.008,
             kv_copy_s_per_gb: 0.002,
@@ -214,6 +231,8 @@ impl HardwareSpec {
             load_bw_gbps: 20.0,
             ssd_bw_gbps: 6.0,
             remote_bw_gbps: 1.25,
+            fabric_bw_gbps: 12.5,
+            fabric_latency_s: 5.0e-5,
             kv_up_s_per_gb: 0.012,
             kv_down_s_per_gb: 0.008,
             kv_copy_s_per_gb: 0.002,
@@ -231,8 +250,8 @@ impl HardwareSpec {
     /// never `k` separate contenders on the node's loading channel. The
     /// interconnect envelope (`link_bw_gbps`, `link_latency_s`) is
     /// per-device and does not scale, and neither do the host-level
-    /// checkpoint media (`ssd_bw_gbps`, `remote_bw_gbps`): all devices
-    /// share one NVMe array and one NIC.
+    /// checkpoint media (`ssd_bw_gbps`, `remote_bw_gbps`, `fabric_bw_gbps`):
+    /// all devices share one NVMe array, one NIC, and one fabric port.
     ///
     /// Pair with [`crate::ModelSpec::with_tp`] and a node split into `n`
     /// equal slots so tensor-parallel instances can claim `k ≤ n` devices.
@@ -358,6 +377,9 @@ mod tests {
         // and the registry NIC do not get faster with more accelerators.
         assert_eq!(four.ssd_bw_gbps, one.ssd_bw_gbps);
         assert_eq!(four.remote_bw_gbps, one.remote_bw_gbps);
+        // ... and neither does the peer-to-peer checkpoint fabric port.
+        assert_eq!(four.fabric_bw_gbps, one.fabric_bw_gbps);
+        assert_eq!(four.fabric_latency_s, one.fabric_latency_s);
         assert_eq!(four.kind, one.kind);
         // A quarter-share slot of the gang is exactly one device's compute.
         let slot = four.fraction(0.25);

@@ -4,7 +4,10 @@
 #
 #   scripts/check-scale-perf.sh <fresh-BENCH_scale.json> [committed.json]
 #
-# Two checks, split along the determinism boundary:
+# Prints a per-cell delta table (every comparable cell, not just the
+# failing ones — small regressions under the warning threshold must be
+# visible in CI logs), then applies two checks split along the
+# determinism boundary:
 #
 # - Fingerprints (HARD FAIL): every fresh row whose (nodes, requests)
 #   cell also exists in the committed file must carry the identical
@@ -32,37 +35,67 @@ committed = json.load(open(committed_path))
 baseline = {(r["nodes"], r["requests"]): r for r in committed}
 
 status = 0
-compared = 0
+rows = []
+skipped = []
 for row in fresh:
     cell = (row["nodes"], row["requests"])
     base = baseline.get(cell)
     if base is None:
-        print(f"note: cell {cell} not in committed baseline; skipped")
+        skipped.append(cell)
         continue
-    compared += 1
+    got, want = row["sim_per_wall"], base["sim_per_wall"]
+    ratio = got / max(want, 1e-9)
     if row["fingerprint"] != base["fingerprint"]:
+        verdict = "FINGERPRINT"
         print(
             f"::error::scale cell {cell}: fingerprint {row['fingerprint']} "
             f"!= committed {base['fingerprint']} — non-deterministic or the "
             f"baseline is stale (run scripts/update-goldens.sh)"
         )
         status = 1
-        continue
-    ratio = row["sim_per_wall"] / max(base["sim_per_wall"], 1e-9)
-    verdict = "ok"
-    if ratio < 0.5:
+    elif ratio < 0.5:
         verdict = "SLOW"
         print(
-            f"::warning::scale cell {cell}: sim-s/wall-s "
-            f"{row['sim_per_wall']:.0f} is {ratio:.0%} of the committed "
-            f"{base['sim_per_wall']:.0f} — possible perf regression"
+            f"::warning::scale cell {cell}: sim-s/wall-s {got:.0f} is "
+            f"{ratio:.0%} of the committed {want:.0f} — possible perf "
+            f"regression"
         )
-    print(
-        f"cell {cell}: fingerprint ok, sim-s/wall-s {row['sim_per_wall']:.0f} "
-        f"vs committed {base['sim_per_wall']:.0f} ({ratio:.0%}, {verdict})"
+    else:
+        verdict = "ok"
+    rows.append(
+        (
+            f"{cell[0]}x{cell[1]}",
+            f"{want:.0f}",
+            f"{got:.0f}",
+            f"{ratio - 1.0:+.1%}",
+            f"{base['peak_rss_mb']:.0f}",
+            f"{row['peak_rss_mb']:.0f}",
+            verdict,
+        )
     )
 
-if compared == 0:
+if rows:
+    header = (
+        "cell (nodes x reqs)",
+        "committed sim/wall",
+        "fresh sim/wall",
+        "delta",
+        "rss0 MB",
+        "rss MB",
+        "verdict",
+    )
+    widths = [
+        max(len(header[i]), max(len(r[i]) for r in rows)) for i in range(len(header))
+    ]
+    fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+    print(fmt.format(*header))
+    print(fmt.format(*("-" * w for w in widths)))
+    for r in rows:
+        print(fmt.format(*r))
+for cell in skipped:
+    print(f"note: cell {cell} not in committed baseline; skipped")
+
+if not rows:
     print("::error::no comparable cells between fresh run and committed baseline")
     status = 1
 sys.exit(status)
