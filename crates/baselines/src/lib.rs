@@ -22,6 +22,8 @@
 //!   dedicated prefill instances hand requests to decode instances over a
 //!   100 Gbps link (Table III).
 
+#![forbid(unsafe_code)]
+
 pub mod groups;
 pub mod limits;
 pub mod neo;

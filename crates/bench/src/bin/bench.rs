@@ -37,6 +37,7 @@ fn parse_opts<I: Iterator<Item = String>>(rest: I) -> Cli {
 }
 
 fn main() {
+    // detlint::allow(D004, "CLI argument intake for the multi-runner; parsed before any simulation")
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("list") => match args.next().as_deref() {

@@ -27,6 +27,8 @@
 //!   (`slo_mix`, `fault_drain`, `mixed_arrivals`).
 //! - [`zoo`] — model-zoo builders (replica zoos, popularity mixes).
 
+#![forbid(unsafe_code)]
+
 pub mod cli;
 pub mod experiments;
 pub mod memo;

@@ -262,6 +262,7 @@ pub fn present(report: &Report, cli: &Cli) {
 /// run the named experiment, present it. Exits 2 on a bad command line.
 pub fn main_for(name: &str) {
     let exp = find(name).unwrap_or_else(|| panic!("experiment `{name}` is not registered"));
+    // detlint::allow(D004, "CLI argument intake for single-experiment binaries; parsed before any simulation")
     let cli = match Cli::parse(std::env::args().skip(1)) {
         Ok(Parsed::Run(cli)) => cli,
         Ok(Parsed::Help) => {

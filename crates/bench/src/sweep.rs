@@ -131,6 +131,7 @@ impl<'a, P: Sync> Sweep<'a, P> {
     /// `--threads`, with a progress/ETA line on stderr when that stream is
     /// a TTY — suppressed under `--json` piping and in CI (`CI` env set).
     pub fn run_cli(self, cli: &Cli) -> SweepResults<P> {
+        // detlint::allow(D004, "TTY/CI detection gates the stderr progress line only; results never depend on it")
         let show = !cli.json && std::io::stderr().is_terminal() && std::env::var_os("CI").is_none();
         let threads = cli.worker_threads();
         self.progress(show).run(threads)
@@ -180,6 +181,7 @@ impl<'a, P: Sync> Sweep<'a, P> {
             }
         };
 
+        // detlint::allow(D003, "wall-clock feeds the stderr ETA line only, never the collected results")
         let started = Instant::now();
         let finished = AtomicUsize::new(0);
         let tick = |_: &RunMetrics| {

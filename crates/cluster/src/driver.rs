@@ -118,6 +118,7 @@ impl<P: Policy> Simulation<P> {
                     IterationKind::Prefill(req) => {
                         let (tokens_out, finished) = w
                             .instance_mut(inst)
+                            // detlint::allow(D005, "the event dispatch above already dropped stale IterationDone events for unloaded instances")
                             .expect("checked above")
                             .finish_prefill(req, now, elapsed);
                         w.count_decode_tokens(inst, 1);
@@ -133,6 +134,7 @@ impl<P: Policy> Simulation<P> {
                     IterationKind::Decode => {
                         let outcome = w
                             .instance_mut(inst)
+                            // detlint::allow(D005, "the event dispatch above already dropped stale IterationDone events for unloaded instances")
                             .expect("checked above")
                             .finish_decode(now, elapsed);
                         w.count_decode_tokens(inst, outcome.produced.len() as u64);

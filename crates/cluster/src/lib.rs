@@ -30,6 +30,8 @@
 //!   experiment harness prints (SLO-met requests, TTFT CDF, decode speed
 //!   per node, average nodes used, …).
 
+#![forbid(unsafe_code)]
+
 pub mod checkpoint;
 pub mod dist;
 pub mod driver;

@@ -450,6 +450,7 @@ impl World {
     /// # Panics
     /// Panics if the cluster spec is invalid or `models` is empty.
     pub fn new(cluster: &ClusterSpec, models: Vec<ModelSpec>, cfg: WorldConfig) -> Self {
+        // detlint::allow(D005, "constructor precondition, documented under # Panics: World::new refuses malformed specs before any event runs")
         cluster.validate().expect("invalid cluster");
         assert!(!models.is_empty(), "model registry is empty");
         let nodes: Vec<NodeState> = cluster.nodes.iter().map(NodeState::new).collect();
@@ -997,6 +998,7 @@ impl World {
         };
         self.instances
             .get_mut(&inst)
+            // detlint::allow(D005, "reroute only runs for instances the failing node's loading list still names; absence is directory corruption")
             .expect("reroute target exists")
             .load_channel = (channel != dest).then_some(channel);
         let ch = channel.0 as usize;
@@ -1060,6 +1062,7 @@ impl World {
         }
         self.instances
             .get_mut(&inst)
+            // detlint::allow(D005, "the same map was read a few lines up; between the two lookups nothing can remove the instance")
             .expect("checked above")
             .keepalive_defers += 1;
         true
@@ -1246,6 +1249,7 @@ impl World {
             if ch != ix {
                 self.instances
                     .get_mut(&id)
+                    // detlint::allow(D005, "this function inserted `id` into the map earlier in the same call")
                     .expect("just inserted")
                     .load_channel = Some(NodeId(ch as u32));
             }
@@ -1380,6 +1384,7 @@ impl World {
     /// # Panics
     /// Panics if the instance does not exist.
     pub fn admit(&mut self, inst: InstanceId, rr: RunningRequest) {
+        // detlint::allow(D005, "documented # Panics contract: callers admit only to instances they just placed or looked up")
         let h = self.instances.get_mut(&inst).expect("unknown instance");
         let node = h.node;
         let group = h.slots.clone();
@@ -1397,6 +1402,7 @@ impl World {
     /// Panics if the instance does not exist.
     #[must_use]
     pub fn admit_decoding(&mut self, inst: InstanceId, rr: RunningRequest) -> bool {
+        // detlint::allow(D005, "documented # Panics contract: PD handoff targets are validated by the policy before the ship")
         let h = self.instances.get_mut(&inst).expect("unknown instance");
         if h.inst.scaling {
             // The block array is being rebuilt; admitting now could push
@@ -1426,12 +1432,14 @@ impl World {
         inst: InstanceId,
         kind: IterationKind,
     ) -> Result<SimDuration, StartError> {
+        // detlint::allow(D005, "documented # Panics contract: iteration starts name instances the caller holds")
         let (node, _) = self.instance_placement(inst).expect("unknown instance");
         if self.instance_group_busy(inst) {
             return Err(StartError::GroupBusy);
         }
         let share = self.instance_share(inst);
         let hw = self.nodes[node.0 as usize].hw.clone();
+        // detlint::allow(D005, "same instance re-fetched after the immutable borrows above released; nothing removed it in between")
         let h = self.instances.get_mut(&inst).expect("unknown instance");
         let tp = h.inst.tp;
         let base = match kind {
@@ -1469,6 +1477,7 @@ impl World {
     /// release their delta only on completion — the asymmetry behind the
     /// §VII-C hazard.
     pub fn start_kv_scale(&mut self, inst: InstanceId, to_bytes: u64) -> Result<(), MemError> {
+        // detlint::allow(D005, "documented # Panics contract: rescales name instances the policy holds")
         let (node, _) = self.instance_placement(inst).expect("unknown instance");
         let h = &self.instances[&inst];
         assert!(!h.inst.scaling, "rescale already in flight");
@@ -1497,6 +1506,7 @@ impl World {
         let used = h.inst.kv_used_bytes();
         let base = self.perf.kv_scale_time(&hw, from_bytes, to_bytes, used);
         let dur = SimDuration::from_secs_f64(self.cfg.noise.apply(base, &mut self.rng));
+        // detlint::allow(D005, "same instance re-fetched mutably after the perf-model reads; nothing removed it in between")
         let h = self.instances.get_mut(&inst).expect("unknown instance");
         h.inst.scaling = true;
         self.events.push(
@@ -1517,6 +1527,7 @@ impl World {
     /// Panics if the instance still has live requests, is mid-iteration, or
     /// is mid-rescale.
     pub fn unload_instance(&mut self, inst: InstanceId) {
+        // detlint::allow(D005, "documented # Panics contract: unloads name instances the policy holds")
         let h = self.instances.remove(&inst).expect("unknown instance");
         assert!(
             !h.inst.has_live_requests() && !h.inst.busy && !h.inst.scaling,
@@ -1662,6 +1673,7 @@ impl World {
                 let now = self.clock;
                 let mut displaced = Vec::new();
                 for inst in lost {
+                    // detlint::allow(D005, "`lost` was enumerated from this map in this match arm; no removal happens in between")
                     let mut h = self.instances.remove(&inst).expect("listed");
                     // A cold start streaming *into* this node over a
                     // surviving peer's channel leaves that channel, so the
@@ -1691,6 +1703,7 @@ impl World {
                 displaced
             }
             ClusterEvent::NodeJoin(spec) => {
+                // detlint::allow(D005, "scenario precondition: a NodeJoin event carrying a malformed spec is a bug in the experiment definition")
                 spec.validate().expect("invalid joining node");
                 self.nodes.push(NodeState::new(spec));
                 self.index.add_node(spec.slot_shares.len());
@@ -1711,6 +1724,7 @@ impl World {
         let now = self.clock;
         let mut displaced = Vec::new();
         for inst in self.instances_on_node(node) {
+            // detlint::allow(D005, "instances_on_node reads the same map; nothing is removed between the index read and this fetch")
             let h = self.instances.get_mut(&inst).expect("listed");
             if h.inst.busy || h.inst.scaling {
                 continue; // swept up when the iteration/rescale completes

@@ -43,6 +43,8 @@
 //! assert!(metrics.slo_rate() > 0.8);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod consolidate;
 pub mod memory;

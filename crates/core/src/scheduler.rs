@@ -982,9 +982,10 @@ impl Policy for Slinfer {
                 .iter()
                 .filter(|r| !matches!(r.phase, ReqPhase::Prefilling))
                 .max_by(|a, b| {
+                    // total_cmp: identical to partial_cmp on the non-NaN
+                    // headrooms this sees, but can never panic mid-run.
                     a.headroom(now, &w.slo_for(&a.req))
-                        .partial_cmp(&b.headroom(now, &w.slo_for(&b.req)))
-                        .unwrap()
+                        .total_cmp(&b.headroom(now, &w.slo_for(&b.req)))
                 })
                 .map(|r| r.req.id)
         });

@@ -1,0 +1,230 @@
+//! `detlint.toml`: rule path configuration plus the grandfather baseline.
+//!
+//! The file has two jobs. The `[allow-paths]` / `[hot-paths]` tables are
+//! reviewed configuration: where wall-clock and env reads are legitimate
+//! (the CLI/timing layer) and which files constitute the D005 hot path.
+//! The `[[baseline]]` entries grandfather pre-existing findings so the
+//! linter can land strict without a flag-day: baselined findings don't
+//! fail the build, *new* ones do, and a baseline entry whose finding has
+//! disappeared is itself an error so the file only ever shrinks.
+//!
+//! The parser handles exactly the TOML subset this file uses — `[table]`,
+//! `[[array-of-tables]]`, `key = "string" | integer | ["array", …]`,
+//! `#` comments — hand-rolled like the rest of detlint (the workspace has
+//! no TOML crate and vendoring one for three key shapes would be noise).
+
+use std::collections::BTreeMap;
+
+use crate::report::{Diagnostic, Rule};
+
+/// One grandfathered finding, matched by (rule, file, line).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+}
+
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// Rule code → exact file paths where the rule does not apply
+    /// (D003/D004 allowlists).
+    pub allow_paths: BTreeMap<String, Vec<String>>,
+    /// Rule code → exact file paths where the rule *does* apply
+    /// (D005's hot-path scope).
+    pub hot_paths: BTreeMap<String, Vec<String>>,
+    /// Grandfathered findings.
+    pub baseline: Vec<BaselineEntry>,
+}
+
+impl Config {
+    pub fn allow_for(&self, rule: &str) -> &[String] {
+        self.allow_paths.get(rule).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn hot_for(&self, rule: &str) -> &[String] {
+        self.hot_paths.get(rule).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// The result of matching diagnostics against the baseline.
+#[derive(Debug, Default)]
+pub struct Partition {
+    /// New findings — these fail the build.
+    pub fresh: Vec<Diagnostic>,
+    /// Grandfathered findings — reported, not fatal.
+    pub baselined: Vec<Diagnostic>,
+    /// Baseline entries whose finding no longer exists — fatal, as a
+    /// D000 each: stale grandfather rows must be deleted, not hoarded.
+    pub stale: Vec<Diagnostic>,
+}
+
+/// Splits `diags` by the baseline and reports stale entries.
+pub fn partition(diags: Vec<Diagnostic>, baseline: &[BaselineEntry]) -> Partition {
+    let mut used = vec![false; baseline.len()];
+    let mut out = Partition::default();
+    for d in diags {
+        let hit = baseline
+            .iter()
+            .position(|b| b.rule == d.rule.code() && b.file == d.file && b.line == d.line);
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                out.baselined.push(d);
+            }
+            None => out.fresh.push(d),
+        }
+    }
+    for (b, used) in baseline.iter().zip(used) {
+        if !used {
+            out.stale.push(Diagnostic::new(
+                Rule::D000,
+                "detlint.toml",
+                0,
+                format!(
+                    "stale baseline entry {} {}:{} — the finding is gone; remove the entry \
+                     (or run `detlint check --update-baseline`)",
+                    b.rule, b.file, b.line
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Parses `detlint.toml`. Unknown tables/keys are ignored (forward
+/// compatibility); malformed lines are hard errors.
+pub fn parse(src: &str) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut section = String::new();
+    let mut entry: Option<BaselineEntry> = None;
+
+    for (n, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |why: &str| format!("detlint.toml:{}: {}", n + 1, why);
+        if let Some(name) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            flush(&mut entry, &mut cfg)?;
+            section = format!("[[{}]]", name.trim());
+            if name.trim() == "baseline" {
+                entry = Some(BaselineEntry {
+                    rule: String::new(),
+                    file: String::new(),
+                    line: 0,
+                });
+            }
+        } else if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            flush(&mut entry, &mut cfg)?;
+            section = name.trim().to_string();
+        } else {
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err("expected `key = value`"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match (section.as_str(), &mut entry) {
+                ("[[baseline]]", Some(e)) => match key {
+                    "rule" => e.rule = parse_string(value).ok_or_else(|| err("rule: string"))?,
+                    "file" => e.file = parse_string(value).ok_or_else(|| err("file: string"))?,
+                    "line" => {
+                        e.line = value.parse().map_err(|_| err("line: integer"))?;
+                    }
+                    _ => {}
+                },
+                ("allow-paths", _) => {
+                    let v = parse_string_array(value).ok_or_else(|| err("expected [\"…\"]"))?;
+                    cfg.allow_paths.insert(key.to_string(), v);
+                }
+                ("hot-paths", _) => {
+                    let v = parse_string_array(value).ok_or_else(|| err("expected [\"…\"]"))?;
+                    cfg.hot_paths.insert(key.to_string(), v);
+                }
+                _ => {} // unknown section: ignore
+            }
+        }
+    }
+    flush(&mut entry, &mut cfg)?;
+    Ok(cfg)
+}
+
+fn flush(entry: &mut Option<BaselineEntry>, cfg: &mut Config) -> Result<(), String> {
+    if let Some(e) = entry.take() {
+        if e.rule.is_empty() || e.file.is_empty() || e.line == 0 {
+            return Err(format!(
+                "detlint.toml: incomplete [[baseline]] entry (need rule, file, line): {e:?}"
+            ));
+        }
+        cfg.baseline.push(e);
+    }
+    Ok(())
+}
+
+/// Renders a full `detlint.toml` with the given baseline (config tables
+/// are re-emitted from `cfg` so `--update-baseline` preserves them).
+pub fn render(cfg: &Config, baseline: &[BaselineEntry]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "# detlint configuration and grandfather baseline.\n\
+         # Rules and suppression syntax: README.md \"Determinism lints\".\n\
+         # `cargo run --release -p detlint -- check --update-baseline` rewrites\n\
+         # the [[baseline]] entries; the path tables are hand-maintained.\n",
+    );
+    if !cfg.allow_paths.is_empty() {
+        s.push_str("\n[allow-paths]\n");
+        for (rule, paths) in &cfg.allow_paths {
+            s.push_str(&format!("{} = {}\n", rule, render_array(paths)));
+        }
+    }
+    if !cfg.hot_paths.is_empty() {
+        s.push_str("\n[hot-paths]\n");
+        for (rule, paths) in &cfg.hot_paths {
+            s.push_str(&format!("{} = {}\n", rule, render_array(paths)));
+        }
+    }
+    let mut sorted: Vec<&BaselineEntry> = baseline.iter().collect();
+    sorted.sort();
+    for b in sorted {
+        s.push_str(&format!(
+            "\n[[baseline]]\nrule = \"{}\"\nfile = \"{}\"\nline = {}\n",
+            b.rule, b.file, b.line
+        ));
+    }
+    s
+}
+
+fn render_array(paths: &[String]) -> String {
+    let quoted: Vec<String> = paths.iter().map(|p| format!("\"{p}\"")).collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+/// Strips a `#` comment that is not inside a double-quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(v: &str) -> Option<String> {
+    v.strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+}
+
+fn parse_string_array(v: &str) -> Option<Vec<String>> {
+    let inner = v.strip_prefix('[')?.strip_suffix(']')?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|item| parse_string(item.trim()))
+        .collect()
+}

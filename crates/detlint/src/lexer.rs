@@ -1,0 +1,353 @@
+//! A hand-rolled Rust lexer: just enough to tell code from comments,
+//! strings, and char/lifetime ambiguity, with a line number on every token.
+//!
+//! detlint deliberately does not depend on an external parser — the
+//! workspace is hermetic (no crates.io access; see `crates/vendor/`), and
+//! the determinism rules only need token streams plus light structure
+//! (brace matching, `#[cfg(test)]` blocks), not full syntax trees. The
+//! lexer must be *correct about what is not code*: a `HashMap` inside a
+//! doc comment or a string literal must never produce a diagnostic, and a
+//! lifetime `'a` must not be eaten as an unterminated char literal.
+
+/// One significant (non-whitespace, non-comment) token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Token text. Literals keep only a placeholder (their content is
+    /// never rule-relevant, and dropping it keeps memory flat on large
+    /// files).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `for`, `in`, `let`, …).
+    Ident,
+    /// Single punctuation character (`.`, `:`, `<`, `{`, …). Multi-char
+    /// operators arrive as consecutive tokens; rules match sequences.
+    Punct,
+    /// String / char / byte / numeric literal (content elided).
+    Literal,
+    /// A lifetime such as `'a` or `'static` (text keeps the name).
+    Lifetime,
+}
+
+/// One comment, kept separately from the token stream so suppression
+/// parsing can see it while the rules cannot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment body without the `//` / `/* */` delimiters, untrimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when no code token precedes the comment on its line — a
+    /// standalone comment suppresses the *next* code line, a trailing
+    /// comment suppresses its own.
+    pub standalone: bool,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// The first code line at or after `line`, if any — where a
+    /// standalone comment's suppression lands.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        self.tokens.iter().map(|t| t.line).find(|&l| l >= line)
+    }
+}
+
+/// Lexes `src`. Never fails: malformed input (unterminated string, stray
+/// byte) degrades to best-effort tokens — detlint lints files that rustc
+/// already compiles, so error recovery only matters for fixtures.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut out = Lexed::default();
+    // Lines that already carry at least one code token (for `standalone`).
+    let mut code_on_line: u32 = 0; // current line with code, 0 = none yet
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                    standalone: code_on_line != line,
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    text: src[start..end].to_string(),
+                    line: start_line,
+                    standalone: code_on_line != start_line,
+                });
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+                push(
+                    &mut out,
+                    TokenKind::Literal,
+                    "\"\"",
+                    line,
+                    &mut code_on_line,
+                );
+            }
+            b'\'' => {
+                // Lifetime vs char literal: `'ident` not followed by a
+                // closing quote is a lifetime; everything else is a char.
+                if i + 1 < b.len() && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_') {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == b'\'' && j == i + 2 {
+                        // 'a' — a one-character char literal.
+                        i = j + 1;
+                        push(&mut out, TokenKind::Literal, "''", line, &mut code_on_line);
+                    } else {
+                        let text = src[i..j].to_string();
+                        i = j;
+                        push(
+                            &mut out,
+                            TokenKind::Lifetime,
+                            &text,
+                            line,
+                            &mut code_on_line,
+                        );
+                    }
+                } else {
+                    // '\n', '\u{..}', '(' etc. — scan to the closing quote.
+                    let mut j = i + 1;
+                    while j < b.len() && b[j] != b'\'' {
+                        if b[j] == b'\\' {
+                            j += 1;
+                        }
+                        if j < b.len() && b[j] == b'\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                    i = (j + 1).min(b.len());
+                    push(&mut out, TokenKind::Literal, "''", line, &mut code_on_line);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                // One fractional part: `0.5` continues, `1..8` stops.
+                if j < b.len() && b[j] == b'.' && j + 1 < b.len() && b[j + 1].is_ascii_digit() {
+                    j += 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                }
+                i = j;
+                push(&mut out, TokenKind::Literal, "0", line, &mut code_on_line);
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                // Raw/byte string prefixes: r"", r#""#, b"", br"", rb is
+                // not a thing but accept the union conservatively.
+                let word = &src[start..j];
+                if matches!(word, "r" | "b" | "br" | "rb") && j < b.len() {
+                    let mut k = j;
+                    while k < b.len() && b[k] == b'#' {
+                        k += 1;
+                    }
+                    if k < b.len() && b[k] == b'"' {
+                        let hashes = k - j;
+                        i = skip_raw_string(b, k, hashes, &mut line);
+                        push(
+                            &mut out,
+                            TokenKind::Literal,
+                            "\"\"",
+                            line,
+                            &mut code_on_line,
+                        );
+                        continue;
+                    }
+                }
+                i = j;
+                push(&mut out, TokenKind::Ident, word, line, &mut code_on_line);
+            }
+            _ => {
+                let text = src[i..i + 1].to_string();
+                i += 1;
+                push(&mut out, TokenKind::Punct, &text, line, &mut code_on_line);
+            }
+        }
+    }
+    out
+}
+
+fn push(out: &mut Lexed, kind: TokenKind, text: &str, line: u32, code_on_line: &mut u32) {
+    *code_on_line = line;
+    out.tokens.push(Token {
+        kind,
+        text: text.to_string(),
+        line,
+    });
+}
+
+/// Skips a `"…"` string starting at the opening quote; returns the index
+/// past the closing quote and bumps `line` for embedded newlines.
+fn skip_string(b: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            // An escape consumes the next byte too — which may be the
+            // newline of a `"\` line continuation.
+            b'\\' => {
+                if i + 1 < b.len() && b[i + 1] == b'\n' {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string whose opening quote is at `quote` with `hashes`
+/// leading `#`s; returns the index past the closing delimiter.
+fn skip_raw_string(b: &[u8], quote: usize, hashes: usize, line: &mut u32) -> usize {
+    let mut i = quote + 1;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"' {
+            let mut k = 0;
+            while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == b'#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Token index ranges (half-open) covered by `#[cfg(test)] mod … { … }`
+/// blocks. Rules D003–D005 skip findings inside these: wall-clock reads
+/// and panics in unit tests cannot corrupt a simulation result.
+pub fn cfg_test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let t = |i: usize| tokens.get(i).map(|t| t.text.as_str()).unwrap_or("");
+    let mut i = 0;
+    while i < tokens.len() {
+        // `#` `[` `cfg` `(` `test` `)` `]`
+        if t(i) == "#"
+            && t(i + 1) == "["
+            && t(i + 2) == "cfg"
+            && t(i + 3) == "("
+            && t(i + 4) == "test"
+            && t(i + 5) == ")"
+            && t(i + 6) == "]"
+        {
+            // Skip any further attributes between the cfg and the item.
+            let mut j = i + 7;
+            while t(j) == "#" && t(j + 1) == "[" {
+                let mut depth = 0i32;
+                let mut k = j + 1;
+                loop {
+                    match t(k) {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        "" => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                j = k + 1;
+            }
+            if t(j) == "mod" {
+                // `mod name { … }` — find the matching close brace.
+                let mut k = j;
+                while !t(k).is_empty() && t(k) != "{" && t(k) != ";" {
+                    k += 1;
+                }
+                if t(k) == "{" {
+                    let open = k;
+                    let mut depth = 0i32;
+                    while k < tokens.len() {
+                        match t(k) {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    ranges.push((open, k + 1));
+                    i = open + 1; // nested cfg(test) mods still scanned
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    ranges
+}

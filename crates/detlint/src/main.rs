@@ -1,0 +1,148 @@
+//! The detlint CLI.
+//!
+//! ```text
+//! detlint check [--json] [--root DIR] [--config FILE]
+//!               [--registry-json FILE] [--no-registry] [--update-baseline]
+//! detlint rules
+//! ```
+//!
+//! Exit status: 0 clean (baselined findings allowed), 1 on any fresh
+//! diagnostic or stale baseline entry, 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use detlint::baseline::{self, BaselineEntry, Config};
+use detlint::report::{to_json, Rule};
+use detlint::{check_workspace, CheckOpts};
+
+fn main() -> ExitCode {
+    // detlint::allow(D004, "CLI argument intake for the linter itself; no simulation state")
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check_cmd(&args[1..]),
+        Some("rules") => {
+            for rule in Rule::ALL {
+                println!("{}  {}", rule.code(), rule.summary());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: detlint <check|rules> [--json] [--root DIR] [--config FILE]");
+            eprintln!("                             [--registry-json FILE] [--no-registry]");
+            eprintln!("                             [--update-baseline]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check_cmd(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut update_baseline = false;
+    let mut root = PathBuf::from(".");
+    let mut config: Option<PathBuf> = None;
+    let mut opts = CheckOpts::default();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--update-baseline" => update_baseline = true,
+            "--no-registry" => opts.no_registry = true,
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--config" => match it.next() {
+                Some(v) => config = Some(PathBuf::from(v)),
+                None => return usage("--config needs a file"),
+            },
+            "--registry-json" => match it.next() {
+                Some(v) => opts.registry_json = Some(PathBuf::from(v)),
+                None => return usage("--registry-json needs a file"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let config_path = config.unwrap_or_else(|| root.join("detlint.toml"));
+    let cfg = match load_config(&config_path) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let diags = match check_workspace(&root, &cfg, &opts) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if update_baseline {
+        let entries: Vec<BaselineEntry> = diags
+            .iter()
+            .map(|d| BaselineEntry {
+                rule: d.rule.code().to_string(),
+                file: d.file.clone(),
+                line: d.line,
+            })
+            .collect();
+        let rendered = baseline::render(&cfg, &entries);
+        if let Err(e) = std::fs::write(&config_path, rendered) {
+            eprintln!("detlint: writing {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "detlint: baselined {} finding(s) into {}",
+            entries.len(),
+            config_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut part = baseline::partition(diags, &cfg.baseline);
+    part.fresh.extend(part.stale);
+    part.fresh.sort();
+
+    if json {
+        print!("{}", to_json(&part.fresh, &part.baselined));
+    } else {
+        for d in &part.fresh {
+            println!("{d}");
+        }
+        for d in &part.baselined {
+            println!("{d} [baselined]");
+        }
+        eprintln!(
+            "detlint: {} fresh diagnostic(s), {} baselined",
+            part.fresh.len(),
+            part.baselined.len()
+        );
+    }
+    if part.fresh.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn load_config(path: &PathBuf) -> Result<Config, String> {
+    match std::fs::read_to_string(path) {
+        Ok(src) => baseline::parse(&src),
+        // A missing config is an empty config: all rules at their
+        // built-in scope, no allowlists, no baseline.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+        Err(e) => Err(format!("reading {}: {e}", path.display())),
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("detlint: {why}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,339 @@
+//! detlint's own test suite: every rule proven to fire at the right line
+//! on a bad fixture, suppression/justification round-trips, and the
+//! baseline add/expire lifecycle.
+
+use std::collections::BTreeSet;
+
+use detlint::baseline::{self, BaselineEntry, Config};
+use detlint::check_source;
+use detlint::registry;
+use detlint::report::Rule;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{}", env!("CARGO_MANIFEST_DIR"), name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+/// The strictest classification: state-bearing crate, file on the D005
+/// hot path, no allowlists.
+fn strict_cfg(hot_path: &str) -> Config {
+    let mut cfg = Config::default();
+    cfg.hot_paths
+        .insert("D005".to_string(), vec![hot_path.to_string()]);
+    cfg
+}
+
+fn lines_of(diags: &[detlint::report::Diagnostic], rule: Rule) -> Vec<u32> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+// ---------------------------------------------------------------- rules
+
+#[test]
+fn d001_fires_on_hash_containers_in_state_bearing_crates() {
+    let src = fixture("violations/d001.rs");
+    let diags = check_source("crates/core/src/bad.rs", &src, &Config::default());
+    assert_eq!(lines_of(&diags, Rule::D001), vec![4, 7, 10, 11]);
+
+    // The same file in a non-state-bearing crate: no D001.
+    let diags = check_source("crates/bench/src/bad.rs", &src, &Config::default());
+    assert_eq!(lines_of(&diags, Rule::D001), Vec::<u32>::new());
+}
+
+#[test]
+fn d002_fires_on_hash_iteration_but_not_point_lookups() {
+    let src = fixture("violations/d002.rs");
+    let diags = check_source("crates/bench/src/bad.rs", &src, &Config::default());
+    assert_eq!(lines_of(&diags, Rule::D002), vec![11, 15, 19]);
+}
+
+#[test]
+fn d002_fires_even_in_test_code() {
+    // Hash iteration in tests makes assertions flaky; unlike D003–D005
+    // there is no test exemption.
+    let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn f(m: &HashMap<u32, u32>) -> u32 {\n        m.values().sum()\n    }\n}\n";
+    let diags = check_source("crates/bench/src/x.rs", src, &Config::default());
+    assert_eq!(lines_of(&diags, Rule::D002), vec![5]);
+}
+
+#[test]
+fn d003_fires_on_wall_clock_and_entropy() {
+    let src = fixture("violations/d003.rs");
+    let diags = check_source("crates/simcore/src/bad.rs", &src, &Config::default());
+    assert_eq!(lines_of(&diags, Rule::D003), vec![6, 7, 8]);
+}
+
+#[test]
+fn d003_respects_the_allowlist_path() {
+    let src = fixture("violations/d003.rs");
+    let mut cfg = Config::default();
+    cfg.allow_paths.insert(
+        "D003".to_string(),
+        vec!["crates/bench/src/cli.rs".to_string()],
+    );
+    let diags = check_source("crates/bench/src/cli.rs", &src, &cfg);
+    assert_eq!(lines_of(&diags, Rule::D003), Vec::<u32>::new());
+}
+
+#[test]
+fn d004_fires_on_env_reads() {
+    let src = fixture("violations/d004.rs");
+    let diags = check_source("crates/workload/src/bad.rs", &src, &Config::default());
+    assert_eq!(lines_of(&diags, Rule::D004), vec![4, 8]);
+}
+
+#[test]
+fn d005_fires_on_hot_path_panics_only_outside_tests() {
+    let src = fixture("violations/d005.rs");
+    let path = "crates/cluster/src/world.rs";
+    let diags = check_source(path, &src, &strict_cfg(path));
+    assert_eq!(lines_of(&diags, Rule::D005), vec![5, 6, 8]);
+
+    // The same file off the hot path: no D005.
+    let diags = check_source("crates/cluster/src/node.rs", &src, &strict_cfg(path));
+    assert_eq!(lines_of(&diags, Rule::D005), Vec::<u32>::new());
+}
+
+#[test]
+fn clean_fixture_is_clean_under_the_strictest_classification() {
+    let src = fixture("clean/ok.rs");
+    let path = "crates/cluster/src/world.rs";
+    let diags = check_source(path, &src, &strict_cfg(path));
+    assert_eq!(diags, Vec::new(), "clean fixture produced findings");
+}
+
+#[test]
+fn integration_test_paths_are_exempt_from_d003_to_d005_but_not_d002() {
+    let src = "use std::time::Instant;\nfn t() -> f64 { Instant::now().elapsed().as_secs_f64() }\n";
+    let diags = check_source("crates/cluster/tests/world_api.rs", src, &Config::default());
+    assert_eq!(diags, Vec::new());
+
+    let src =
+        "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) -> u32 { m.values().sum() }\n";
+    let diags = check_source("crates/bench/tests/smoke.rs", src, &Config::default());
+    assert_eq!(lines_of(&diags, Rule::D002), vec![2]);
+}
+
+// --------------------------------------------------------- suppressions
+
+#[test]
+fn justified_allows_suppress_their_findings() {
+    let src = fixture("violations/suppressed.rs");
+    let path = "crates/cluster/src/cache.rs";
+    let diags = check_source(path, &src, &strict_cfg(path));
+    assert_eq!(diags, Vec::new(), "justified allows must suppress cleanly");
+}
+
+#[test]
+fn removing_a_justification_makes_the_allow_an_error() {
+    // The acceptance-criterion case: strip one justification from a
+    // state-bearing crate's allow and the check must fail.
+    let src = fixture("violations/suppressed.rs").replace(
+        "detlint::allow(D001, \"insertion-order map is fine here: iteration never happens and lookups dominate\")",
+        "detlint::allow(D001)",
+    );
+    let path = "crates/cluster/src/cache.rs";
+    let diags = check_source(path, &src, &strict_cfg(path));
+    // The bare allow is a D000 *and* the no-longer-suppressed D001
+    // resurfaces.
+    assert_eq!(lines_of(&diags, Rule::D000), vec![5]);
+    assert_eq!(lines_of(&diags, Rule::D001), vec![6]);
+}
+
+#[test]
+fn malformed_and_unknown_allows_are_d000() {
+    let cases = [
+        "// detlint::allow(D003)\nfn f() {}\n",
+        "// detlint::allow(D003, \"\")\nfn f() {}\n",
+        "// detlint::allow(D003, \" \")\nfn f() {}\n",
+        "// detlint::allow(D999, \"no such rule\")\nfn f() {}\n",
+        "// detlint::allow(D000, \"meta-rule cannot be allowed\")\nfn f() {}\n",
+        "// detlint::allow(D006, \"cross-file rule cannot be inline-allowed\")\nfn f() {}\n",
+        "// detlint::allow(D003, \"trailing garbage\") extra\nfn f() {}\n",
+    ];
+    for src in cases {
+        let diags = check_source("crates/bench/src/x.rs", src, &Config::default());
+        assert_eq!(lines_of(&diags, Rule::D000), vec![1], "case: {src}");
+    }
+}
+
+#[test]
+fn unused_allows_are_d000() {
+    let src = "// detlint::allow(D003, \"nothing here actually reads a clock\")\nfn f() {}\n";
+    let diags = check_source("crates/bench/src/x.rs", src, &Config::default());
+    assert_eq!(lines_of(&diags, Rule::D000), vec![1]);
+    assert!(diags[0].message.contains("unused suppression"));
+}
+
+#[test]
+fn prose_about_the_syntax_is_not_a_suppression() {
+    let src = "//! The syntax is `// detlint::allow(D003, \"why\")` on a line.\nfn f() {}\n";
+    let diags = check_source("crates/bench/src/x.rs", src, &Config::default());
+    assert_eq!(diags, Vec::new());
+}
+
+#[test]
+fn stacked_standalone_allows_cover_the_next_code_line() {
+    // Two different rules fire on line 4; the two standalone allows above
+    // it each resolve to that line, so both findings are suppressed and
+    // neither allow counts as unused.
+    let src = "fn f() -> f64 {\n\
+               \x20   // detlint::allow(D003, \"fixture: timing justified\")\n\
+               \x20   // detlint::allow(D004, \"fixture: env justified\")\n\
+               \x20   let _e = std::env::var(\"X\"); std::time::Instant::now().elapsed().as_secs_f64()\n\
+               }\n";
+    let diags = check_source("crates/core/src/x.rs", src, &Config::default());
+    assert_eq!(diags, Vec::new());
+}
+
+// -------------------------------------------------------------- baseline
+
+#[test]
+fn baseline_grandfathers_existing_findings_and_expires_stale_ones() {
+    let src = fixture("violations/d004.rs");
+    let diags = check_source("crates/workload/src/bad.rs", &src, &Config::default());
+    assert_eq!(diags.len(), 2);
+
+    // Add: grandfather everything the first run found.
+    let entries: Vec<BaselineEntry> = diags
+        .iter()
+        .map(|d| BaselineEntry {
+            rule: d.rule.code().to_string(),
+            file: d.file.clone(),
+            line: d.line,
+        })
+        .collect();
+    let part = baseline::partition(diags.clone(), &entries);
+    assert_eq!(part.fresh, Vec::new());
+    assert_eq!(part.baselined.len(), 2);
+    assert_eq!(part.stale, Vec::new());
+
+    // Expire: one finding is fixed; its baseline entry must turn stale.
+    let fixed: Vec<_> = diags.into_iter().skip(1).collect();
+    let part = baseline::partition(fixed, &entries);
+    assert_eq!(part.fresh, Vec::new());
+    assert_eq!(part.baselined.len(), 1);
+    assert_eq!(part.stale.len(), 1);
+    assert!(part.stale[0].message.contains("stale baseline entry"));
+
+    // A new finding elsewhere stays fresh despite the baseline.
+    let moved = check_source("crates/engine/src/other.rs", &src, &Config::default());
+    let part = baseline::partition(moved, &entries);
+    assert_eq!(part.fresh.len(), 2);
+}
+
+#[test]
+fn baseline_toml_round_trips() {
+    let mut cfg = Config::default();
+    cfg.allow_paths.insert(
+        "D003".to_string(),
+        vec!["crates/bench/src/cli.rs".to_string()],
+    );
+    cfg.hot_paths.insert(
+        "D005".to_string(),
+        vec![
+            "crates/cluster/src/world.rs".to_string(),
+            "crates/cluster/src/driver.rs".to_string(),
+        ],
+    );
+    let entries = vec![
+        BaselineEntry {
+            rule: "D005".to_string(),
+            file: "crates/cluster/src/world.rs".to_string(),
+            line: 453,
+        },
+        BaselineEntry {
+            rule: "D001".to_string(),
+            file: "crates/core/src/quantify.rs".to_string(),
+            line: 9,
+        },
+    ];
+    let rendered = baseline::render(&cfg, &entries);
+    let parsed = baseline::parse(&rendered).expect("round-trip parse");
+    assert_eq!(parsed.allow_paths, cfg.allow_paths);
+    assert_eq!(parsed.hot_paths, cfg.hot_paths);
+    let mut sorted = entries.clone();
+    sorted.sort();
+    assert_eq!(parsed.baseline, sorted);
+}
+
+#[test]
+fn incomplete_baseline_entries_are_rejected() {
+    let src = "[[baseline]]\nrule = \"D005\"\nfile = \"crates/x.rs\"\n";
+    assert!(
+        baseline::parse(src).is_err(),
+        "missing line must be an error"
+    );
+}
+
+// ------------------------------------------------------ registry (D006)
+
+#[test]
+fn d006_cross_check_reports_missing_and_orphan_goldens() {
+    let registry: BTreeSet<String> = ["fig04".to_string(), "scale".to_string()]
+        .into_iter()
+        .collect();
+    let goldens: BTreeSet<String> = ["fig04".to_string(), "old_fig".to_string()]
+        .into_iter()
+        .collect();
+    let diags = registry::cross_check(&registry, &goldens);
+    assert_eq!(diags.len(), 2);
+    assert!(diags.iter().all(|d| d.rule == Rule::D006));
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("`scale` has no golden capture")));
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("orphan golden `old_fig.json`")));
+
+    let diags = registry::cross_check(&registry, &registry);
+    assert_eq!(diags, Vec::new());
+}
+
+#[test]
+fn registry_dump_parsing_extracts_names() {
+    let json = r#"[
+      {"name": "fig04_sllm_capacity", "title": "Fig 4 — x", "quick_cells": 4},
+      {"name": "scale_burst", "title": "flash crowd \"burst\"", "quick_cells": 6}
+    ]"#;
+    let names = registry::parse_names(json).expect("parse");
+    let expect: BTreeSet<String> = ["fig04_sllm_capacity".to_string(), "scale_burst".to_string()]
+        .into_iter()
+        .collect();
+    assert_eq!(names, expect);
+    assert!(
+        registry::parse_names("[]").is_err(),
+        "empty registry is an error"
+    );
+}
+
+// ---------------------------------------------------- whole-repo dogfood
+
+/// The committed workspace must be clean under the committed config —
+/// the same invariant CI enforces, minus the registry cross-check (the
+/// bench binary may not exist when this test runs).
+#[test]
+fn committed_workspace_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root");
+    let cfg_src = std::fs::read_to_string(root.join("detlint.toml")).expect("detlint.toml");
+    let cfg = baseline::parse(&cfg_src).expect("detlint.toml parses");
+    let opts = detlint::CheckOpts {
+        no_registry: true,
+        ..Default::default()
+    };
+    let diags = detlint::check_workspace(root, &cfg, &opts).expect("walk");
+    let part = baseline::partition(diags, &cfg.baseline);
+    assert_eq!(
+        part.fresh,
+        Vec::new(),
+        "fresh determinism findings in the committed tree"
+    );
+    assert_eq!(part.stale, Vec::new(), "stale baseline entries");
+}

@@ -1,0 +1,44 @@
+//! Clean fixture: deterministic idioms that must produce zero findings
+//! even under the strictest classification (state-bearing crate + hot
+//! path). Mentions of HashMap in comments, doc comments, and strings
+//! must never fire — the PR 4 audit left exactly such comments behind.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Ordered containers, not `HashMap`/`HashSet`: iteration order is the
+/// key order, stable across processes.
+pub struct State {
+    by_node: BTreeMap<u32, Vec<u64>>,
+    parked: BTreeSet<u64>,
+}
+
+pub fn tick(s: &mut State) -> u64 {
+    let msg = "HashMap in a string is prose, not code";
+    let raw = r#"so is SystemTime::now() in a raw string"#;
+    let mut total = 0;
+    for (node, insts) in &s.by_node {
+        total += *node as u64 + insts.len() as u64;
+    }
+    for p in s.parked.iter() {
+        total += p;
+    }
+    total + msg.len() as u64 + raw.len() as u64
+}
+
+pub fn fallible(s: &State) -> Option<u64> {
+    // Handled errors instead of unwrap/expect in the hot path.
+    let first = s.parked.iter().next()?;
+    Some(*first)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_may_time_and_panic() {
+        let t0 = Instant::now();
+        let v = std::env::var("HOME").unwrap_or_default();
+        assert!(t0.elapsed().as_secs() < 3600, "{v}");
+    }
+}

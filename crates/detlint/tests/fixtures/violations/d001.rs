@@ -1,0 +1,12 @@
+//! D001 fixture: hash containers named in a state-bearing crate.
+//! Checked under the synthetic path `crates/core/src/bad.rs`.
+
+use std::collections::HashMap; // line 4: D001 (the import itself)
+
+pub struct Profiles {
+    by_model: HashMap<u32, f64>, // line 7: D001
+}
+
+pub fn build() -> std::collections::HashSet<u32> {
+    std::collections::HashSet::new() // lines 10 & 11: D001
+}

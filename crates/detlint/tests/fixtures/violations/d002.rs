@@ -1,0 +1,26 @@
+//! D002 fixture: iteration over hash containers. Checked under a
+//! non-state-bearing path (`crates/bench/src/bad.rs`) so only the
+//! iteration findings fire, not D001.
+
+use std::collections::HashMap;
+
+type Routing = HashMap<u32, u32>;
+
+pub fn leak_order(m: &HashMap<u32, f64>, routes: Routing) -> f64 {
+    let mut total = 0.0;
+    for (_k, v) in m.iter() {
+        // line 11: D002 (.iter())
+        total += v;
+    }
+    for _pair in &routes {
+        // line 15: D002 (for-in over an alias-typed binding)
+        total += 1.0;
+    }
+    let keys: Vec<u32> = m.keys().copied().collect(); // line 19: D002 (.keys())
+    total + keys.len() as f64
+}
+
+pub fn safe_lookup(m: &HashMap<u32, f64>) -> f64 {
+    // Point lookups do not leak iteration order: no finding.
+    m.get(&7).copied().unwrap_or(0.0)
+}

@@ -1,0 +1,10 @@
+//! D003 fixture: wall-clock and OS entropy in simulation code.
+
+use std::time::Instant;
+
+pub fn stamp() -> f64 {
+    let t0 = Instant::now(); // line 6: D003
+    let _wall = std::time::SystemTime::now(); // line 7: D003
+    let mut rng = rand::thread_rng(); // line 8: D003
+    t0.elapsed().as_secs_f64() + rng.gen::<f64>()
+}

@@ -1,0 +1,9 @@
+//! D004 fixture: process environment reads outside CLI intake.
+
+pub fn configure() -> Option<String> {
+    if std::env::var_os("FAST_MODE").is_some() {
+        // line 4: D004
+        return None;
+    }
+    std::env::var("SEED").ok() // line 8: D004
+}

@@ -1,0 +1,21 @@
+//! D005 fixture: panics in the World/driver hot path. Checked under the
+//! synthetic hot-path name configured by the test.
+
+pub fn step(slots: &[u64], inst: Option<&u64>) -> u64 {
+    let h = inst.unwrap(); // line 5: D005 (unwrap)
+    let first = slots.first().expect("nonempty"); // line 6: D005 (expect)
+    if *h == 0 {
+        panic!("zero instance"); // line 8: D005 (panic!)
+    }
+    h + first
+}
+
+#[cfg(test)]
+mod tests {
+    // Unit tests are exempt: none of these fire.
+    #[test]
+    fn exempt() {
+        let v = [1u64];
+        assert_eq!(v.first().unwrap(), &1);
+    }
+}

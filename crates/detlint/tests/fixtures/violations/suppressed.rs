@@ -1,0 +1,15 @@
+//! Suppression fixture: every violation carries a justified allow, so a
+//! check must come back clean. Checked under a state-bearing path with
+//! the fixture itself configured as a D005 hot path.
+
+// detlint::allow(D001, "insertion-order map is fine here: iteration never happens and lookups dominate")
+use std::collections::HashMap;
+
+pub struct Cache {
+    // detlint::allow(D001, "point-lookup-only cache; keys are never iterated")
+    slots: HashMap<u64, u64>,
+}
+
+pub fn read(c: &Cache, k: u64) -> u64 {
+    c.slots.get(&k).copied().unwrap() // detlint::allow(D005, "fixture invariant: the key was inserted by the caller")
+}

@@ -19,6 +19,8 @@
 //! mirrors the paper's separation between the inference engine and the
 //! SLINFER control plane.
 
+#![forbid(unsafe_code)]
+
 pub mod blocks;
 pub mod instance;
 pub mod request;

@@ -6,6 +6,8 @@
 //! re-exports the workspace crates so examples and downstream tooling can
 //! reach everything through one dependency.
 
+#![forbid(unsafe_code)]
+
 pub use ::bench;
 pub use baselines;
 pub use cluster;

@@ -32,6 +32,8 @@
 //! assert!((t - 0.567).abs() / 0.567 < 0.10);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod hardware;
 pub mod model;
 pub mod noise;

@@ -32,6 +32,8 @@
 //! assert_eq!(t.as_millis(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dist;
 pub mod events;
 pub mod rng;

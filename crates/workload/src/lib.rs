@@ -32,6 +32,8 @@
 //! assert!((2000..2800).contains(&trace.requests.len()));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod burstgpt;
 pub mod datasets;
 pub mod request;

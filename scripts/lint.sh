@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# One-command local mirror of CI's lint gates: formatting, clippy, and
+# the determinism linter (see "Determinism lints" in README.md).
+#
+# Usage: scripts/lint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+# detlint's D006 registry ⟷ goldens cross-check shells out to
+# `bench list --json`, so bench must be built first.
+echo "==> build bench + detlint"
+cargo build --release -p bench -p detlint
+
+echo "==> detlint check"
+cargo run --release -p detlint -- check
+
+echo "lint.sh: all gates passed"
