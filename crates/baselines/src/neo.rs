@@ -1,6 +1,6 @@
 //! NEO+ — CPU-assisted exclusive GPU serving (§IX-I3, Fig. 29).
 //!
-//! NEO [32] offloads KV-cache and the associated attention computation to
+//! NEO \[32\] offloads KV-cache and the associated attention computation to
 //! host CPU cores, freeing GPU memory for larger batches. It keeps the GPU
 //! as the execution base: CPUs are auxiliary, never independent servers.
 //!

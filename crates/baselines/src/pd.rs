@@ -322,6 +322,7 @@ mod tests {
                 input_len: inp,
                 output_len: out,
                 class: SloClass::default(),
+                session: Default::default(),
             })
             .collect();
         Trace::new(requests, n_models, SimDuration::from_secs(60))

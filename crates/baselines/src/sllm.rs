@@ -142,6 +142,16 @@ impl Sllm {
     /// under its concurrency limit, CPU instances first.
     fn try_admit_existing(&mut self, w: &mut World, rr: &RunningRequest) -> bool {
         let model = rr.req.model;
+        // Session affinity fast path: stick a follow-up turn to the
+        // instance holding its parked prefix KV while it is under this
+        // policy's own concurrency limit (inert when sessions are off).
+        if let Some(home) = w.session_affinity_target(&rr.req) {
+            let live = w.instance(home).map(|i| i.live_count()).unwrap_or(u32::MAX);
+            if live < self.instance_limit(w, home) {
+                w.admit(home, rr.clone());
+                return true;
+            }
+        }
         let mut candidates: Vec<(u8, InstanceId)> = w
             .model_instances(model)
             .iter()
@@ -468,6 +478,7 @@ mod tests {
                 input_len: inp,
                 output_len: out,
                 class: SloClass::default(),
+                session: Default::default(),
             })
             .collect();
         Trace::new(requests, n_models, SimDuration::from_secs(60))

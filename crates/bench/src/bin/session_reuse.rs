@@ -1,0 +1,6 @@
+//! Stub over the registered experiment of the same name; the
+//! implementation lives in `bench::experiments::session_reuse`.
+
+fn main() {
+    bench::main_for("session_reuse");
+}

@@ -36,6 +36,7 @@ pub mod fig35_dataset_eval;
 pub mod mixed_arrivals;
 pub mod scale;
 pub mod scale_burst;
+pub mod session_reuse;
 pub mod slo_mix;
 pub mod tab1_xeon_gens;
 pub mod tab2_partition_limits;

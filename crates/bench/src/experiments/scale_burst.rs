@@ -107,6 +107,7 @@ fn burst_trace(burst: u32) -> Trace {
             input_len,
             output_len,
             class: SloClass(0),
+            session: Default::default(),
         });
     };
     push(1.0, 256, 64);

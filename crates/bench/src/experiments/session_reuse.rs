@@ -1,0 +1,198 @@
+//! Multi-turn session serving with KV/prefix reuse (scenario suite).
+//!
+//! Chat-style traffic re-submits a growing prefix every turn: turn `k`'s
+//! prompt is the whole conversation so far. A sessionless serving stack
+//! recomputes that prefix from scratch each time; a session-aware one parks
+//! the finished turn's KV on the instance that produced it, routes the next
+//! turn back there (affinity), and prefills only the uncached tail. This
+//! experiment drives the same multi-turn trace (`workload::sessions`)
+//! through both, sweeping the affinity `stickiness` knob, and reports the
+//! split the paper's serving sections care about: cold (turn-0) vs warm
+//! (follow-up) TTFT, prefix tokens served from cache, and the KV bytes
+//! migrated when a turn lands off its home instance anyway.
+//!
+//! Turning sessions on is one builder call (this doctest backs the
+//! README's "Sessions and prefix reuse" snippet):
+//!
+//! ```
+//! use bench::runner::{world_cfg, System};
+//! use cluster::{ClusterSpec, Scenario, SessionConfig};
+//! use hwmodel::ModelSpec;
+//! use simcore::SimDuration;
+//! use workload::SessionSpec;
+//!
+//! let models = bench::zoo::replicas(&ModelSpec::llama2_7b(), 4);
+//! // Keep-alive must outlast think-time gaps (~30 s between turns), or
+//! // idle instances unload and take their parked session KV with them.
+//! let mut cfg = world_cfg(7);
+//! cfg.keep_alive = SimDuration::from_secs(600);
+//! let sc = Scenario::new(ClusterSpec::heterogeneous(0, 4), models)
+//!     .config(cfg)
+//!     // Park per-session KV, stick follow-up turns to it, migrate when
+//!     // they land elsewhere; `SessionConfig::off()` (the default)
+//!     // replays sessionless runs byte-identically.
+//!     .sessions(SessionConfig::reuse(1.0))
+//!     .workload(SessionSpec::chat_like(4, 7).generate());
+//! let m = System::Slinfer(Default::default()).run_scenario(sc);
+//! // Follow-up turns found their prefix parked: cached tokens were
+//! // served instead of recomputed.
+//! assert!(m.prefix_hit_tokens > 0);
+//! assert!(m.warm_ttft_summary().count() > 0);
+//! ```
+
+use crate::cli::Cli;
+use crate::report::{f, Report, Table};
+use crate::runner::{world_cfg, System};
+use crate::sweep::{Scenario, Sweep};
+use crate::zoo;
+use cluster::{ClusterSpec, SessionConfig};
+use hwmodel::ModelSpec;
+use workload::SessionSpec;
+
+/// One sweep point: session mode × workload size (model count).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Pt {
+    /// `None` = sessions off (the sessionless baseline); `Some(s)` =
+    /// prefix reuse with affinity stickiness `s` and KV migration on.
+    stickiness: Option<f64>,
+    n_models: u32,
+}
+
+impl Pt {
+    fn label(&self) -> String {
+        match self.stickiness {
+            None => "off".into(),
+            Some(s) => format!("stick={s:.1}"),
+        }
+    }
+
+    fn sessions(&self) -> SessionConfig {
+        match self.stickiness {
+            None => SessionConfig::off(),
+            Some(s) => SessionConfig::reuse(s),
+        }
+    }
+}
+
+fn build_scenario(pt: &Pt, seed: u64) -> Scenario {
+    let models = zoo::replicas(&ModelSpec::llama2_7b(), pt.n_models as usize);
+    // Chat turns arrive ~30 s apart; the default 1 s keep-alive would
+    // unload every home instance (and drop its parked KV) between turns,
+    // so use the serverless keep-alive tier the `scale` experiment uses.
+    let mut cfg = world_cfg(seed);
+    cfg.keep_alive = simcore::SimDuration::from_secs(600);
+    Scenario::new(ClusterSpec::heterogeneous(0, 4), models)
+        .config(cfg)
+        .sessions(pt.sessions())
+        .workload(SessionSpec::chat_like(pt.n_models, seed).generate())
+}
+
+/// Sweep cells (points × systems × seeds) at the quick/full tier; keep in
+/// sync with the grid arrays in [`run`]. `bench list --json` reports this.
+pub fn grid(quick: bool) -> usize {
+    if quick {
+        4 * 2
+    } else {
+        8 * 2
+    }
+}
+
+pub fn run(cli: &Cli, r: &mut Report) {
+    let seed = cli.seed;
+    let sizes: &[u32] = if cli.quick { &[4] } else { &[4, 8] };
+    let modes: &[Option<f64>] = &[None, Some(0.0), Some(0.5), Some(1.0)];
+    let mut points = Vec::new();
+    for &n_models in sizes {
+        for &stickiness in modes {
+            points.push(Pt {
+                stickiness,
+                n_models,
+            });
+        }
+    }
+
+    let res = Sweep::new()
+        .points(points)
+        .systems(vec![System::Sllm, System::Slinfer(Default::default())])
+        .seeds(vec![seed])
+        .scenario(|cx| build_scenario(cx.point, cx.seed))
+        .run_cli(cli);
+
+    r.section("Multi-turn sessions — prefix reuse, affinity, KV migration");
+    r.line("Chat-like sessions (growing per-turn context, think-time gaps).");
+    r.line("cold = session openers + sessionless; warm = follow-up turns.");
+    r.line("At chat-scale load each model runs one instance, so affinity");
+    r.line("coincides with natural routing: the off-vs-on contrast dominates");
+    r.line("and the off-home migration path stays idle (it is covered by");
+    r.line("world-level unit tests instead).");
+    let mut table = Table::new(&[
+        "mode",
+        "models",
+        "system",
+        "cold TTFT p50 (s)",
+        "warm TTFT p50 (s)",
+        "warm TPOT (s)",
+        "hits",
+        "hit tokens",
+        "migrations",
+        "migrated MB",
+        "SLO rate",
+    ]);
+    #[derive(serde::Serialize)]
+    struct Row {
+        mode: String,
+        n_models: u32,
+        system: String,
+        requests: usize,
+        cold_ttft_p50: f64,
+        warm_ttft_p50: f64,
+        warm_tpot_mean: f64,
+        prefix_hits: usize,
+        prefix_hit_tokens: u64,
+        kv_migrations: u64,
+        kv_migration_bytes: u64,
+        slo_rate: f64,
+    }
+    let mut dump: Vec<Row> = Vec::new();
+    let points: Vec<Pt> = res.points.clone();
+    for (pi, pt) in points.iter().enumerate() {
+        for si in 0..res.systems.len() {
+            let name = res.systems[si].name();
+            let m = res.metrics(pi, si, 0);
+            let cold_p50 = m.cold_ttft_summary().percentile(50.0);
+            let warm_p50 = m.warm_ttft_summary().percentile(50.0);
+            table.row(&[
+                pt.label(),
+                pt.n_models.to_string(),
+                name.clone(),
+                f(cold_p50, 3),
+                f(warm_p50, 3),
+                f(m.warm_tpot_mean(), 4),
+                m.prefix_hits().to_string(),
+                m.prefix_hit_tokens.to_string(),
+                m.kv_migrations.to_string(),
+                f(m.kv_migration_bytes as f64 / 1e6, 1),
+                f(m.slo_rate(), 3),
+            ]);
+            dump.push(Row {
+                mode: pt.label(),
+                n_models: pt.n_models,
+                system: name,
+                requests: m.total(),
+                cold_ttft_p50: cold_p50,
+                warm_ttft_p50: warm_p50,
+                warm_tpot_mean: m.warm_tpot_mean(),
+                prefix_hits: m.prefix_hits(),
+                prefix_hit_tokens: m.prefix_hit_tokens,
+                kv_migrations: m.kv_migrations,
+                kv_migration_bytes: m.kv_migration_bytes,
+                slo_rate: m.slo_rate(),
+            });
+        }
+    }
+    r.table(&table);
+    r.paper_note("scenario suite: multi-turn chat with KV/prefix reuse —");
+    r.paper_note("follow-up turns skip recomputing their conversation prefix");
+    r.paper_note("when routed to (or migrated toward) the KV-holding instance");
+    r.dump_json("session_reuse", &dump);
+}

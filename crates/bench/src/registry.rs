@@ -226,6 +226,12 @@ pub const REGISTRY: &[Experiment] = &[
         grid: experiments::scale_burst::grid,
     },
     Experiment {
+        name: "session_reuse",
+        title: "Scenario suite — multi-turn sessions (prefix reuse × affinity stickiness)",
+        run: experiments::session_reuse::run,
+        grid: experiments::session_reuse::grid,
+    },
+    Experiment {
         name: "scale",
         title: "Fleet-scale throughput grid (sim-s/wall-s, peak RSS) — perf baseline",
         run: experiments::scale::run,
@@ -286,9 +292,9 @@ mod tests {
 
     #[test]
     fn registry_has_all_experiments() {
-        // 26 paper figures/tables, the 6 scenario-suite experiments, and
+        // 26 paper figures/tables, the 7 scenario-suite experiments, and
         // the fleet-scale perf grid.
-        assert_eq!(REGISTRY.len(), 33);
+        assert_eq!(REGISTRY.len(), 34);
     }
 
     #[test]

@@ -126,6 +126,7 @@ impl<P: Policy> Simulation<P> {
                         w.metrics.on_token(req, tokens_out, now, &slo);
                         if let Some(rr) = finished {
                             w.outstanding = w.outstanding.saturating_sub(1);
+                            w.note_request_parked(inst, &rr);
                             self.policy.on_request_done(w, inst, &rr);
                         } else {
                             self.policy.on_prefill_done(w, inst, req);
@@ -144,6 +145,7 @@ impl<P: Policy> Simulation<P> {
                         }
                         for rr in &outcome.finished {
                             w.outstanding = w.outstanding.saturating_sub(1);
+                            w.note_request_parked(inst, rr);
                             self.policy.on_request_done(w, inst, rr);
                         }
                         for &id in &outcome.alloc_failures {
@@ -311,6 +313,7 @@ mod tests {
                 input_len: 256,
                 output_len: 5,
                 class: SloClass::default(),
+                session: Default::default(),
             })
             .collect();
         Trace::new(reqs, 1, SimDuration::from_secs(n))
@@ -376,6 +379,7 @@ mod tests {
                 input_len: 256,
                 output_len: 20,
                 class: SloClass::default(),
+                session: Default::default(),
             })
             .collect();
         let trace = Trace::new(reqs, 1, SimDuration::from_secs(1));

@@ -25,6 +25,9 @@
 //! - [`scenario`] — [`Scenario`]: composable run construction over four
 //!   axes (fleet, SLO-classed workload segments, a timed [`ClusterEvent`]
 //!   schedule, and the policy the run is handed to).
+//! - [`sessions`] — [`SessionConfig`]: multi-turn prefix reuse — parked
+//!   per-session KV, affinity routing with a stickiness knob, and priced
+//!   cross-instance KV migration; off by default.
 //! - [`metrics`] — [`RunMetrics`]: per-request SLO records, time-weighted
 //!   node usage, memory/batch samples, and the summary queries the
 //!   experiment harness prints (SLO-met requests, TTFT CDF, decode speed
@@ -39,6 +42,7 @@ pub mod metrics;
 pub mod node;
 pub mod policy;
 pub mod scenario;
+pub mod sessions;
 pub mod world;
 
 pub use checkpoint::{CheckpointConfig, CheckpointStore};
@@ -49,6 +53,7 @@ pub use metrics::{RequestRecord, RunMetrics};
 pub use node::{ClusterSpec, NodeId, NodeSpec};
 pub use policy::Policy;
 pub use scenario::Scenario;
+pub use sessions::SessionConfig;
 pub use world::{ClusterEvent, MemError, NodeHealth, World, WorldConfig};
 
 // The bench sweep driver fans independent simulations out across worker

@@ -10,7 +10,7 @@ use hwmodel::HardwareKind;
 use serde::{Deserialize, Serialize};
 use simcore::stats::{Summary, TimeWeighted};
 use simcore::time::{SimDuration, SimTime};
-use workload::request::{ModelId, Request, RequestId, Slo, SloClass};
+use workload::request::{ModelId, Request, RequestId, SessionTag, Slo, SloClass};
 
 /// Outcome record of one request.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -43,6 +43,11 @@ pub struct RequestRecord {
     pub migrations: u32,
     /// True if this request triggered an instance cold start.
     pub cold_start: bool,
+    /// Session membership (`SessionTag::NONE` for sessionless traffic).
+    pub session: SessionTag,
+    /// Prefix tokens served from parked session KV instead of recomputed
+    /// (locally cached or migrated over the fabric).
+    pub prefix_cached: u32,
 }
 
 impl RequestRecord {
@@ -62,12 +67,31 @@ impl RequestRecord {
             grace: SimDuration::ZERO,
             migrations: 0,
             cold_start: false,
+            session: req.session,
+            prefix_cached: 0,
         }
     }
 
     /// Time to first token, if one was produced.
     pub fn ttft(&self) -> Option<SimDuration> {
         self.first_token.map(|t| t.since(self.arrival))
+    }
+
+    /// Mean time per output token after the first, if the request completed
+    /// and produced more than one token.
+    pub fn tpot(&self) -> Option<f64> {
+        let first = self.first_token?;
+        let done = self.completed?;
+        if self.output_len <= 1 {
+            return None;
+        }
+        Some(done.since(first).as_secs_f64() / (self.output_len - 1) as f64)
+    }
+
+    /// True for a session follow-up turn (turn ≥ 1) — the requests whose
+    /// prefix can be served from parked KV.
+    pub fn is_warm_turn(&self) -> bool {
+        self.session.is_followup()
     }
 
     /// A request meets its SLO iff it completed with no TTFT or TPOT
@@ -178,6 +202,13 @@ pub struct RunMetrics {
     pub node_failures: u64,
     /// Nodes that joined mid-run.
     pub node_joins: u64,
+    /// Prefix tokens served from parked session KV on the instance that
+    /// already held them (no transfer paid). See [`crate::sessions`].
+    pub prefix_hit_tokens: u64,
+    /// Parked session KV entries migrated between instances over the fabric.
+    pub kv_migrations: u64,
+    /// Bytes of parked session KV shipped by those migrations.
+    pub kv_migration_bytes: u64,
     /// Final simulated time.
     pub end_time: SimTime,
 }
@@ -396,6 +427,52 @@ impl RunMetrics {
             .filter_map(|r| r.ttft().map(|d| d.as_secs_f64()))
             .collect()
     }
+
+    // ------------------------------------------------------------------
+    // Session turns (multi-turn prefix reuse)
+    // ------------------------------------------------------------------
+
+    /// TTFT samples (seconds) of *warm* turns — session follow-ups, the
+    /// requests prefix reuse can shorten. Untagged and first-turn requests
+    /// are the cold side ([`Self::cold_ttft_summary`]).
+    pub fn warm_ttft_summary(&self) -> Summary {
+        self.records
+            .iter()
+            .filter(|r| r.is_warm_turn())
+            .filter_map(|r| r.ttft().map(|d| d.as_secs_f64()))
+            .collect()
+    }
+
+    /// TTFT samples (seconds) of cold requests: session openers (turn 0)
+    /// and sessionless traffic.
+    pub fn cold_ttft_summary(&self) -> Summary {
+        self.records
+            .iter()
+            .filter(|r| !r.is_warm_turn())
+            .filter_map(|r| r.ttft().map(|d| d.as_secs_f64()))
+            .collect()
+    }
+
+    /// Mean TPOT (seconds/token) over completed warm turns, or 0.0 when no
+    /// warm turn produced more than one token.
+    pub fn warm_tpot_mean(&self) -> f64 {
+        let s: Summary = self
+            .records
+            .iter()
+            .filter(|r| r.is_warm_turn())
+            .filter_map(|r| r.tpot())
+            .collect();
+        if s.count() == 0 {
+            0.0
+        } else {
+            s.mean()
+        }
+    }
+
+    /// Warm turns whose prefill skipped at least one cached prefix token.
+    pub fn prefix_hits(&self) -> usize {
+        self.records.iter().filter(|r| r.prefix_cached > 0).count()
+    }
 }
 
 #[cfg(test)]
@@ -412,6 +489,7 @@ mod tests {
                 input_len: 1024,
                 output_len: 2,
                 class: SloClass::default(),
+                session: Default::default(),
             })
             .collect()
     }

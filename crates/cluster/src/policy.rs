@@ -2,7 +2,7 @@
 //!
 //! SLINFER and every baseline implement [`Policy`]. The driver invokes the
 //! callbacks as events fire; policies act exclusively through the
-//! [`World`](crate::world::World) API. Policies own their admission queues —
+//! [`World`] API. Policies own their admission queues —
 //! the driver never queues requests itself (systems differ precisely in how
 //! they queue, §III-C).
 

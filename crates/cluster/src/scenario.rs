@@ -130,6 +130,14 @@ impl Scenario {
         self
     }
 
+    /// Sets the multi-turn session prefix-reuse mode (shorthand for
+    /// patching the config): parked per-session KV, affinity routing,
+    /// priced KV migration. The default is [`crate::SessionConfig::off`].
+    pub fn sessions(mut self, sessions: crate::sessions::SessionConfig) -> Self {
+        self.cfg.sessions = sessions;
+        self
+    }
+
     // ------------------------------------------------------------------
     // Workload axis
     // ------------------------------------------------------------------
@@ -294,6 +302,7 @@ mod tests {
                 input_len: 128,
                 output_len: 2,
                 class,
+                session: Default::default(),
             })
             .collect();
         Trace::new(reqs, 1, SimDuration::from_secs(60))

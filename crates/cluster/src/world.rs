@@ -31,6 +31,7 @@ use crate::checkpoint::{CheckpointConfig, CheckpointStore};
 use crate::dist::{CheckpointDirectory, DistConfig, ReplicaState, TransferPlan, TransferSource};
 use crate::metrics::RunMetrics;
 use crate::node::{ClusterSpec, NodeId, NodeSpec};
+use crate::sessions::SessionConfig;
 use workload::request::{Request, SloClass};
 
 /// Tunable run parameters shared by every policy.
@@ -79,6 +80,10 @@ pub struct WorldConfig {
     /// — what flash-crowd experiments compute time-to-N-replicas from.
     /// Off by default so fleet-scale runs don't grow an unbounded log.
     pub record_activations: bool,
+    /// Multi-turn session prefix reuse (parked per-session KV, affinity
+    /// routing, priced KV migration). The default, [`SessionConfig::off`],
+    /// disables everything and replays sessionless runs byte-identically.
+    pub sessions: SessionConfig,
 }
 
 impl Default for WorldConfig {
@@ -96,6 +101,7 @@ impl Default for WorldConfig {
             usage_sample_stride: 1,
             dist: DistConfig::off(),
             record_activations: false,
+            sessions: SessionConfig::off(),
         }
     }
 }
@@ -437,6 +443,10 @@ pub struct World {
     /// channels — globally unique epochs make a stale event from the old
     /// channel unable to collide with the new channel's current epoch.
     next_load_epoch: u64,
+    /// Session id → instance holding the session's parked KV. Only
+    /// maintained while `cfg.sessions` is enabled; entries are validated
+    /// lazily (the home may have unloaded or evicted the session since).
+    session_home: BTreeMap<u64, InstanceId>,
     /// Metrics recorder (public: the driver and summaries read it).
     pub metrics: RunMetrics,
     pub(crate) outstanding: usize,
@@ -470,6 +480,7 @@ impl World {
             rng,
             dir: CheckpointDirectory::new(),
             next_load_epoch: 0,
+            session_home: BTreeMap::new(),
             metrics: RunMetrics::default(),
             outstanding: 0,
             wake: Vec::new(),
@@ -1205,7 +1216,8 @@ impl World {
                 self.dir.mark_arriving(model, node);
             }
         }
-        let inst = Instance::new(id, model, spec.clone(), kv_grant_bytes, self.clock);
+        let mut inst = Instance::new(id, model, spec.clone(), kv_grant_bytes, self.clock);
+        inst.retain_sessions = self.cfg.sessions.enabled;
         self.index
             .insert(id, ix, &slots, model.0 as usize, self.nodes[ix].hw.kind);
         self.instances.insert(
@@ -1439,16 +1451,61 @@ impl World {
         }
         let share = self.instance_share(inst);
         let hw = self.nodes[node.0 as usize].hw.clone();
+        // Session KV migration pre-pass: if the prefill about to start is a
+        // follow-up turn whose parked KV sits on a *different* instance and
+        // migration is on, pull the entry over before `begin_prefill` runs so
+        // the cached prefix is discounted here too. Runs entirely before the
+        // mutable borrow of the target instance below.
+        let mut migrated: Option<(u64, u32)> = None;
+        if self.cfg.sessions.enabled && self.cfg.sessions.migrate_kv {
+            if let IterationKind::Prefill(req) = kind {
+                if let Some(tag) = self.instances[&inst].inst.queued_session(req) {
+                    if tag.is_followup() && !self.instances[&inst].inst.has_session(tag.id) {
+                        if let Some(&home) = self.session_home.get(&tag.id) {
+                            if home != inst {
+                                if let Some(tokens) = self
+                                    .instances
+                                    .get_mut(&home)
+                                    .and_then(|hh| hh.inst.evict_session(tag.id))
+                                {
+                                    migrated = Some((tag.id, tokens));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
         // detlint::allow(D005, "same instance re-fetched after the immutable borrows above released; nothing removed it in between")
         let h = self.instances.get_mut(&inst).expect("unknown instance");
+        if let Some((sid, tokens)) = migrated {
+            h.inst.import_session(sid, tokens);
+        }
         let tp = h.inst.tp;
         let base = match kind {
             IterationKind::Prefill(req) => {
-                let len = match h.inst.begin_prefill(req) {
-                    Some(len) => len,
+                let ps = match h.inst.begin_prefill(req) {
+                    Some(ps) => ps,
                     None => return Err(StartError::KvExhausted(req)),
                 };
-                self.perf.prefill_time_tp(&h.inst.spec, &hw, len, share, tp)
+                let mut base =
+                    self.perf
+                        .prefill_time_tp(&h.inst.spec, &hw, ps.compute_tokens, share, tp);
+                if ps.cached_tokens > 0 {
+                    self.metrics.record_mut(req).prefix_cached = ps.cached_tokens;
+                    match migrated {
+                        // A migrated prefix pays fabric transfer time instead
+                        // of the prefill tail it skipped.
+                        Some((_, tokens)) => {
+                            let bytes = tokens as u64 * h.inst.spec.kv_bytes_per_token();
+                            self.metrics.kv_migrations += 1;
+                            self.metrics.kv_migration_bytes += bytes;
+                            base += bytes as f64 / (self.cfg.kv_transfer_gbps * 1e9);
+                        }
+                        None => self.metrics.prefix_hit_tokens += ps.cached_tokens as u64,
+                    }
+                }
+                base
             }
             IterationKind::Decode => {
                 let (bs, ctx) = h.inst.begin_decode();
@@ -1487,8 +1544,17 @@ impl World {
             return Ok(());
         }
         if to_bytes < from_bytes && h.inst.kv_used_bytes() > to_bytes {
-            return Err(MemError::BelowLiveSet);
+            // Parked session KV is reclaimable under capacity pressure: try
+            // shedding idle sessions (coldest first) before refusing the
+            // shrink on behalf of the truly live set.
+            // detlint::allow(D005, "same instance re-fetched mutably; nothing removed it in between")
+            let h = self.instances.get_mut(&inst).expect("unknown instance");
+            h.inst.evict_sessions_to_fit(to_bytes);
+            if h.inst.kv_used_bytes() > to_bytes {
+                return Err(MemError::BelowLiveSet);
+            }
         }
+        let h = &self.instances[&inst];
         if to_bytes > from_bytes {
             let delta = to_bytes - from_bytes;
             let available = self.node_available_bytes(node);
@@ -1555,6 +1621,14 @@ impl World {
         let node = &mut self.nodes[h.node.0 as usize];
         node.committed = node.committed.saturating_sub(freed);
         self.metrics.instance_lifetime_s += self.clock.since(h.inst.created_at).as_secs_f64();
+        // Unloading discards the instance's parked session KV with it.
+        if self.cfg.sessions.enabled {
+            for sid in h.inst.session_ids() {
+                if self.session_home.get(&sid) == Some(&inst) {
+                    self.session_home.remove(&sid);
+                }
+            }
+        }
         for &s in &h.slots {
             self.wake.push((h.node, s));
         }
@@ -1610,6 +1684,56 @@ impl World {
     /// Marks the record of a cold-start-triggering request.
     pub fn note_cold_start_request(&mut self, id: RequestId) {
         self.metrics.record_mut(id).cold_start = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Session affinity (multi-turn prefix reuse)
+    // ------------------------------------------------------------------
+
+    /// Where a follow-up turn's parked prefix KV lives, if the session
+    /// subsystem is on and the home instance is still worth sticking to.
+    ///
+    /// Policies call this *before* their normal placement scan and treat a
+    /// `Some` as a preferred candidate (still subject to their own admission
+    /// checks). Returns `None` — fall back to normal placement — when
+    /// sessions are off, stickiness is zero, the request is not a follow-up
+    /// turn, the home has unloaded or shed the session's KV, the home's node
+    /// is unschedulable, or the home is already loaded past the
+    /// stickiness-scaled in-flight cap ([`SessionConfig::stickiness`]).
+    pub fn session_affinity_target(&self, req: &Request) -> Option<InstanceId> {
+        let sc = &self.cfg.sessions;
+        if !sc.enabled || sc.stickiness <= 0.0 || !req.session.is_followup() {
+            return None;
+        }
+        let home = *self.session_home.get(&req.session.id)?;
+        let h = self.instances.get(&home)?;
+        if h.inst.model != req.model || !h.inst.has_session(req.session.id) {
+            return None;
+        }
+        if !self.node_schedulable(h.node) {
+            return None;
+        }
+        let cap = ((sc.stickiness * sc.affinity_max_inflight as f64).floor() as u32).max(1);
+        if h.inst.live_count() >= cap {
+            return None;
+        }
+        Some(home)
+    }
+
+    /// Records where a finished session turn parked its KV. The driver calls
+    /// this when a request completes, before the policy's `on_request_done`
+    /// hook, so the next turn's affinity lookup sees the fresh home.
+    pub(crate) fn note_request_parked(&mut self, inst: InstanceId, rr: &RunningRequest) {
+        if !self.cfg.sessions.enabled || !rr.req.session.is_session() {
+            return;
+        }
+        let parked = self
+            .instances
+            .get(&inst)
+            .is_some_and(|h| h.inst.has_session(rr.req.session.id));
+        if parked {
+            self.session_home.insert(rr.req.session.id, inst);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1939,6 +2063,105 @@ mod tests {
             w.checkpoint_tier(ModelId(0), NodeId(0)),
             CheckpointTier::Dram
         );
+    }
+
+    fn session_world(sessions: SessionConfig, gpu_nodes: usize) -> World {
+        let cfg = WorldConfig {
+            noise: NoiseModel::off(),
+            sessions,
+            ..WorldConfig::default()
+        };
+        World::new(
+            &ClusterSpec::heterogeneous(0, gpu_nodes),
+            vec![ModelSpec::llama2_7b()],
+            cfg,
+        )
+    }
+
+    fn session_req(id: u64, turn: u32) -> Request {
+        use workload::request::SessionTag;
+        Request {
+            id: RequestId(id),
+            model: ModelId(0),
+            arrival: SimTime::ZERO,
+            input_len: 700,
+            output_len: 8,
+            class: SloClass::default(),
+            session: SessionTag::new(7, turn),
+        }
+    }
+
+    #[test]
+    fn session_kv_migrates_to_the_landing_instance() {
+        let mut w = session_world(SessionConfig::reuse(1.0), 2);
+        let a = w
+            .create_instance(ModelId(0), NodeId(0), 0, 4 * GB)
+            .expect("fits");
+        let b = w
+            .create_instance(ModelId(0), NodeId(1), 0, 4 * GB)
+            .expect("fits");
+        w.instance_mut(a).unwrap().activate(SimTime::ZERO);
+        w.instance_mut(b).unwrap().activate(SimTime::ZERO);
+        // Turn 0 parked 600 prefix tokens on `a`; turn 1 lands on `b`.
+        w.instance_mut(a).unwrap().import_session(7, 600);
+        w.session_home.insert(7, a);
+        let req = session_req(0, 1);
+        w.metrics = RunMetrics::for_trace(std::slice::from_ref(&req));
+        w.admit(b, RunningRequest::new(req));
+        w.start_iteration(b, IterationKind::Prefill(RequestId(0)))
+            .expect("starts");
+        let bytes = 600 * w.model_spec(ModelId(0)).kv_bytes_per_token();
+        assert_eq!(w.metrics.kv_migrations, 1);
+        assert_eq!(w.metrics.kv_migration_bytes, bytes);
+        assert_eq!(
+            w.metrics.prefix_hit_tokens, 0,
+            "migrated tokens are transfers, not local hits"
+        );
+        assert_eq!(w.metrics.record_mut(RequestId(0)).prefix_cached, 600);
+        assert!(
+            !w.instance(a).unwrap().has_session(7),
+            "the parked copy moved to the landing instance"
+        );
+    }
+
+    #[test]
+    fn affinity_target_respects_turn_stickiness_and_load() {
+        let sessions = SessionConfig {
+            affinity_max_inflight: 4, // cap = floor(0.5 * 4) = 2
+            ..SessionConfig::reuse(0.5)
+        };
+        let mut w = session_world(sessions, 1);
+        let a = w
+            .create_instance(ModelId(0), NodeId(0), 0, 4 * GB)
+            .expect("fits");
+        w.instance_mut(a).unwrap().activate(SimTime::ZERO);
+        w.instance_mut(a).unwrap().import_session(7, 100);
+        w.session_home.insert(7, a);
+        // Opener turns never stick; follow-up turns do.
+        assert_eq!(w.session_affinity_target(&session_req(0, 0)), None);
+        assert_eq!(w.session_affinity_target(&session_req(0, 1)), Some(a));
+        // The stickiness-scaled in-flight cap closes the door at 2 live.
+        w.admit(a, RunningRequest::new(session_req(1, 1)));
+        assert_eq!(w.session_affinity_target(&session_req(0, 1)), Some(a));
+        w.admit(a, RunningRequest::new(session_req(2, 1)));
+        assert_eq!(w.session_affinity_target(&session_req(0, 1)), None);
+    }
+
+    #[test]
+    fn unload_clears_the_session_home_directory() {
+        let mut w = session_world(SessionConfig::reuse(1.0), 1);
+        let a = w
+            .create_instance(ModelId(0), NodeId(0), 0, 4 * GB)
+            .expect("fits");
+        w.instance_mut(a).unwrap().activate(SimTime::ZERO);
+        w.instance_mut(a).unwrap().import_session(7, 100);
+        w.session_home.insert(7, a);
+        w.unload_instance(a);
+        assert!(
+            w.session_home.is_empty(),
+            "unload retires the home directory entries it hosted"
+        );
+        assert_eq!(w.session_affinity_target(&session_req(0, 1)), None);
     }
 
     #[test]

@@ -83,6 +83,7 @@ fn trace(reqs: Vec<(u64, u32)>) -> Trace {
             input_len: 256,
             output_len: 4,
             class: SloClass::default(),
+            session: Default::default(),
         })
         .collect();
     Trace::new(requests, n_models, SimDuration::from_secs(60))

@@ -31,6 +31,7 @@ fn rr(id: u64, model: u32) -> RunningRequest {
         input_len: 256,
         output_len: 8,
         class: SloClass::default(),
+        session: Default::default(),
     })
 }
 
@@ -183,6 +184,7 @@ fn drop_request_resolves_once() {
         input_len: 16,
         output_len: 1,
         class: SloClass::default(),
+        session: Default::default(),
     }]);
     let mut r0 = r;
     r0.req.id = RequestId(0);
@@ -234,6 +236,7 @@ fn tp_groups_claim_and_release_slot_sets() {
         input_len: 256,
         output_len: 8,
         class: SloClass::default(),
+        session: Default::default(),
     }]);
     w.start_iteration(tp2, IterationKind::Prefill(RequestId(0)))
         .expect("group free");

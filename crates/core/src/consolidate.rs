@@ -113,6 +113,7 @@ mod tests {
                     input_len: 128,
                     output_len: 8,
                     class: SloClass::default(),
+                    session: Default::default(),
                 }),
             );
         }

@@ -479,6 +479,26 @@ impl Slinfer {
     ) -> bool {
         self.ensure_init(w);
         let model = rr.req.model;
+        // Session affinity fast path: a follow-up turn prefers the instance
+        // holding its parked prefix KV, subject to the same §V admission
+        // checks as any other candidate. On any failure it falls through to
+        // the normal ordered scan (inert when sessions are off).
+        if let Some(home) = w.session_affinity_target(&rr.req) {
+            if Some(home) != exclude
+                && (!self.cfg.pd_disaggregate || self.prefill_insts.contains(&home))
+            {
+                if let Some((node, _)) = w.instance_placement(home) {
+                    if self.node_allowed(w, node, model)
+                        && self.request_feasible_on(w, node, rr)
+                        && self.shadow_check(w, home, rr)
+                        && self.memory_check(w, home, rr)
+                    {
+                        w.admit(home, rr.clone());
+                        return true;
+                    }
+                }
+            }
+        }
         let candidates =
             order_candidates(w, model, self.cfg.enable_cpu, self.cfg.enable_consolidation);
         let mut mem_blocked: Vec<InstanceId> = Vec::new();
@@ -1161,6 +1181,7 @@ mod tests {
                 input_len: inp,
                 output_len: out,
                 class: SloClass::default(),
+                session: Default::default(),
             })
             .collect();
         Trace::new(requests, n_models, SimDuration::from_secs(60))

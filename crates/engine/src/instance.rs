@@ -6,9 +6,11 @@
 //! *when* to run — the policy does (token-level scheduling is SLINFER's
 //! §VI-A contribution; baselines run instances back-to-back).
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 use simcore::time::{SimDuration, SimTime};
-use workload::request::{ModelId, RequestId, Slo};
+use workload::request::{ModelId, RequestId, SessionTag, Slo};
 
 use crate::blocks::BlockPool;
 use crate::request::{ReqPhase, RunningRequest};
@@ -37,6 +39,28 @@ pub enum IterationKind {
     Prefill(RequestId),
     /// One decode step over the whole continuous batch.
     Decode,
+}
+
+/// Result of starting a prefill iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefillStart {
+    /// Tokens the prefill actually computes (cached prefix excluded; at
+    /// least 1 so every prefill produces a first token).
+    pub compute_tokens: u32,
+    /// Prefix tokens served from this session's cached KV.
+    pub cached_tokens: u32,
+}
+
+/// KV blocks parked for a finished session turn, awaiting the next turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionEntry {
+    /// Context tokens whose KV is cached (prompt + produced tokens).
+    pub tokens: u32,
+    /// Blocks held in the pool (0 for an entry migrated in from another
+    /// instance: its blocks are allocated at the next prefill).
+    pub blocks: u64,
+    /// LRU stamp (monotonic per instance; smallest = coldest).
+    last_used: u64,
 }
 
 /// Result of finishing a decode iteration.
@@ -69,6 +93,18 @@ pub struct Instance {
     /// Live requests in all phases (finished ones are removed).
     requests: Vec<RunningRequest>,
     pool: BlockPool,
+    /// Retain finished session turns' KV for prefix reuse. Set by the
+    /// cluster layer from its session config; off (the default) keeps the
+    /// historical free-on-finish behavior bit-for-bit.
+    pub retain_sessions: bool,
+    /// Parked per-session KV awaiting the session's next turn.
+    session_kv: BTreeMap<u64, SessionEntry>,
+    /// Monotonic stamp source for deterministic session LRU.
+    session_seq: u64,
+    /// Prefix tokens served from the local session cache.
+    pub prefix_hit_tokens: u64,
+    /// Session entries dropped under capacity pressure.
+    pub session_evictions: u64,
     /// True while an iteration executes.
     pub busy: bool,
     /// True while a KV rescale executes (iterations are blocked, §VII-B).
@@ -111,6 +147,11 @@ impl Instance {
             state: InstanceState::Loading,
             requests: Vec::new(),
             pool,
+            retain_sessions: false,
+            session_kv: BTreeMap::new(),
+            session_seq: 0,
+            prefix_hit_tokens: 0,
+            session_evictions: 0,
             busy: false,
             scaling: false,
             created_at: now,
@@ -217,13 +258,20 @@ impl Instance {
 
     /// Begins a prefill iteration for `id`, allocating its context blocks.
     ///
-    /// Returns the prefill length (tokens) on success, or `None` if the KV
-    /// grant cannot hold the prompt (caller must scale up or reroute).
+    /// If the instance holds parked KV for the request's session (a
+    /// follow-up turn landing back home), the cached prefix is consumed:
+    /// its blocks transfer to the request, only the uncached tail is
+    /// computed, and [`PrefillStart::cached_tokens`] reports the skip.
+    ///
+    /// Returns `None` if the KV grant cannot hold the prompt even after
+    /// evicting idle sessions' parked blocks (caller must scale up or
+    /// reroute); a consumed session entry is dropped in that case (its
+    /// blocks are freed) so a retry sees maximal free space.
     ///
     /// # Panics
     /// Panics if the instance is busy/scaling/loading or `id` is unknown or
     /// not waiting.
-    pub fn begin_prefill(&mut self, id: RequestId) -> Option<u32> {
+    pub fn begin_prefill(&mut self, id: RequestId) -> Option<PrefillStart> {
         assert!(self.state == InstanceState::Active, "instance not active");
         assert!(!self.busy && !self.scaling, "instance already occupied");
         let ix = self.find(id).expect("unknown request");
@@ -232,16 +280,44 @@ impl Instance {
             "request not waiting"
         );
         let len = self.requests[ix].prefill_len();
-        // Blocks for the full context plus the first output token.
+        let tag = self.requests[ix].req.session;
+        let entry = if self.retain_sessions && tag.is_followup() {
+            self.session_kv.remove(&tag.id)
+        } else {
+            None
+        };
+        // A cached prefix never covers the whole prompt: at least one new
+        // token must be computed to produce the first output token.
+        let (cached, reuse_blocks) = entry
+            .map(|e| (e.tokens.min(len - 1), e.blocks))
+            .unwrap_or((0, 0));
+        // Blocks for the full context plus the first output token; the
+        // parked blocks count toward it.
         let blocks = self.pool.blocks_for_tokens(len + 1);
-        if !self.pool.try_alloc(blocks) {
+        let extra = blocks.saturating_sub(reuse_blocks);
+        if !self.alloc_evicting_sessions(extra) {
+            // Even the delta does not fit: drop the consumed entry so the
+            // caller's recovery (rescale, shed, reroute) starts clean.
+            self.pool.free(reuse_blocks);
+            if reuse_blocks > 0 {
+                self.session_evictions += 1;
+            }
             return None;
+        }
+        // Shrinking contexts cannot happen (context only grows), but guard
+        // against a parked entry larger than the new request needs.
+        if reuse_blocks > blocks {
+            self.pool.free(reuse_blocks - blocks);
         }
         let r = &mut self.requests[ix];
         r.kv_blocks = blocks;
         r.phase = ReqPhase::Prefilling;
         self.busy = true;
-        Some(len)
+        self.prefix_hit_tokens += cached as u64;
+        Some(PrefillStart {
+            compute_tokens: (len - cached).max(1),
+            cached_tokens: cached,
+        })
     }
 
     /// Completes the in-flight prefill: the request joins the decode batch
@@ -312,19 +388,22 @@ impl Instance {
         self.busy = false;
         self.busy_secs += elapsed.as_secs_f64();
         let mut outcome = DecodeOutcome::default();
-        for r in &mut self.requests {
-            if !matches!(r.phase, ReqPhase::Decoding) {
+        for ix in 0..self.requests.len() {
+            if !matches!(self.requests[ix].phase, ReqPhase::Decoding) {
                 continue;
             }
-            let needed = self.pool.blocks_for_tokens(r.context_tokens() + 1);
-            if needed > r.kv_blocks {
-                let extra = needed - r.kv_blocks;
-                if !self.pool.try_alloc(extra) {
-                    outcome.alloc_failures.push(r.req.id);
+            let needed = self
+                .pool
+                .blocks_for_tokens(self.requests[ix].context_tokens() + 1);
+            if needed > self.requests[ix].kv_blocks {
+                let extra = needed - self.requests[ix].kv_blocks;
+                if !self.alloc_evicting_sessions(extra) {
+                    outcome.alloc_failures.push(self.requests[ix].req.id);
                     continue;
                 }
-                r.kv_blocks = needed;
+                self.requests[ix].kv_blocks = needed;
             }
+            let r = &mut self.requests[ix];
             r.tokens_out += 1;
             self.decode_tokens += 1;
             if r.first_token_at.is_none() {
@@ -347,13 +426,123 @@ impl Instance {
         while i < self.requests.len() {
             if matches!(self.requests[i].phase, ReqPhase::Finished) {
                 let r = self.requests.swap_remove(i);
-                self.pool.free(r.kv_blocks);
+                let tag = r.req.session;
+                if self.retain_sessions && tag.is_session() {
+                    // Park the finished turn's KV for the session's next
+                    // turn instead of freeing it.
+                    self.session_seq += 1;
+                    let entry = SessionEntry {
+                        tokens: r.context_tokens(),
+                        blocks: r.kv_blocks,
+                        last_used: self.session_seq,
+                    };
+                    if let Some(old) = self.session_kv.insert(tag.id, entry) {
+                        self.pool.free(old.blocks);
+                    }
+                } else {
+                    self.pool.free(r.kv_blocks);
+                }
                 out.push(r);
             } else {
                 i += 1;
             }
         }
         out
+    }
+
+    /// Allocates `blocks`, evicting parked session KV coldest-first when the
+    /// pool is short. Sessionless instances never hold parked entries, so
+    /// this reduces to a plain `try_alloc`.
+    fn alloc_evicting_sessions(&mut self, blocks: u64) -> bool {
+        if self.pool.try_alloc(blocks) {
+            return true;
+        }
+        while let Some(sid) = self.coldest_session() {
+            let e = self.session_kv.remove(&sid).expect("coldest key exists");
+            self.pool.free(e.blocks);
+            self.session_evictions += 1;
+            if self.pool.try_alloc(blocks) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn coldest_session(&self) -> Option<u64> {
+        self.session_kv
+            .iter()
+            .min_by_key(|(id, e)| (e.last_used, **id))
+            .map(|(id, _)| *id)
+    }
+
+    /// True if this instance holds parked KV for `session`.
+    pub fn has_session(&self, session: u64) -> bool {
+        self.session_kv.contains_key(&session)
+    }
+
+    /// Cached context tokens parked for `session`, if any.
+    pub fn session_tokens(&self, session: u64) -> Option<u32> {
+        self.session_kv.get(&session).map(|e| e.tokens)
+    }
+
+    /// Number of sessions with parked KV.
+    pub fn session_count(&self) -> usize {
+        self.session_kv.len()
+    }
+
+    /// Ids of all sessions with parked KV here (ascending).
+    pub fn session_ids(&self) -> Vec<u64> {
+        self.session_kv.keys().copied().collect()
+    }
+
+    /// Bytes held by parked session KV.
+    pub fn session_kv_bytes(&self) -> u64 {
+        let blocks: u64 = self.session_kv.values().map(|e| e.blocks).sum();
+        blocks * self.pool.block_bytes()
+    }
+
+    /// Removes and frees `session`'s parked KV, returning its cached token
+    /// count (used by the cluster layer when migrating a session away).
+    pub fn evict_session(&mut self, session: u64) -> Option<u32> {
+        let e = self.session_kv.remove(&session)?;
+        self.pool.free(e.blocks);
+        Some(e.tokens)
+    }
+
+    /// Records `tokens` of session KV arriving from another instance. No
+    /// blocks are held yet — they are allocated when the turn prefills here.
+    pub fn import_session(&mut self, session: u64, tokens: u32) {
+        self.session_seq += 1;
+        let entry = SessionEntry {
+            tokens,
+            blocks: 0,
+            last_used: self.session_seq,
+        };
+        if let Some(old) = self.session_kv.insert(session, entry) {
+            self.pool.free(old.blocks);
+        }
+    }
+
+    /// Frees parked session KV (coldest-first) until live blocks fit under
+    /// `target_bytes`; returns the number of sessions evicted. Used before
+    /// shrinking the KV grant.
+    pub fn evict_sessions_to_fit(&mut self, target_bytes: u64) -> u64 {
+        let mut n = 0;
+        while self.pool.used_bytes() > target_bytes {
+            let Some(sid) = self.coldest_session() else {
+                break;
+            };
+            let e = self.session_kv.remove(&sid).expect("coldest key exists");
+            self.pool.free(e.blocks);
+            self.session_evictions += 1;
+            n += 1;
+        }
+        n
+    }
+
+    /// The session tag of a queued (admitted) request, if it is live here.
+    pub fn queued_session(&self, id: RequestId) -> Option<SessionTag> {
+        self.find(id).map(|ix| self.requests[ix].req.session)
     }
 
     fn retire_finished(&mut self, now: SimTime) {
@@ -407,7 +596,7 @@ impl Instance {
     pub fn admit_decoding(&mut self, mut rr: RunningRequest) -> bool {
         debug_assert!(matches!(rr.phase, ReqPhase::Decoding));
         let blocks = self.pool.blocks_for_tokens(rr.context_tokens() + 1);
-        if !self.pool.try_alloc(blocks) {
+        if !self.alloc_evicting_sessions(blocks) {
             return false;
         }
         rr.kv_blocks = blocks;
@@ -502,6 +691,7 @@ mod tests {
             input_len: input,
             output_len: output,
             class: SloClass::default(),
+            session: Default::default(),
         })
     }
 
@@ -512,8 +702,9 @@ mod tests {
         assert_eq!(i.waiting_count(), 1);
         assert!(i.has_work());
 
-        let len = i.begin_prefill(RequestId(1)).expect("kv fits");
-        assert_eq!(len, 100);
+        let ps = i.begin_prefill(RequestId(1)).expect("kv fits");
+        assert_eq!(ps.compute_tokens, 100);
+        assert_eq!(ps.cached_tokens, 0);
         assert!(i.busy);
         i.finish_prefill(
             RequestId(1),
@@ -661,6 +852,115 @@ mod tests {
         let i = inst(8);
         let expect = i.spec.weights_bytes() + 8 * 1_000_000_000;
         assert_eq!(i.footprint_bytes(), expect);
+    }
+
+    fn session_rr(id: u64, sid: u64, turn: u32, input: u32, output: u32) -> RunningRequest {
+        let mut r = rr(id, input, output);
+        r.req.session = SessionTag::new(sid, turn);
+        r
+    }
+
+    fn run_to_completion(i: &mut Instance, id: RequestId) {
+        assert!(i.begin_prefill(id).is_some());
+        i.finish_prefill(id, SimTime::ZERO, SimDuration::ZERO);
+        while i.requests().iter().any(|r| r.req.id == id) {
+            i.begin_decode();
+            i.finish_decode(SimTime::ZERO, SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn session_kv_parks_on_finish_and_discounts_next_turn() {
+        let mut i = inst(8);
+        i.retain_sessions = true;
+        // Turn 0: 100 prompt + 3 output tokens → 103 cached tokens.
+        i.admit(session_rr(1, 7, 0, 100, 3));
+        run_to_completion(&mut i, RequestId(1));
+        assert!(i.has_session(7));
+        assert_eq!(i.session_tokens(7), Some(103));
+        assert!(i.kv_used_bytes() > 0, "parked KV stays allocated");
+
+        // Turn 1 re-submits the 103-token prefix plus 50 new tokens.
+        i.admit(session_rr(2, 7, 1, 153, 4));
+        let ps = i.begin_prefill(RequestId(2)).expect("kv fits");
+        assert_eq!(ps.cached_tokens, 103);
+        assert_eq!(ps.compute_tokens, 50);
+        assert!(!i.has_session(7), "the entry is consumed by the turn");
+        assert_eq!(i.prefix_hit_tokens, 103);
+    }
+
+    #[test]
+    fn sessionless_instance_behaves_as_before() {
+        let mut i = inst(8);
+        // retain_sessions defaults to false: even tagged requests free KV.
+        i.admit(session_rr(1, 7, 0, 100, 3));
+        run_to_completion(&mut i, RequestId(1));
+        assert!(!i.has_session(7));
+        assert_eq!(i.kv_used_bytes(), 0);
+        i.admit(session_rr(2, 7, 1, 153, 4));
+        let ps = i.begin_prefill(RequestId(2)).expect("kv fits");
+        assert_eq!(ps.cached_tokens, 0);
+        assert_eq!(ps.compute_tokens, 153);
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_coldest_session() {
+        // Pool of 8 blocks; two parked sessions of 2 blocks each leave 4.
+        let spec7 = spec();
+        let grant = spec7.kv_bytes_per_token() * 16 * 8;
+        let mut i = Instance::new(InstanceId(5), ModelId(0), spec7, grant, SimTime::ZERO);
+        i.activate(SimTime::ZERO);
+        i.retain_sessions = true;
+        i.admit(session_rr(1, 1, 0, 20, 2)); // 22 tokens → 2 blocks
+        run_to_completion(&mut i, RequestId(1));
+        i.admit(session_rr(2, 2, 0, 20, 2));
+        run_to_completion(&mut i, RequestId(2));
+        assert_eq!(i.session_count(), 2);
+
+        // A 90-token sessionless prompt needs 6 blocks; only 4 are free, so
+        // the coldest parked session (id 1) must be evicted.
+        i.admit(rr(3, 90, 2));
+        assert!(i.begin_prefill(RequestId(3)).is_some());
+        assert!(!i.has_session(1), "coldest session evicted first");
+        assert!(i.has_session(2), "warmer session survives");
+        assert_eq!(i.session_evictions, 1);
+    }
+
+    #[test]
+    fn evict_sessions_to_fit_frees_parked_kv() {
+        let mut i = inst(8);
+        i.retain_sessions = true;
+        i.admit(session_rr(1, 3, 0, 100, 3));
+        run_to_completion(&mut i, RequestId(1));
+        let used = i.kv_used_bytes();
+        assert!(used > 0);
+        assert_eq!(i.evict_sessions_to_fit(0), 1);
+        assert_eq!(i.kv_used_bytes(), 0);
+        assert!(!i.has_session(3));
+    }
+
+    #[test]
+    fn imported_session_discounts_without_blocks() {
+        let mut i = inst(8);
+        i.retain_sessions = true;
+        i.import_session(9, 200);
+        assert_eq!(i.session_tokens(9), Some(200));
+        assert_eq!(i.kv_used_bytes(), 0, "imported entries hold no blocks yet");
+        i.admit(session_rr(1, 9, 1, 260, 4));
+        let ps = i.begin_prefill(RequestId(1)).expect("kv fits");
+        assert_eq!(ps.cached_tokens, 200);
+        assert_eq!(ps.compute_tokens, 60);
+    }
+
+    #[test]
+    fn evict_session_returns_tokens_and_frees() {
+        let mut i = inst(8);
+        i.retain_sessions = true;
+        i.admit(session_rr(1, 4, 0, 50, 2));
+        run_to_completion(&mut i, RequestId(1));
+        assert_eq!(i.evict_session(4), Some(52));
+        assert_eq!(i.kv_used_bytes(), 0);
+        assert_eq!(i.evict_session(4), None);
     }
 
     #[test]

@@ -6,12 +6,16 @@
 //!
 //! - [`blocks`] — a paged-attention block pool ([`BlockPool`]): KV memory is
 //!   allocated in fixed 16-token blocks, so capacity and fragmentation are
-//!   block-granular like vLLM's (§III-A, [37]).
+//!   block-granular like vLLM's (§III-A, \[37\]).
 //! - [`request`] — the per-request state machine
 //!   (waiting → prefill → decode → finished) with token-deadline tracking.
 //! - [`instance`] — a model [`Instance`]: continuous batch, waiting queue,
 //!   KV pool, loading/active lifecycle, and the bookkeeping (busy time,
-//!   token counters) the metrics layer reads.
+//!   token counters) the metrics layer reads. With `retain_sessions` set,
+//!   an instance also *parks* finished session turns' KV so a follow-up
+//!   turn's prefill skips the cached prefix (`begin_prefill` returns the
+//!   compute/cached token split; parked entries are evicted coldest-first
+//!   under capacity pressure).
 //!
 //! An instance is *passive*: it never decides when to run. The cluster
 //! driver asks it to begin/finish iterations, and scheduling policies

@@ -111,6 +111,7 @@ mod tests {
             input_len: input,
             output_len: output,
             class: SloClass::default(),
+            session: Default::default(),
         })
     }
 

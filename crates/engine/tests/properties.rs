@@ -90,6 +90,7 @@ proptest! {
                 input_len: input,
                 output_len: output,
                 class: SloClass::default(),
+                session: Default::default(),
             }));
         }
         // Serve: prefill everything, then decode until empty.
@@ -143,6 +144,7 @@ proptest! {
                 input_len: 256,
                 output_len: 32,
                 class: SloClass::default(),
+                session: Default::default(),
             }));
         }
         let victim = RequestId((migrate_ix % n) as u64);
@@ -181,6 +183,7 @@ proptest! {
                 input_len: input,
                 output_len: 8,
                 class: SloClass::default(),
+                session: Default::default(),
             }));
             let next = inst.kv_required_bytes(avg, lmin);
             prop_assert!(next >= last, "Eq.2 must grow with admissions");

@@ -85,6 +85,7 @@ impl BurstGptSpec {
                 input_len,
                 output_len,
                 class: SloClass::default(),
+                session: Default::default(),
             });
         }
         Trace::new(requests, self.n_models, self.duration)

@@ -18,6 +18,11 @@
 //!   contribute ≈26% of requests).
 //! - [`burstgpt`] — a Gamma-interarrival load generator for the §IX-I2
 //!   sensitivity sweep.
+//! - [`sessions`] — a multi-turn chat/session generator: heavy-tailed
+//!   per-user session rates, geometric turn counts, exponential think-time
+//!   gaps, and growing per-turn context, with every request tagged by
+//!   [`request::SessionTag`] so schedulers can route turns back to the
+//!   instance holding the session's KV cache.
 //! - [`stats`] — trace characterization used by the Figure 21/12/34
 //!   experiment binaries.
 //!
@@ -38,7 +43,9 @@ pub mod burstgpt;
 pub mod datasets;
 pub mod request;
 pub mod serverless;
+pub mod sessions;
 pub mod stats;
 
 pub use datasets::Dataset;
-pub use request::{ModelId, Request, RequestId, Slo, Trace};
+pub use request::{ModelId, Request, RequestId, SessionTag, Slo, Trace};
+pub use sessions::SessionSpec;

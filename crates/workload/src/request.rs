@@ -34,6 +34,47 @@ impl SloClass {
     pub const DEFAULT: SloClass = SloClass(0);
 }
 
+/// Ties a request to a multi-turn session.
+///
+/// Session ids are dense and start at `1`; id `0` is the [`SessionTag::NONE`]
+/// sentinel carried by independent (sessionless) requests, which is also the
+/// `Default`. Turns are numbered from `0` within a session, so `turn > 0`
+/// marks a request whose prompt re-submits an accumulated prefix that some
+/// instance may still hold KV for.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SessionTag {
+    /// Session id (`0` = not part of a session).
+    pub id: u64,
+    /// Zero-based turn number within the session.
+    pub turn: u32,
+}
+
+impl SessionTag {
+    /// The sessionless sentinel.
+    pub const NONE: SessionTag = SessionTag { id: 0, turn: 0 };
+
+    /// Tags turn `turn` of session `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is zero (reserved for [`SessionTag::NONE`]).
+    pub fn new(id: u64, turn: u32) -> Self {
+        assert!(id != 0, "session ids start at 1; 0 is the NONE sentinel");
+        SessionTag { id, turn }
+    }
+
+    /// True if this request belongs to a session.
+    pub fn is_session(&self) -> bool {
+        self.id != 0
+    }
+
+    /// True for a follow-up turn (one that may find cached prefix KV).
+    pub fn is_followup(&self) -> bool {
+        self.id != 0 && self.turn > 0
+    }
+}
+
 /// One inference request: which model, when it arrived, and its token
 /// lengths. The output length is pre-drawn by the generator but is hidden
 /// from schedulers until tokens are actually produced (the paper's memory
@@ -52,6 +93,8 @@ pub struct Request {
     pub output_len: u32,
     /// Service class this request is held to (class 0 = the run default).
     pub class: SloClass,
+    /// Session membership ([`SessionTag::NONE`] for independent requests).
+    pub session: SessionTag,
 }
 
 /// Service-level objectives, following §IX-A:
@@ -267,6 +310,7 @@ mod tests {
             input_len: 10,
             output_len: 10,
             class: SloClass::default(),
+            session: Default::default(),
         };
         let t = Trace::new(
             vec![mk(2, 5), mk(1, 1), mk(3, 3)],
@@ -286,6 +330,7 @@ mod tests {
             input_len: 10,
             output_len: 10,
             class: SloClass::default(),
+            session: Default::default(),
         };
         let t = Trace::new(
             (0..120).map(|i| mk(i, i)).collect(),

@@ -164,6 +164,7 @@ fn push_request(
         input_len,
         output_len,
         class: SloClass::default(),
+        session: Default::default(),
     });
 }
 

@@ -1,0 +1,348 @@
+//! Multi-turn chat session generator.
+//!
+//! All other generators in this crate emit *independent* requests, but real
+//! production traffic from millions of users is dominated by *sessions*:
+//! multi-turn conversations and agentic loops where each turn re-submits the
+//! accumulated conversation prefix plus a few new tokens. That growing prefix
+//! is exactly what the engine's prefix cache (see `engine::instance`) can
+//! skip re-computing when a turn lands on the instance still holding the
+//! session's KV blocks — so this generator tags every request with a
+//! [`SessionTag`] tying it to its session and turn number.
+//!
+//! The shape mirrors the serverless generator's evidence base where the paper
+//! gives one (§IV-C popularity skew applies to users as much as models) and
+//! common chat-trace observations elsewhere:
+//!
+//! 1. **Heavy-tailed per-user rates** — per-user session counts follow a
+//!    Zipf law, so a few power users contribute a large share of sessions.
+//! 2. **Geometric turn counts** — most conversations are short, a tail runs
+//!    long (clamped at [`SessionSpec::max_turns`]).
+//! 3. **Think-time gaps** — a turn arrives only after the previous response
+//!    has streamed out plus an exponential user think time.
+//! 4. **Growing context** — turn `t`'s prompt is the accumulated prefix
+//!    (previous prompt + previous completion) plus fresh tokens, clamped at
+//!    [`SessionSpec::max_context`].
+//!
+//! Generation is a pure function of the spec (equal specs ⇒ byte-identical
+//! traces), and the emitted [`Trace`] composes with [`Trace::merge`] and
+//! `cluster::Scenario` segments: merging renumbers [`RequestId`]s but leaves
+//! session tags untouched.
+
+use serde::{Deserialize, Serialize};
+use simcore::dist::{exponential, zipf_weights};
+use simcore::rng::SimRng;
+use simcore::time::{SimDuration, SimTime};
+
+use crate::datasets::Dataset;
+use crate::request::{ModelId, Request, RequestId, SessionTag, SloClass, Trace};
+
+/// Parameters of one synthetic multi-turn session trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// Number of hosted models; each session picks one (Zipf-skewed).
+    pub n_models: u32,
+    /// Number of users generating sessions.
+    pub n_users: u32,
+    /// Trace window length (session *starts* fall inside it; late turns of a
+    /// session may spill past the nominal end).
+    pub duration: SimDuration,
+    /// Mean sessions per user over the window.
+    pub sessions_per_user: f64,
+    /// Zipf exponent shared by user-rate and model-popularity skew.
+    pub zipf_s: f64,
+    /// Mean turns per session (geometric; at least 1).
+    pub mean_turns: f64,
+    /// Hard cap on turns per session.
+    pub max_turns: u32,
+    /// Mean user think time between a response finishing and the next turn,
+    /// seconds (exponential).
+    pub think_time_s: f64,
+    /// Assumed streaming rate when spacing turns, output tokens per second.
+    pub stream_tokens_per_s: f64,
+    /// Context-length clamp: a turn's prompt never exceeds this.
+    pub max_context: u32,
+    /// Dataset supplying per-turn fresh-prompt and completion lengths.
+    pub dataset: Dataset,
+    /// Seed; equal specs with equal seeds generate identical traces.
+    pub seed: u64,
+}
+
+impl SessionSpec {
+    /// A chat-style default: ~8 users per hosted model, short conversations
+    /// with a long tail, 30-minute window, conversation-dataset lengths.
+    pub fn chat_like(n_models: u32, seed: u64) -> Self {
+        SessionSpec {
+            n_models,
+            n_users: n_models * 8,
+            duration: SimDuration::from_secs(30 * 60),
+            sessions_per_user: 1.5,
+            zipf_s: 1.05,
+            mean_turns: 4.0,
+            max_turns: 12,
+            think_time_s: 30.0,
+            stream_tokens_per_s: 20.0,
+            max_context: 8192,
+            dataset: Dataset::AzureConv,
+            seed,
+        }
+    }
+
+    /// Replaces the length dataset.
+    pub fn with_dataset(mut self, dataset: Dataset) -> Self {
+        self.dataset = dataset;
+        self
+    }
+
+    /// Scales the session volume by `factor` (load sweeps).
+    pub fn with_load_scale(mut self, factor: f64) -> Self {
+        self.sessions_per_user *= factor;
+        self
+    }
+
+    /// Generates the trace. Session ids are dense starting at 1, in user
+    /// order; turns are numbered from 0 within each session.
+    ///
+    /// # Panics
+    /// Panics if `n_models` or `n_users` is zero, or `sessions_per_user`,
+    /// `mean_turns`, `think_time_s` or `stream_tokens_per_s` is not positive.
+    pub fn generate(&self) -> Trace {
+        assert!(self.n_models > 0, "trace needs at least one model");
+        assert!(self.n_users > 0, "trace needs at least one user");
+        assert!(
+            self.sessions_per_user > 0.0,
+            "sessions_per_user must be positive"
+        );
+        assert!(self.mean_turns > 0.0, "mean_turns must be positive");
+        assert!(self.think_time_s > 0.0, "think_time_s must be positive");
+        assert!(
+            self.stream_tokens_per_s > 0.0,
+            "stream_tokens_per_s must be positive"
+        );
+
+        let root = SimRng::new(self.seed);
+        let mut pop_rng = root.split(1);
+        let mut sched_rng = root.split(2);
+        let mut len_rng = root.split(3);
+
+        // Heavy-tailed per-user session counts (same randomized-rounding
+        // idiom as the serverless generator, decoupling id from rank).
+        let total = self.sessions_per_user * self.n_users as f64;
+        let user_weights = zipf_weights(self.n_users as usize, self.zipf_s);
+        let mut user_ranks: Vec<usize> = (0..self.n_users as usize).collect();
+        pop_rng.shuffle(&mut user_ranks);
+        let mut per_user = vec![0usize; self.n_users as usize];
+        for (rank, &user) in user_ranks.iter().enumerate() {
+            let lambda = user_weights[rank] * total;
+            let floor = lambda.floor();
+            per_user[user] = floor as usize + usize::from(pop_rng.next_bool(lambda - floor));
+        }
+
+        // Zipf model popularity, shuffled so model id ≠ rank.
+        let model_weights = zipf_weights(self.n_models as usize, self.zipf_s);
+        let mut model_ranks: Vec<usize> = (0..self.n_models as usize).collect();
+        pop_rng.shuffle(&mut model_ranks);
+        let mut model_cdf = vec![0.0f64; self.n_models as usize];
+        let mut acc = 0.0;
+        for (rank, &model) in model_ranks.iter().enumerate() {
+            acc += model_weights[rank];
+            model_cdf[model] = acc;
+        }
+        // Guard against float shortfall at the top of the CDF.
+        if let Some(last) = model_cdf.last_mut() {
+            *last = 1.0;
+        }
+        let sample_model = |rng: &mut SimRng, cdf: &[f64]| -> u32 {
+            let mut hi = cdf.len() - 1;
+            let u = rng.next_f64() * cdf[hi];
+            let mut lo = 0usize;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if cdf[mid] <= u {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo as u32
+        };
+
+        let horizon = self.duration.as_secs_f64();
+        let mut requests = Vec::with_capacity(total as usize * 4 + 16);
+        let mut sid = 0u64;
+        for &n_sessions in &per_user {
+            for _ in 0..n_sessions {
+                sid += 1;
+                let model = sample_model(&mut sched_rng, &model_cdf);
+                let turns = sample_geometric(&mut sched_rng, self.mean_turns)
+                    .clamp(1, self.max_turns as usize);
+                let mut t = sched_rng.next_f64() * horizon;
+                let mut context = 0u32;
+                for turn in 0..turns {
+                    let (fresh, output_len) = self.dataset.sample_lengths(&mut len_rng);
+                    let input_len = context.saturating_add(fresh).min(self.max_context).max(1);
+                    requests.push(Request {
+                        id: RequestId(0), // assigned after the global sort
+                        model: ModelId(model),
+                        arrival: SimTime::from_secs_f64(t),
+                        input_len,
+                        output_len,
+                        class: SloClass::default(),
+                        session: SessionTag::new(sid, turn as u32),
+                    });
+                    // Next turn re-submits prompt + completion as its prefix.
+                    context = input_len.saturating_add(output_len).min(self.max_context);
+                    // Space turns by the streamed response plus a think gap.
+                    let stream_s = output_len as f64 / self.stream_tokens_per_s;
+                    t += stream_s + exponential(&mut sched_rng, 1.0 / self.think_time_s);
+                }
+            }
+        }
+
+        let mut trace = Trace::new(requests, self.n_models, self.duration);
+        for (i, r) in trace.requests.iter_mut().enumerate() {
+            r.id = RequestId(i as u64);
+        }
+        trace
+    }
+}
+
+fn sample_geometric(rng: &mut SimRng, mean: f64) -> usize {
+    let p = 1.0 / mean.max(1.0);
+    let u = rng.next_f64_open();
+    ((u.ln() / (1.0 - p).ln()).ceil() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SessionSpec::chat_like(8, 7).generate();
+        let b = SessionSpec::chat_like(8, 7).generate();
+        assert_eq!(a.requests, b.requests);
+        let c = SessionSpec::chat_like(8, 8).generate();
+        assert_ne!(a.requests, c.requests);
+    }
+
+    #[test]
+    fn turn_schedules_are_identical_across_regenerations() {
+        // Stronger than request equality: the (session, turn) → arrival map
+        // must reproduce exactly, which is what affinity routing keys on.
+        let sched = |seed: u64| -> BTreeMap<(u64, u32), SimTime> {
+            SessionSpec::chat_like(4, seed)
+                .generate()
+                .requests
+                .iter()
+                .map(|r| ((r.session.id, r.session.turn), r.arrival))
+                .collect()
+        };
+        assert_eq!(sched(3), sched(3));
+    }
+
+    #[test]
+    fn sessions_are_dense_with_contiguous_turns() {
+        let trace = SessionSpec::chat_like(8, 1).generate();
+        let mut turns: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        let mut models: BTreeMap<u64, ModelId> = BTreeMap::new();
+        for r in &trace.requests {
+            assert!(r.session.is_session(), "every request carries a session");
+            turns.entry(r.session.id).or_default().push(r.session.turn);
+            let prev = models.insert(r.session.id, r.model);
+            assert!(prev.is_none_or(|m| m == r.model), "one model per session");
+        }
+        let max_sid = *turns.keys().next_back().expect("nonempty");
+        assert_eq!(turns.len() as u64, max_sid, "session ids are dense from 1");
+        for (sid, mut ts) in turns {
+            ts.sort_unstable();
+            let expect: Vec<u32> = (0..ts.len() as u32).collect();
+            assert_eq!(ts, expect, "session {sid} turns are contiguous from 0");
+        }
+    }
+
+    #[test]
+    fn context_grows_within_sessions() {
+        let trace = SessionSpec::chat_like(8, 2).generate();
+        let mut by_session: BTreeMap<u64, Vec<(u32, u32, SimTime)>> = BTreeMap::new();
+        for r in &trace.requests {
+            by_session.entry(r.session.id).or_default().push((
+                r.session.turn,
+                r.input_len,
+                r.arrival,
+            ));
+        }
+        let spec = SessionSpec::chat_like(8, 2);
+        let mut grew = 0usize;
+        for turns in by_session.values_mut() {
+            turns.sort_unstable_by_key(|&(t, ..)| t);
+            for w in turns.windows(2) {
+                let (_, prev_len, prev_at) = w[0];
+                let (_, next_len, next_at) = w[1];
+                assert!(next_at > prev_at, "turns arrive in order");
+                assert!(
+                    next_len > prev_len || next_len == spec.max_context,
+                    "context grows until the clamp: {prev_len} -> {next_len}"
+                );
+                grew += 1;
+            }
+        }
+        assert!(grew > 50, "multi-turn sessions must exist: {grew}");
+    }
+
+    #[test]
+    fn volume_and_tail_shape() {
+        let spec = SessionSpec::chat_like(8, 5);
+        let trace = spec.generate();
+        let expect = spec.n_users as f64 * spec.sessions_per_user * spec.mean_turns;
+        let got = trace.len() as f64;
+        assert!(
+            (got / expect - 1.0).abs() < 0.35,
+            "{got} requests vs expected ~{expect}"
+        );
+        // Heavy tail: some session hits the turn cap, most stay short.
+        let mut turn_count: BTreeMap<u64, u32> = BTreeMap::new();
+        for r in &trace.requests {
+            let e = turn_count.entry(r.session.id).or_default();
+            *e = (*e).max(r.session.turn + 1);
+        }
+        let long = turn_count
+            .values()
+            .filter(|&&t| t >= spec.max_turns)
+            .count();
+        let short = turn_count.values().filter(|&&t| t <= 2).count();
+        assert!(long >= 1, "tail sessions should hit the cap");
+        // Geometric at mean 4: P(turns <= 2) ~ 0.44, so 1-2-turn sessions
+        // are the largest bucket without being an outright majority.
+        assert!(
+            short * 3 > turn_count.len(),
+            "short sessions dominate the head: {short} of {}",
+            turn_count.len()
+        );
+    }
+
+    #[test]
+    fn tags_survive_trace_merge() {
+        let a = SessionSpec::chat_like(2, 1).generate();
+        let b = SessionSpec::chat_like(2, 2).generate();
+        let total = a.len() + b.len();
+        let tags_before: usize = a
+            .requests
+            .iter()
+            .chain(&b.requests)
+            .filter(|r| r.session.is_session())
+            .count();
+        let merged = Trace::merge(vec![a, b]);
+        assert_eq!(merged.len(), total);
+        let tags_after = merged
+            .requests
+            .iter()
+            .filter(|r| r.session.is_session())
+            .count();
+        assert_eq!(tags_before, tags_after);
+        // Ids are renumbered densely even though tags survive.
+        for (i, r) in merged.requests.iter().enumerate() {
+            assert_eq!(r.id.0 as usize, i);
+        }
+    }
+}

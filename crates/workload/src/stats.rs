@@ -194,6 +194,7 @@ mod tests {
                 input_len: 100,
                 output_len: 10,
                 class: SloClass::default(),
+                session: Default::default(),
             });
         }
         for (j, t) in [(5u64, 100u64), (6, 500)] {
@@ -204,6 +205,7 @@ mod tests {
                 input_len: 100,
                 output_len: 10,
                 class: SloClass::default(),
+                session: Default::default(),
             });
         }
         Trace::new(reqs, 2, SimDuration::from_secs(600))

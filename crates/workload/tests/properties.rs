@@ -26,6 +26,7 @@ fn arb_segment() -> impl Strategy<Value = Trace> {
                     input_len: input,
                     output_len: output,
                     class: SloClass(class),
+                    session: Default::default(),
                 })
                 .collect();
             Trace::new(requests, 5, SimDuration::from_secs(600))

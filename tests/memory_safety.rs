@@ -87,6 +87,7 @@ fn kv_underestimation_recovers_via_eviction_or_scaling() {
             input_len: 2048,
             output_len: 1500, // far above the 256-token prior
             class: SloClass::default(),
+            session: Default::default(),
         })
         .collect();
     let trace = workload::Trace::new(reqs, 2, simcore::time::SimDuration::from_secs(60));
@@ -176,6 +177,7 @@ fn admit_during_scale_does_not_deadlock() {
             input_len: 1024,
             output_len: 64,
             class: SloClass::default(),
+            session: Default::default(),
         })
         .collect();
     let trace = workload::Trace::new(reqs, 1, simcore::time::SimDuration::from_secs(60));

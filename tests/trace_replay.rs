@@ -28,6 +28,7 @@ fn build_trace(raw: Vec<(u64, u32, u32, u32)>, n_models: u32) -> Trace {
             input_len: inp,
             output_len: out,
             class: SloClass::default(),
+            session: Default::default(),
         })
         .collect();
     let mut trace = Trace::new(reqs, n_models, SimDuration::from_secs(60));
